@@ -1,0 +1,127 @@
+// INV bench: the paper's headline claim — adding the inverse operator does
+// not increase the complexity of view-based query processing. Three series:
+//   1. rewriting: matched RPQ vs RPQI workloads of equal size through the
+//      two-way pipeline;
+//   2. rewriting: the two-way pipeline vs the one-way baseline of [10] on
+//      identical inverse-free inputs (the price of generality);
+//   3. answering (CDA): matched RPQ vs RPQI instances.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "answer/cda.h"
+#include "regex/parser.h"
+#include "rewrite/baseline_rpq.h"
+#include "rewrite/rewriter.h"
+#include "rpq/compile.h"
+#include "workload/regex_gen.h"
+
+namespace rpqi {
+namespace {
+
+struct Workload {
+  SignedAlphabet alphabet;
+  Nfa query{0};
+  std::vector<Nfa> views;
+};
+
+/// Matched chain workloads: the query walks a length-k chain of a-steps —
+/// forward for the RPQ variant, alternating forward/backward for the RPQI
+/// variant — and the views expose the two-step building blocks, so the
+/// rewriting is nonempty in both variants and exercises the same pipeline
+/// depth. `inverse_probability > 0` selects the RPQI variant.
+Workload MakeWorkload(int k, double inverse_probability, uint64_t seed) {
+  (void)seed;
+  Workload workload;
+  workload.alphabet.AddRelation("a");
+  workload.alphabet.AddRelation("b");
+  bool with_inverse = inverse_probability > 0;
+  std::string step = with_inverse ? "a b^- " : "a b ";
+  std::string query_text;
+  for (int i = 0; i < k; ++i) query_text += step;
+  workload.query =
+      MustCompileRegex(MustParseRegex(query_text), workload.alphabet);
+  workload.views = {
+      MustCompileRegex(MustParseRegex(step), workload.alphabet),
+      MustCompileRegex(MustParseRegex("a"), workload.alphabet)};
+  return workload;
+}
+
+void BM_RewriteRpqVsRpqi(benchmark::State& state, double inverse_probability) {
+  Workload workload = MakeWorkload(static_cast<int>(state.range(0)),
+                                   inverse_probability, 99);
+  RewritingOptions options;
+  options.max_product_states = int64_t{1} << 22;
+  options.max_subset_states = int64_t{1} << 22;
+  int rewriting_states = 0;
+  for (auto _ : state) {
+    StatusOr<MaximalRewriting> rewriting =
+        ComputeMaximalRewriting(workload.query, workload.views, options);
+    if (!rewriting.ok()) {
+      state.SkipWithError(rewriting.status().ToString().c_str());
+      return;
+    }
+    rewriting_states = rewriting->stats.rewriting_states;
+  }
+  state.counters["rewriting_states"] = rewriting_states;
+}
+
+void BM_TwoWayVsBaselineOnRpq(benchmark::State& state, bool use_baseline) {
+  Workload workload =
+      MakeWorkload(static_cast<int>(state.range(0)), 0.0, 1717);
+  RewritingOptions options;
+  options.max_product_states = int64_t{1} << 22;
+  options.max_subset_states = int64_t{1} << 22;
+  for (auto _ : state) {
+    StatusOr<MaximalRewriting> rewriting =
+        use_baseline
+            ? ComputeBaselineRpqRewriting(workload.query, workload.views,
+                                          options)
+            : ComputeMaximalRewriting(workload.query, workload.views, options);
+    if (!rewriting.ok()) {
+      state.SkipWithError(rewriting.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rewriting->empty);
+  }
+}
+
+void BM_AnswerCdaRpqVsRpqi(benchmark::State& state,
+                           double inverse_probability) {
+  Workload workload = MakeWorkload(2, inverse_probability, 2121);
+  AnsweringInstance instance;
+  instance.num_objects = static_cast<int>(state.range(0));
+  instance.query = workload.query;
+  View view;
+  view.definition = workload.views[0];
+  for (int i = 0; i + 1 < instance.num_objects; ++i) {
+    view.extension.push_back({i, i + 1});
+  }
+  view.assumption = ViewAssumption::kSound;
+  instance.views.push_back(std::move(view));
+  for (auto _ : state) {
+    StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->certain);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_RewriteRpqVsRpqi, rpq_no_inverse, 0.0)
+    ->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RewriteRpqVsRpqi, rpqi_with_inverse, 0.4)
+    ->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TwoWayVsBaselineOnRpq, two_way_pipeline, false)
+    ->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TwoWayVsBaselineOnRpq, one_way_baseline, true)
+    ->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AnswerCdaRpqVsRpqi, rpq_no_inverse, 0.0)
+    ->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AnswerCdaRpqVsRpqi, rpqi_with_inverse, 0.4)
+    ->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpqi

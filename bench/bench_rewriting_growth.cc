@@ -1,0 +1,91 @@
+// THM7 bench: maximal-rewriting generation (2EXPTIME, Theorem 7). Reports
+// wall time plus the size of every pipeline object (A1, lazily discovered A2
+// fragment, A2∩A3 product, A4, final rewriting DFA) as the query grows, on
+// (a) the crafted worst-case family (a|b)* a (a|b)^k whose rewriting inherits
+// an exponential blowup, and (b) benign random RPQIs.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "rewrite/rewriter.h"
+#include "rpq/compile.h"
+#include "workload/regex_gen.h"
+#include "workload/scenario.h"
+
+namespace rpqi {
+namespace {
+
+void BM_HardFamily(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  HardRewritingInstance instance = MakeHardRewritingInstance(k);
+  Nfa query = MustCompileRegex(instance.query, instance.alphabet);
+  std::vector<Nfa> views;
+  for (const RegexPtr& def : instance.view_definitions) {
+    views.push_back(MustCompileRegex(def, instance.alphabet));
+  }
+  RewritingOptions options;
+  options.max_product_states = int64_t{1} << 22;
+  options.max_subset_states = int64_t{1} << 22;
+
+  RewritingStats stats;
+  for (auto _ : state) {
+    StatusOr<MaximalRewriting> rewriting =
+        ComputeMaximalRewriting(query, views, options);
+    if (!rewriting.ok()) {
+      state.SkipWithError(rewriting.status().ToString().c_str());
+      return;
+    }
+    stats = rewriting->stats;
+    benchmark::DoNotOptimize(rewriting->empty);
+  }
+  state.counters["k"] = k;
+  state.counters["a1_states"] = stats.a1_states;
+  state.counters["a2_discovered"] = static_cast<double>(stats.a2_states_discovered);
+  state.counters["product_states"] = stats.product_states;
+  state.counters["a4_states"] = stats.a4_states;
+  state.counters["rewriting_states"] = stats.rewriting_states;
+}
+
+void BM_RandomInstances(benchmark::State& state) {
+  int query_size = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(1234);
+  RandomRegexOptions regex_options;
+  regex_options.relation_names = {"a", "b"};
+  regex_options.target_size = query_size;
+  regex_options.inverse_probability = 0.3;
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("a");
+  alphabet.AddRelation("b");
+  Nfa query = MustCompileRegex(RandomRegex(rng, regex_options), alphabet);
+  RandomRegexOptions view_options = regex_options;
+  view_options.target_size = 3;
+  std::vector<Nfa> views = {
+      MustCompileRegex(RandomRegex(rng, view_options), alphabet),
+      MustCompileRegex(RandomRegex(rng, view_options), alphabet)};
+  RewritingOptions options;
+  options.max_product_states = int64_t{1} << 22;
+  options.max_subset_states = int64_t{1} << 22;
+
+  RewritingStats stats;
+  for (auto _ : state) {
+    StatusOr<MaximalRewriting> rewriting =
+        ComputeMaximalRewriting(query, views, options);
+    if (!rewriting.ok()) {
+      state.SkipWithError(rewriting.status().ToString().c_str());
+      return;
+    }
+    stats = rewriting->stats;
+  }
+  state.counters["query_size"] = query_size;
+  state.counters["product_states"] = stats.product_states;
+  state.counters["rewriting_states"] = stats.rewriting_states;
+}
+
+BENCHMARK(BM_HardFamily)->DenseRange(0, 5, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomInstances)
+    ->DenseRange(3, 11, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,78 @@
+// EVAL substrate bench: throughput of the ans(E,B) evaluator (Section 2
+// semantics) as graph size, density, and query shape vary. Every result in
+// the paper is defined relative to this oracle, so its scaling is reported
+// first in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graphdb/eval.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+#include "workload/graph_gen.h"
+
+namespace rpqi {
+namespace {
+
+Nfa MakeQuery(const std::string& text, SignedAlphabet* alphabet) {
+  alphabet->AddRelation("r0");
+  alphabet->AddRelation("r1");
+  return MustCompileRegex(MustParseRegex(text), *alphabet);
+}
+
+void BM_EvalAllPairs(benchmark::State& state, const std::string& query_text) {
+  std::mt19937_64 rng(42);
+  RandomGraphOptions options;
+  options.num_nodes = static_cast<int>(state.range(0));
+  options.num_relations = 2;
+  options.average_out_degree = 3.0;
+  GraphDb db = RandomGraph(rng, options);
+  SignedAlphabet alphabet;
+  Nfa query = MakeQuery(query_text, &alphabet);
+
+  int64_t answers = 0;
+  for (auto _ : state) {
+    answers = static_cast<int64_t>(EvalRpqiAllPairs(db, query).size());
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["nodes"] = options.num_nodes;
+  state.counters["edges"] = db.NumEdges();
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_EvalSingleSource(benchmark::State& state,
+                         const std::string& query_text) {
+  std::mt19937_64 rng(42);
+  RandomGraphOptions options;
+  options.num_nodes = static_cast<int>(state.range(0));
+  options.num_relations = 2;
+  options.average_out_degree = 3.0;
+  GraphDb db = RandomGraph(rng, options);
+  SignedAlphabet alphabet;
+  Nfa query = MakeQuery(query_text, &alphabet);
+
+  for (auto _ : state) {
+    Bitset reachable = EvalRpqiFrom(db, query, 0);
+    benchmark::DoNotOptimize(reachable.Count());
+  }
+  state.counters["nodes"] = options.num_nodes;
+}
+
+BENCHMARK_CAPTURE(BM_EvalAllPairs, forward_star, std::string("r0*"))
+    ->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK_CAPTURE(BM_EvalAllPairs, with_inverse,
+                  std::string("(r0 r1^-)* r0"))
+    ->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK_CAPTURE(BM_EvalAllPairs, two_way_closure,
+                  std::string("(r0 | r0^- | r1)*"))
+    ->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_EvalSingleSource, forward_star, std::string("r0*"))
+    ->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK_CAPTURE(BM_EvalSingleSource, with_inverse,
+                  std::string("(r0 r1^-)* r0"))
+    ->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,82 @@
+// T1-comb bench: Table 1, combined-complexity column — joint scaling in the
+// expressions AND the extensions (co-NP under CDA, PSPACE under ODA). A
+// (k × n) grid: query/view p^k over an n-object chain extension.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "answer/cda.h"
+#include "answer/oda.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+
+namespace rpqi {
+namespace {
+
+AnsweringInstance GridInstance(int k, int n, SignedAlphabet* alphabet) {
+  alphabet->AddRelation("p");
+  AnsweringInstance instance;
+  instance.num_objects = n;
+  std::string def_text;
+  for (int i = 0; i < k; ++i) def_text += "p ";
+  // Query: k·(n−1) p-steps — certain for the pair (0, n−1).
+  std::string query_text;
+  for (int i = 0; i < k * (n - 1); ++i) query_text += "p ";
+  instance.query = MustCompileRegex(MustParseRegex(query_text), *alphabet);
+  View view;
+  view.definition = MustCompileRegex(MustParseRegex(def_text), *alphabet);
+  for (int i = 0; i + 1 < n; ++i) view.extension.push_back({i, i + 1});
+  view.assumption = ViewAssumption::kSound;
+  instance.views.push_back(std::move(view));
+  return instance;
+}
+
+void BM_CdaCombined(benchmark::State& state) {
+  SignedAlphabet alphabet;
+  int k = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  AnsweringInstance instance = GridInstance(k, n, &alphabet);
+  bool certain = false;
+  for (auto _ : state) {
+    StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, n - 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+  }
+  state.counters["k"] = k;
+  state.counters["objects"] = n;
+  state.counters["certain"] = certain;
+}
+
+void BM_OdaCombined(benchmark::State& state) {
+  SignedAlphabet alphabet;
+  int k = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  AnsweringInstance instance = GridInstance(k, n, &alphabet);
+  bool certain = false;
+  for (auto _ : state) {
+    StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, n - 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+  }
+  state.counters["k"] = k;
+  state.counters["objects"] = n;
+  state.counters["certain"] = certain;
+}
+
+BENCHMARK(BM_CdaCombined)
+    ->ArgsProduct({{1, 2, 3}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OdaCombined)
+    ->Args({1, 2})->Args({2, 2})->Args({1, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,127 @@
+// T1-data bench: Table 1, data-complexity column. Fixed query and view
+// definitions; the view extensions (and object domain) grow. One series per
+// table row: {CDA, ODA} × {all sound, all exact, arbitrary}. Each series
+// reports the decision time for a certain pair (requires exhausting the
+// counterexample space — the co-NP direction) and for a non-certain pair
+// (a witness terminates the search early).
+
+#include <benchmark/benchmark.h>
+
+#include "answer/cda.h"
+#include "answer/oda.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+
+namespace rpqi {
+namespace {
+
+enum class Mix { kAllSound, kAllExact, kArbitrary };
+
+/// Chain instance: objects 0..n-1, one view with def p and extension
+/// {(i,i+1)}, query p^(n-1); (0, n-1) is certain, (n-1, 0) is not.
+AnsweringInstance ChainInstance(int num_objects, Mix mix,
+                                SignedAlphabet* alphabet) {
+  alphabet->AddRelation("p");
+  AnsweringInstance instance;
+  instance.num_objects = num_objects;
+  std::string query_text;
+  for (int i = 0; i + 1 < num_objects; ++i) query_text += "p ";
+  instance.query = MustCompileRegex(MustParseRegex(query_text), *alphabet);
+
+  View view;
+  view.definition = MustCompileRegex(MustParseRegex("p"), *alphabet);
+  for (int i = 0; i + 1 < num_objects; ++i) view.extension.push_back({i, i + 1});
+  switch (mix) {
+    case Mix::kAllSound:
+      view.assumption = ViewAssumption::kSound;
+      break;
+    case Mix::kAllExact:
+      view.assumption = ViewAssumption::kExact;
+      break;
+    case Mix::kArbitrary: {
+      view.assumption = ViewAssumption::kSound;
+      // Add a complete view alongside (the "arbitrary" row mixes SVA/CVA/EVA).
+      View complete;
+      complete.definition = MustCompileRegex(MustParseRegex("p p"), *alphabet);
+      for (int i = 0; i + 2 < num_objects; ++i) {
+        complete.extension.push_back({i, i + 2});
+      }
+      complete.assumption = ViewAssumption::kComplete;
+      instance.views.push_back(std::move(complete));
+      break;
+    }
+  }
+  instance.views.push_back(std::move(view));
+  return instance;
+}
+
+void BM_Cda(benchmark::State& state, Mix mix, bool certain_pair) {
+  SignedAlphabet alphabet;
+  int n = static_cast<int>(state.range(0));
+  AnsweringInstance instance = ChainInstance(n, mix, &alphabet);
+  int c = certain_pair ? 0 : n - 1;
+  int d = certain_pair ? n - 1 : 0;
+  bool certain = false;
+  for (auto _ : state) {
+    StatusOr<CdaResult> result = CertainAnswerCda(instance, c, d);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+  }
+  state.counters["objects"] = n;
+  state.counters["ext_pairs"] = n - 1;
+  state.counters["certain"] = certain;
+}
+
+void BM_Oda(benchmark::State& state, Mix mix, bool certain_pair) {
+  SignedAlphabet alphabet;
+  int n = static_cast<int>(state.range(0));
+  AnsweringInstance instance = ChainInstance(n, mix, &alphabet);
+  int c = certain_pair ? 0 : n - 1;
+  int d = certain_pair ? n - 1 : 0;
+  bool certain = false;
+  int64_t states = 0;
+  for (auto _ : state) {
+    StatusOr<OdaResult> result = CertainAnswerOda(instance, c, d);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+    states = result->states_explored;
+  }
+  state.counters["objects"] = n;
+  state.counters["certain"] = certain;
+  state.counters["states_explored"] = static_cast<double>(states);
+}
+
+BENCHMARK_CAPTURE(BM_Cda, sound_certain, Mix::kAllSound, true)
+    ->DenseRange(2, 5, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Cda, sound_refuted, Mix::kAllSound, false)
+    ->DenseRange(2, 5, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Cda, exact_certain, Mix::kAllExact, true)
+    ->DenseRange(2, 5, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Cda, exact_refuted, Mix::kAllExact, false)
+    ->DenseRange(2, 5, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Cda, arbitrary_certain, Mix::kArbitrary, true)
+    ->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Cda, arbitrary_refuted, Mix::kArbitrary, false)
+    ->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, sound_certain, Mix::kAllSound, true)
+    ->DenseRange(2, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, sound_refuted, Mix::kAllSound, false)
+    ->DenseRange(2, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, exact_certain, Mix::kAllExact, true)
+    ->DenseRange(2, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, exact_refuted, Mix::kAllExact, false)
+    ->DenseRange(2, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, arbitrary_certain, Mix::kArbitrary, true)
+    ->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Oda, arbitrary_refuted, Mix::kArbitrary, false)
+    ->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,104 @@
+// T1-expr bench: Table 1, expression-complexity column — co-NP under CDA,
+// PSPACE under ODA. Extensions stay fixed and tiny (two objects, one pair);
+// the query (and symmetrically the view definition) grows. The expected
+// shape: CDA times stay flat in the expression (the search space is the
+// fixed edge set), while ODA times grow with the expression (the automata —
+// and their translations — do).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "answer/cda.h"
+#include "answer/oda.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+
+namespace rpqi {
+namespace {
+
+/// Two objects, one sound view pair (0,1) with definition p^k. The certain
+/// variant queries p^k itself; the refuted variant appends a relation q that
+/// no view promises, so (0,1) is never certain and a counterexample is found
+/// quickly — separating witness-search cost from exhaustion cost.
+AnsweringInstance PowerInstance(int k, bool certain_variant,
+                                SignedAlphabet* alphabet,
+                                ViewAssumption assumption) {
+  alphabet->AddRelation("p");
+  alphabet->AddRelation("q");
+  AnsweringInstance instance;
+  instance.num_objects = 2;
+  std::string def_text, query_text;
+  for (int i = 0; i < k; ++i) def_text += "p ";
+  query_text = def_text;
+  if (!certain_variant) query_text += "q ";
+  instance.query = MustCompileRegex(MustParseRegex(query_text), *alphabet);
+  View view;
+  view.definition = MustCompileRegex(MustParseRegex(def_text), *alphabet);
+  view.extension = {{0, 1}};
+  view.assumption = assumption;
+  instance.views.push_back(std::move(view));
+  return instance;
+}
+
+void BM_CdaExpression(benchmark::State& state, bool certain_variant,
+                      ViewAssumption assumption) {
+  SignedAlphabet alphabet;
+  AnsweringInstance instance = PowerInstance(
+      static_cast<int>(state.range(0)), certain_variant, &alphabet, assumption);
+  bool certain = false;
+  for (auto _ : state) {
+    StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.counters["certain"] = certain;
+}
+
+void BM_OdaExpression(benchmark::State& state, bool certain_variant,
+                      ViewAssumption assumption) {
+  SignedAlphabet alphabet;
+  AnsweringInstance instance = PowerInstance(
+      static_cast<int>(state.range(0)), certain_variant, &alphabet, assumption);
+  bool certain = false;
+  int64_t states = 0;
+  for (auto _ : state) {
+    StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    certain = result->certain;
+    states = result->states_explored;
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.counters["certain"] = certain;
+  state.counters["states_explored"] = static_cast<double>(states);
+}
+
+BENCHMARK_CAPTURE(BM_CdaExpression, sound_certain, true,
+                  ViewAssumption::kSound)
+    ->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CdaExpression, sound_refuted, false,
+                  ViewAssumption::kSound)
+    ->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CdaExpression, exact_certain, true,
+                  ViewAssumption::kExact)
+    ->DenseRange(1, 6, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OdaExpression, sound_certain, true,
+                  ViewAssumption::kSound)
+    ->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OdaExpression, sound_refuted, false,
+                  ViewAssumption::kSound)
+    ->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OdaExpression, exact_certain, true,
+                  ViewAssumption::kExact)
+    ->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpqi

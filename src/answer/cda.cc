@@ -1,0 +1,265 @@
+#include "answer/cda.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "automata/ops.h"
+#include "graphdb/eval.h"
+
+namespace rpqi {
+
+namespace {
+
+/// Candidate edge (from, relation, to) in the dense enumeration order.
+struct CandidateEdges {
+  int num_objects;
+  int num_relations;
+
+  int Count() const { return num_objects * num_objects * num_relations; }
+  int IndexOf(int from, int relation, int to) const {
+    return (from * num_objects + to) * num_relations + relation;
+  }
+  void Decode(int index, int* from, int* relation, int* to) const {
+    *relation = index % num_relations;
+    index /= num_relations;
+    *to = index % num_objects;
+    *from = index / num_objects;
+  }
+};
+
+enum EdgeState : char { kUnknown = 0, kIn = 1, kOut = 2 };
+
+GraphDb BuildGraph(const CandidateEdges& space,
+                   const std::vector<char>& edge_state, bool include_unknown) {
+  GraphDb db;
+  for (int i = 0; i < space.num_objects; ++i) {
+    db.AddNode("obj" + std::to_string(i));
+  }
+  for (int index = 0; index < space.Count(); ++index) {
+    if (edge_state[index] == kIn ||
+        (include_unknown && edge_state[index] == kUnknown)) {
+      int from, relation, to;
+      space.Decode(index, &from, &relation, &to);
+      db.AddEdge(from, relation, to);
+    }
+  }
+  return db;
+}
+
+bool PairsSubset(const std::vector<std::pair<int, int>>& pairs,
+                 const GraphDb& db, const Nfa& query) {
+  for (const auto& [a, b] : pairs) {
+    if (!EvalRpqiPair(db, query, a, b)) return false;
+  }
+  return true;
+}
+
+bool AnswersWithin(const GraphDb& db, const Nfa& query,
+                   const std::vector<std::pair<int, int>>& allowed) {
+  std::set<std::pair<int, int>> allowed_set(allowed.begin(), allowed.end());
+  for (const auto& pair : EvalRpqiAllPairs(db, query)) {
+    if (allowed_set.find(pair) == allowed_set.end()) return false;
+  }
+  return true;
+}
+
+/// Is `db` consistent with every view of the instance?
+bool ConsistentWithViews(const AnsweringInstance& instance, const GraphDb& db) {
+  for (const View& view : instance.views) {
+    switch (view.assumption) {
+      case ViewAssumption::kSound:
+        if (!PairsSubset(view.extension, db, view.definition)) return false;
+        break;
+      case ViewAssumption::kComplete:
+        if (!AnswersWithin(db, view.definition, view.extension)) return false;
+        break;
+      case ViewAssumption::kExact:
+        if (!PairsSubset(view.extension, db, view.definition)) return false;
+        if (!AnswersWithin(db, view.definition, view.extension)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Backtracking search for a consistent database where the query pair (c,d)
+/// is absent (`want_query_pair == false`, certain-answer refutation) or
+/// present (`want_query_pair == true`, possible-answer witness).
+class CdaSolver {
+ public:
+  CdaSolver(const AnsweringInstance& instance, int c, int d,
+            bool want_query_pair, int64_t max_nodes)
+      : instance_(instance),
+        c_(c),
+        d_(d),
+        want_query_pair_(want_query_pair),
+        max_nodes_(max_nodes) {
+    space_.num_objects = instance.num_objects;
+    space_.num_relations = instance.query.num_symbols() / 2;
+    eps_free_views_.reserve(instance.views.size());
+    for (const View& view : instance.views) {
+      eps_free_views_.push_back(RemoveEpsilon(view.definition));
+    }
+    eps_free_query_ = RemoveEpsilon(instance.query);
+  }
+
+  /// Returns the witness database, nullopt if none exists, or a status on
+  /// budget exhaustion.
+  StatusOr<CdaResult> Solve() {
+    std::vector<char> edge_state(space_.Count(), kUnknown);
+    CdaResult result;
+    Status status = Search(edge_state, &result);
+    if (!status.ok()) return status;
+    result.nodes_visited = nodes_visited_;
+    return result;
+  }
+
+ private:
+  /// Pruning bounds. Monotonicity of RPQIs (more edges ⇒ more answers) gives:
+  ///  * lower graph L (kIn edges only): any completion has ans ⊇ ans(·, L);
+  ///  * upper graph U (kIn + kUnknown): any completion has ans ⊆ ans(·, U).
+  Status Search(std::vector<char>& edge_state, CdaResult* result) {
+    if (++nodes_visited_ > max_nodes_) {
+      return Status::ResourceExhausted("CDA search exceeded node budget");
+    }
+    GraphDb lower = BuildGraph(space_, edge_state, /*include_unknown=*/false);
+    GraphDb upper = BuildGraph(space_, edge_state, /*include_unknown=*/true);
+
+    // --- Pruning (conditions that no completion of this assignment can fix).
+    for (size_t i = 0; i < instance_.views.size(); ++i) {
+      const View& view = instance_.views[i];
+      bool needs_lower_bound = view.assumption != ViewAssumption::kComplete;
+      bool needs_upper_bound = view.assumption != ViewAssumption::kSound;
+      // ext ⊆ ans must be achievable: ans over U is the best case.
+      if (needs_lower_bound &&
+          !PairsSubset(view.extension, upper, eps_free_views_[i])) {
+        return Status::Ok();
+      }
+      // ans ⊆ ext must be achievable: ans over L is the least case.
+      if (needs_upper_bound &&
+          !AnswersWithin(lower, eps_free_views_[i], view.extension)) {
+        return Status::Ok();
+      }
+    }
+    if (!want_query_pair_ && EvalRpqiPair(lower, eps_free_query_, c_, d_)) {
+      return Status::Ok();  // (c,d) already forced into the answer
+    }
+    if (want_query_pair_ && !EvalRpqiPair(upper, eps_free_query_, c_, d_)) {
+      return Status::Ok();  // (c,d) can no longer be answered
+    }
+
+    // --- Early acceptance: L itself may already witness the goal.
+    if (LowerGraphWorks(lower, upper)) {
+      result->witness = lower;
+      return Status::Ok();
+    }
+
+    // --- Complete assignment?
+    int branch_edge = -1;
+    for (int index = 0; index < space_.Count(); ++index) {
+      if (edge_state[index] == kUnknown) {
+        branch_edge = index;
+        break;
+      }
+    }
+    if (branch_edge < 0) {
+      // L == U; all pruning checks above imply full consistency.
+      if (QueryGoalMet(lower)) result->witness = lower;
+      return Status::Ok();
+    }
+
+    // --- Branch: try excluding the edge first (biases the search toward
+    // sparse witnesses, which are the interesting ones for certain answers),
+    // then including it.
+    for (char value : {kOut, kIn}) {
+      edge_state[branch_edge] = value;
+      Status status = Search(edge_state, result);
+      if (!status.ok()) return status;
+      if (result->witness.has_value()) return Status::Ok();
+    }
+    edge_state[branch_edge] = kUnknown;
+    return Status::Ok();
+  }
+
+  bool QueryGoalMet(const GraphDb& db) {
+    return EvalRpqiPair(db, eps_free_query_, c_, d_) == want_query_pair_;
+  }
+
+  /// True if the lower graph L is consistent and meets the query goal — an
+  /// early accept that skips the remaining branching.
+  bool LowerGraphWorks(const GraphDb& lower, const GraphDb& upper) {
+    if (!QueryGoalMet(lower)) return false;
+    for (size_t i = 0; i < instance_.views.size(); ++i) {
+      const View& view = instance_.views[i];
+      bool needs_lower_bound = view.assumption != ViewAssumption::kComplete;
+      bool needs_upper_bound = view.assumption != ViewAssumption::kSound;
+      if (needs_lower_bound &&
+          !PairsSubset(view.extension, lower, eps_free_views_[i])) {
+        return false;
+      }
+      if (needs_upper_bound &&
+          !AnswersWithin(lower, eps_free_views_[i], view.extension)) {
+        return false;
+      }
+    }
+    (void)upper;
+    return true;
+  }
+
+  const AnsweringInstance& instance_;
+  int c_;
+  int d_;
+  bool want_query_pair_;
+  int64_t max_nodes_;
+  CandidateEdges space_;
+  std::vector<Nfa> eps_free_views_;
+  Nfa eps_free_query_{0};
+  int64_t nodes_visited_ = 0;
+};
+
+}  // namespace
+
+StatusOr<CdaResult> CertainAnswerCda(const AnsweringInstance& instance, int c,
+                                     int d, const CdaOptions& options) {
+  CheckInstance(instance);
+  CdaSolver solver(instance, c, d, /*want_query_pair=*/false,
+                   options.max_nodes);
+  StatusOr<CdaResult> result = solver.Solve();
+  if (!result.ok()) return result;
+  // (c,d) is certain iff no consistent counterexample database exists.
+  result->certain = !result->witness.has_value();
+  return result;
+}
+
+StatusOr<CdaResult> PossibleAnswerCda(const AnsweringInstance& instance, int c,
+                                      int d, const CdaOptions& options) {
+  CheckInstance(instance);
+  CdaSolver solver(instance, c, d, /*want_query_pair=*/true,
+                   options.max_nodes);
+  StatusOr<CdaResult> result = solver.Solve();
+  if (!result.ok()) return result;
+  result->certain = result->witness.has_value();  // here: "possible"
+  return result;
+}
+
+bool CertainAnswerCdaBruteForce(const AnsweringInstance& instance, int c,
+                                int d) {
+  CheckInstance(instance);
+  CandidateEdges space{instance.num_objects, instance.query.num_symbols() / 2};
+  RPQI_CHECK_LE(space.Count(), 24) << "brute force oracle limited to 2^24 DBs";
+  Nfa query = RemoveEpsilon(instance.query);
+
+  for (uint32_t mask = 0; mask < (uint32_t{1} << space.Count()); ++mask) {
+    std::vector<char> edge_state(space.Count(), kOut);
+    for (int index = 0; index < space.Count(); ++index) {
+      if ((mask >> index) & 1) edge_state[index] = kIn;
+    }
+    GraphDb db = BuildGraph(space, edge_state, /*include_unknown=*/false);
+    if (!ConsistentWithViews(instance, db)) continue;
+    if (!EvalRpqiPair(db, query, c, d)) return false;  // counterexample
+  }
+  return true;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,293 @@
+#include "answer/certificates.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "automata/lazy.h"
+#include "automata/table_dfa.h"
+
+namespace rpqi {
+
+TwoWayNfa BuildSearchFreeQueryAutomaton(const Nfa& query,
+                                        const LinearAlphabet& alphabet, int c,
+                                        int d) {
+  LinearEvalSpec spec;
+  spec.start = LinearEvalSpec::Start::kAtConstant;
+  spec.start_constant = c;
+  spec.end = LinearEvalSpec::End::kAtConstant;
+  spec.end_constant = d;
+  spec.use_search_mode = false;
+  return BuildLinearizedEvalAutomaton(query, alphabet, spec);
+}
+
+std::optional<UniformCertificate> ComputeMinimalUniformCertificate(
+    const TwoWayNfa& search_free, const LinearAlphabet& alphabet,
+    const std::vector<int>& word) {
+  const int num_states = search_free.NumStates();
+  const int n = static_cast<int>(word.size());
+  std::vector<Bitset> position_sets(n + 1, Bitset(num_states));
+  std::vector<Bitset> labels(alphabet.num_objects, Bitset(num_states));
+  for (int s : search_free.InitialStates()) position_sets[0].Set(s);
+
+  // Least fixpoint of the certificate closure conditions plus the uniform
+  // object-labeling synchronization: all conditions only add states, so the
+  // iteration converges in at most (n+1)·|states| rounds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int j = 0; j < n; ++j) {
+      const Bitset& here = position_sets[j];
+      for (int s = here.NextSetBit(0); s >= 0; s = here.NextSetBit(s + 1)) {
+        for (const TwoWayNfa::Transition& t :
+             search_free.TransitionsOn(s, word[j])) {
+          int target_position = j + static_cast<int>(t.move);
+          if (target_position < 0) continue;  // falling off the left end
+          if (!position_sets[target_position].Test(t.to)) {
+            position_sets[target_position].Set(t.to);
+            changed = true;
+          }
+        }
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      if (!alphabet.IsObjectSymbol(word[j])) continue;
+      Bitset& label = labels[alphabet.ObjectOf(word[j])];
+      if (!position_sets[j].IsSubsetOf(label)) {
+        label |= position_sets[j];
+        changed = true;
+      }
+      if (!label.IsSubsetOf(position_sets[j])) {
+        position_sets[j] |= label;
+        changed = true;
+      }
+    }
+  }
+
+  for (int s = position_sets[n].NextSetBit(0); s >= 0;
+       s = position_sets[n].NextSetBit(s + 1)) {
+    if (search_free.IsAccepting(s)) return std::nullopt;  // not a rejection
+  }
+  return UniformCertificate{std::move(labels)};
+}
+
+namespace {
+
+struct CertState {
+  uint64_t closed;   // C_j: stay-closed certificate set at position j
+  uint64_t forced;   // F_{j+1}: forward obligations for position j+1
+};
+
+/// Vardi-style rejection-certificate NFA with the Theorem 17 label
+/// constraint, in the "closure at consume time" form: the automaton carries
+/// the stay-closed set C_j of the position just consumed plus the forward
+/// obligations F_{j+1}; consuming the next symbol guesses only which
+/// left-move targets to add (extras outside that set can never be required,
+/// so the restriction is complete), closes under stay moves, and checks the
+/// left-move conditions against C_j. Reading an object symbol additionally
+/// requires the closed set to equal the guessed label (the uniform-labeling
+/// simulation of search mode).
+class LabeledRejectionBuilder {
+ public:
+  LabeledRejectionBuilder(const TwoWayNfa& automaton,
+                          const LinearAlphabet& alphabet,
+                          const UniformCertificate& labeling)
+      : automaton_(automaton), alphabet_(alphabet) {
+    n_ = automaton.NumStates();
+    RPQI_CHECK_LE(n_, 62) << "certificate NFA limited to small automata";
+    for (int s = 0; s < n_; ++s) {
+      if (automaton.IsInitial(s)) initial_mask_ |= uint64_t{1} << s;
+      if (automaton.IsAccepting(s)) accepting_mask_ |= uint64_t{1} << s;
+    }
+    stay_.assign(alphabet.TotalSymbols(), std::vector<uint64_t>(n_, 0));
+    left_.assign(alphabet.TotalSymbols(), std::vector<uint64_t>(n_, 0));
+    right_.assign(alphabet.TotalSymbols(), std::vector<uint64_t>(n_, 0));
+    for (int symbol = 0; symbol < alphabet.TotalSymbols(); ++symbol) {
+      for (int s = 0; s < n_; ++s) {
+        for (const TwoWayNfa::Transition& t :
+             automaton.TransitionsOn(s, symbol)) {
+          uint64_t bit = uint64_t{1} << t.to;
+          switch (t.move) {
+            case Move::kStay: stay_[symbol][s] |= bit; break;
+            case Move::kLeft:
+              left_[symbol][s] |= bit;
+              left_targets_ |= bit;
+              break;
+            case Move::kRight: right_[symbol][s] |= bit; break;
+          }
+        }
+      }
+    }
+    label_masks_.assign(alphabet.num_objects, 0);
+    RPQI_CHECK_EQ(static_cast<int>(labeling.object_labels.size()),
+                  alphabet.num_objects);
+    for (int object = 0; object < alphabet.num_objects; ++object) {
+      const Bitset& label = labeling.object_labels[object];
+      RPQI_CHECK_EQ(label.size(), n_);
+      for (int s = label.NextSetBit(0); s >= 0; s = label.NextSetBit(s + 1)) {
+        label_masks_[object] |= uint64_t{1} << s;
+      }
+    }
+  }
+
+  StatusOr<Nfa> Build(int64_t max_states) {
+    Nfa result(alphabet_.TotalSymbols());
+    std::map<std::pair<uint64_t, uint64_t>, int> ids;
+    std::vector<CertState> states;
+    auto intern = [&](CertState state) {
+      auto [it, inserted] = ids.try_emplace(
+          std::make_pair(state.closed, state.forced), result.NumStates());
+      if (inserted) {
+        int id = result.AddState();
+        RPQI_CHECK_EQ(id, it->second);
+        states.push_back(state);
+        // Acceptance: the final position holds exactly the pending forward
+        // obligations (adding extras there could only hurt), so the word is
+        // rejection-certified iff none of them is accepting.
+        result.SetAccepting(id, (state.forced & accepting_mask_) == 0);
+      }
+      return it->second;
+    };
+
+    // Initial marker: before any symbol, pending obligations are the initial
+    // states (they sit at position 0), and there is no previous set.
+    int start = result.AddState();
+    states.push_back({0, initial_mask_});
+    result.SetInitial(start);
+    // The empty word: position 0 IS the end; accept iff no initial state is
+    // accepting. (Canonical words are never empty, but keep semantics exact.)
+    result.SetAccepting(start, (initial_mask_ & accepting_mask_) == 0);
+
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (static_cast<int64_t>(states.size()) > max_states) {
+        return Status::ResourceExhausted("certificate NFA exceeded " +
+                                         std::to_string(max_states) +
+                                         " states");
+      }
+      const CertState state = states[i];
+      bool is_start = (static_cast<int>(i) == start);
+      for (int a = 0; a < alphabet_.TotalSymbols(); ++a) {
+        uint64_t extras_pool = left_targets_ & ~state.forced;
+        for (uint64_t sub = extras_pool;; sub = (sub - 1) & extras_pool) {
+          uint64_t raw = state.forced | sub;
+          uint64_t closed = StayClose(raw, a);
+          bool ok = true;
+          // Left conditions: targets must lie in the previous closed set
+          // (vacuous at position 0, where a left move just falls off).
+          if (!is_start) {
+            uint64_t members = closed;
+            while (members != 0 && ok) {
+              int s = __builtin_ctzll(members);
+              members &= members - 1;
+              if (left_[a][s] & ~state.closed) ok = false;
+            }
+          }
+          // Uniform-label constraint at object occurrences.
+          if (ok && alphabet_.IsObjectSymbol(a) &&
+              closed != label_masks_[alphabet_.ObjectOf(a)]) {
+            ok = false;
+          }
+          if (ok) {
+            uint64_t forced_next = 0;
+            uint64_t members = closed;
+            while (members != 0) {
+              int s = __builtin_ctzll(members);
+              members &= members - 1;
+              forced_next |= right_[a][s];
+            }
+            result.AddTransition(static_cast<int>(i), a,
+                                 intern({closed, forced_next}));
+          }
+          if (sub == 0) break;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  uint64_t StayClose(uint64_t set, int symbol) const {
+    uint64_t closed = set;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      uint64_t members = closed;
+      while (members != 0) {
+        int s = __builtin_ctzll(members);
+        members &= members - 1;
+        uint64_t addition = stay_[symbol][s] & ~closed;
+        if (addition != 0) {
+          closed |= addition;
+          changed = true;
+        }
+      }
+    }
+    return closed;
+  }
+
+  const TwoWayNfa& automaton_;
+  const LinearAlphabet& alphabet_;
+  int n_ = 0;
+  uint64_t initial_mask_ = 0;
+  uint64_t accepting_mask_ = 0;
+  uint64_t left_targets_ = 0;
+  std::vector<std::vector<uint64_t>> stay_, left_, right_;  // [symbol][state]
+  std::vector<uint64_t> label_masks_;
+};
+
+StatusOr<Nfa> BuildLabeledRejectionNfa(const TwoWayNfa& automaton,
+                                       const LinearAlphabet& alphabet,
+                                       const UniformCertificate& labeling,
+                                       int64_t max_states) {
+  return LabeledRejectionBuilder(automaton, alphabet, labeling)
+      .Build(max_states);
+}
+
+}  // namespace
+
+StatusOr<std::optional<std::vector<int>>> FindWordForLabeling(
+    const TwoWayNfa& search_free, const LinearAlphabet& alphabet,
+    const UniformCertificate& labeling,
+    const std::vector<const Nfa*>& positive_one_way,
+    const std::vector<const TwoWayNfa*>& positive_two_way,
+    int64_t max_states) {
+  StatusOr<Nfa> rejection =
+      BuildLabeledRejectionNfa(search_free, alphabet, labeling, max_states);
+  if (!rejection.ok()) return rejection.status();
+
+  Nfa structure = BuildStructureAutomaton(alphabet);
+  std::vector<Nfa> occurrences;
+  for (int object = 0; object < alphabet.num_objects; ++object) {
+    occurrences.push_back(BuildOccurrenceAutomaton(alphabet, object));
+  }
+
+  // The rejection NFA is massively nondeterministic (it guesses certificate
+  // sets); run the product BFS on it directly instead of determinizing it.
+  std::vector<std::unique_ptr<LazyDfa>> owned;
+  owned.push_back(std::make_unique<LazySubsetDfa>(structure));
+  for (const Nfa& occurrence : occurrences) {
+    owned.push_back(std::make_unique<LazySubsetDfa>(occurrence));
+  }
+  for (const Nfa* nfa : positive_one_way) {
+    owned.push_back(std::make_unique<LazySubsetDfa>(*nfa));
+  }
+  for (const TwoWayNfa* automaton : positive_two_way) {
+    owned.push_back(std::make_unique<LazyTableDfa>(*automaton));
+  }
+  std::vector<LazyDfa*> parts;
+  for (const auto& lazy : owned) parts.push_back(lazy.get());
+
+  EmptinessResult result =
+      FindAcceptedWordWithNfa(*rejection, parts, max_states);
+  switch (result.outcome) {
+    case EmptinessResult::Outcome::kFoundWord:
+      return std::optional<std::vector<int>>(std::move(result.witness));
+    case EmptinessResult::Outcome::kEmpty:
+      return std::optional<std::vector<int>>(std::nullopt);
+    case EmptinessResult::Outcome::kLimitExceeded:
+      return Status::ResourceExhausted("labeled word search exceeded budget");
+  }
+  return Status::InvalidArgument("unreachable");
+}
+
+}  // namespace rpqi

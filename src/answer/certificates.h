@@ -1,0 +1,64 @@
+#ifndef RPQI_ANSWER_CERTIFICATES_H_
+#define RPQI_ANSWER_CERTIFICATES_H_
+
+#include <optional>
+#include <vector>
+
+#include "answer/linearize.h"
+#include "answer/views.h"
+#include "automata/nfa.h"
+#include "automata/two_way.h"
+#include "base/bitset.h"
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Theorem 17 machinery: co-NP data complexity of certain answers under ODA.
+///
+/// The obstacle to co-NP via the Section 5.2 automata is "search mode": its
+/// ⟨s,d⟩ states grow with the number of objects, so the two-way-to-one-way
+/// translation is exponential in the data. The paper's fix: use the
+/// *search-free* query automaton (LinearEvalSpec::use_search_mode = false)
+/// and simulate jumps by requiring that for every occurrence of an object d,
+/// the certificate set of states labeling that position is one and the same
+/// set T_d. The NP witness for "not certain" is then the per-object labeling
+/// (polynomially many objects, each labeled with a set over the fixed-size
+/// automaton); completing it to a full rejection certificate is a
+/// deterministic fixpoint, polynomial in the data.
+struct UniformCertificate {
+  /// label[d] = set of search-free-automaton states at every occurrence of d.
+  std::vector<Bitset> object_labels;
+};
+
+/// The search-free query-exclusion automaton of Theorem 17 (A_(Q,c,d) without
+/// item-4 search states).
+TwoWayNfa BuildSearchFreeQueryAutomaton(const Nfa& query,
+                                        const LinearAlphabet& alphabet, int c,
+                                        int d);
+
+/// Computes the minimal uniform rejection certificate of `word` for the
+/// search-free automaton: the least per-position sets closed under the
+/// automaton's moves and uniform across occurrences of each object. Returns
+/// the per-object labeling if the certificate proves rejection (no accepting
+/// state survives at the end position), nullopt otherwise. Polynomial in
+/// |word| — this is the deterministic half of the co-NP upper bound.
+std::optional<UniformCertificate> ComputeMinimalUniformCertificate(
+    const TwoWayNfa& search_free, const LinearAlphabet& alphabet,
+    const std::vector<int>& word);
+
+/// NP-witness verification: given a labeling, decide whether some canonical
+/// word (structure-valid, every object occurring, and accepted by all
+/// automata in `positive_parts` — e.g. sound-view automata) admits a uniform
+/// rejection certificate consistent with the labeling. Implemented as a
+/// Vardi-style pair-of-sets automaton with the label equality enforced at
+/// object positions, intersected on the fly. Returns a witness word, nullopt
+/// if none exists, or ResourceExhausted past `max_states`.
+StatusOr<std::optional<std::vector<int>>> FindWordForLabeling(
+    const TwoWayNfa& search_free, const LinearAlphabet& alphabet,
+    const UniformCertificate& labeling,
+    const std::vector<const Nfa*>& positive_one_way,
+    const std::vector<const TwoWayNfa*>& positive_two_way, int64_t max_states);
+
+}  // namespace rpqi
+
+#endif  // RPQI_ANSWER_CERTIFICATES_H_

@@ -1,0 +1,103 @@
+#ifndef RPQI_ANSWER_LINEARIZE_H_
+#define RPQI_ANSWER_LINEARIZE_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/two_way.h"
+#include "base/status.h"
+#include "graphdb/graph.h"
+
+namespace rpqi {
+
+/// The word alphabet of Section 5.2: Σ± first, then one symbol per object of
+/// D_V, then the $ separator. Canonical databases (Definition 12) are
+/// linearized as  $ d w d' $ d'' w' d''' $ … $  where each block d w d'
+/// spells one simple semipath from d to d' labeled w ∈ Σ±*, with fresh
+/// anonymous nodes in between. Blocks with empty w must repeat the same
+/// constant ($d d$) and serve as pure "object mention" blocks; every object
+/// of D_V is required to occur in the word so that node existence is visible
+/// to the automata.
+struct LinearAlphabet {
+  int sigma_symbols = 0;  // |Σ±|
+  int num_objects = 0;    // |D_V|
+
+  int TotalSymbols() const { return sigma_symbols + num_objects + 1; }
+  int DollarSymbol() const { return sigma_symbols + num_objects; }
+  int ObjectSymbol(int object) const { return sigma_symbols + object; }
+  bool IsSigmaSymbol(int symbol) const { return symbol < sigma_symbols; }
+  bool IsObjectSymbol(int symbol) const {
+    return symbol >= sigma_symbols && symbol < DollarSymbol();
+  }
+  int ObjectOf(int symbol) const { return symbol - sigma_symbols; }
+};
+
+/// One-way automaton enforcing the linearization format:
+/// $ (d Σ±* d' $)* with the empty-payload blocks restricted to d d.
+Nfa BuildStructureAutomaton(const LinearAlphabet& alphabet);
+
+/// Two-state automaton accepting words in which `object` occurs (node
+/// existence; one per object goes into the A_ODA intersection).
+Nfa BuildOccurrenceAutomaton(const LinearAlphabet& alphabet, int object);
+
+/// Where the evaluation of a linearized query is anchored and how it accepts
+/// — covering the three automaton shapes of Section 5.2:
+///   * A_(E,a,b)   (Theorem 14): start kAtConstant a, end kAtConstant b;
+///   * A_(V_i,a)   (exact-view excess, known first component): start
+///     kAtConstant a, end kEndNotInAllowed with allowed = {b : (a,b) ∈ ext};
+///   * A_(V_i,other) (excess from elsewhere): start kAnywhereExcept firsts,
+///     end kAnywhere.
+struct LinearEvalSpec {
+  enum class Start { kAtConstant, kAnywhereExcept };
+  enum class End { kAtConstant, kNotInAllowed, kAnywhere };
+
+  Start start = Start::kAtConstant;
+  int start_constant = -1;             // Start::kAtConstant
+  std::vector<bool> excluded_starts;   // Start::kAnywhereExcept, per object
+
+  End end = End::kAtConstant;
+  int end_constant = -1;               // End::kAtConstant
+  std::vector<bool> allowed_ends;      // End::kNotInAllowed, per object
+
+  /// When false, the ⟨s,d⟩ search states (item 4 of the Section 5.2
+  /// construction) are omitted and replaced by same-occurrence normalization
+  /// moves only. The resulting automaton cannot jump between occurrences of
+  /// the same constant — that is exactly the data-independent automaton of
+  /// Theorem 17, where jumps are simulated by uniform object labelings (see
+  /// answer/certificates.h).
+  bool use_search_mode = true;
+};
+
+/// The two-way automaton of Theorem 14 (generalized): evaluates `definition`
+/// (an RPQI over Σ±) over a linearized canonical database. Forward/backward
+/// modes follow Section 3; "search mode" states ⟨s,d⟩ jump between
+/// occurrences of the same object constant, realizing node identity across
+/// blocks. Anchoring and acceptance follow `spec`; anonymous start/end nodes
+/// are recognized by peeking at the neighboring cell.
+TwoWayNfa BuildLinearizedEvalAutomaton(const Nfa& definition,
+                                       const LinearAlphabet& alphabet,
+                                       const LinearEvalSpec& spec);
+
+/// Decodes a linearized word (as produced by the A_ODA emptiness witness)
+/// into the canonical database it denotes: object nodes first (ids equal to
+/// object ids), anonymous chain nodes after. Fails on malformed words.
+StatusOr<GraphDb> WordToCanonicalDb(const std::vector<int>& word,
+                                    const LinearAlphabet& alphabet);
+
+/// Inverse direction, for tests: linearizes a canonical database given its
+/// semipath blocks. Each block is (from-object, label word, to-object).
+struct CanonicalBlock {
+  int from = 0;
+  std::vector<int> labels;
+  int to = 0;
+};
+std::vector<int> CanonicalDbToWord(const std::vector<CanonicalBlock>& blocks,
+                                   const LinearAlphabet& alphabet);
+
+/// Builds the GraphDb denoted by explicit blocks (object nodes first).
+GraphDb BlocksToDb(const std::vector<CanonicalBlock>& blocks,
+                   const LinearAlphabet& alphabet);
+
+}  // namespace rpqi
+
+#endif  // RPQI_ANSWER_LINEARIZE_H_

@@ -1,0 +1,367 @@
+#include "answer/oda.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "answer/linearize.h"
+#include "automata/lazy.h"
+#include "automata/ops.h"
+#include "automata/table_dfa.h"
+#include "graphdb/eval.h"
+
+namespace rpqi {
+
+namespace {
+
+/// Disjoint union of two-way automata over the same alphabet (language
+/// union; multi-initial two-way automata are handled by every consumer).
+TwoWayNfa UnionTwoWay(const std::vector<TwoWayNfa>& parts) {
+  RPQI_CHECK(!parts.empty());
+  TwoWayNfa result(parts[0].num_symbols());
+  for (const TwoWayNfa& part : parts) {
+    RPQI_CHECK_EQ(part.num_symbols(), result.num_symbols());
+    int offset = result.NumStates();
+    for (int s = 0; s < part.NumStates(); ++s) result.AddState();
+    for (int s = 0; s < part.NumStates(); ++s) {
+      result.SetInitial(offset + s, part.IsInitial(s));
+      result.SetAccepting(offset + s, part.IsAccepting(s));
+      for (int symbol = 0; symbol < part.num_symbols(); ++symbol) {
+        for (const TwoWayNfa::Transition& t : part.TransitionsOn(s, symbol)) {
+          result.AddTransition(offset + s, symbol, offset + t.to, t.move);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+/// The exact-view excess automaton A_Vi: accepts linearized words whose
+/// database has an ans(def(Vi)) pair outside ext(Vi).
+TwoWayNfa BuildExcessAutomaton(const View& view,
+                               const LinearAlphabet& alphabet) {
+  std::vector<TwoWayNfa> parts;
+
+  std::vector<bool> is_first(alphabet.num_objects, false);
+  for (const auto& [a, b] : view.extension) {
+    (void)b;
+    is_first[a] = true;
+  }
+
+  // A_(Vi,a) per distinct first component: evaluate def from a; a violation is
+  // an end at a constant b with (a,b) ∉ ext, or at an anonymous node.
+  for (int a = 0; a < alphabet.num_objects; ++a) {
+    if (!is_first[a]) continue;
+    LinearEvalSpec spec;
+    spec.start = LinearEvalSpec::Start::kAtConstant;
+    spec.start_constant = a;
+    spec.end = LinearEvalSpec::End::kNotInAllowed;
+    spec.allowed_ends.assign(alphabet.num_objects, false);
+    for (const auto& [from, to] : view.extension) {
+      if (from == a) spec.allowed_ends[to] = true;
+    }
+    parts.push_back(
+        BuildLinearizedEvalAutomaton(view.definition, alphabet, spec));
+  }
+
+  // A_(Vi,other): any successful evaluation anchored outside the first
+  // components (constant not in firsts, or anonymous node) is a violation.
+  LinearEvalSpec other;
+  other.start = LinearEvalSpec::Start::kAnywhereExcept;
+  other.excluded_starts = is_first;
+  other.end = LinearEvalSpec::End::kAnywhere;
+  parts.push_back(
+      BuildLinearizedEvalAutomaton(view.definition, alphabet, other));
+
+  return UnionTwoWay(parts);
+}
+
+bool DfaLanguageEmpty(const Dfa& dfa) {
+  return !ShortestAcceptedWord(DfaToNfa(dfa)).has_value();
+}
+
+/// Pairwise intersection with intermediate minimization: keeps every
+/// intermediate automaton near its minimal size, which beats a flat BFS over
+/// the k-way product by orders of magnitude when the intersection is empty.
+StatusOr<Dfa> FoldIntersection(const Dfa& first,
+                               const std::vector<const Dfa*>& rest,
+                               int64_t budget) {
+  Dfa accumulated = first;
+  for (const Dfa* part : rest) {
+    if (DfaLanguageEmpty(accumulated)) break;  // intersection already empty
+    LazyDfaFromDfa lhs(accumulated);
+    LazyDfaFromDfa rhs(*part);
+    LazyProductDfa product({&lhs, &rhs});
+    StatusOr<Dfa> merged = MaterializeLazyDfa(&product, budget);
+    if (!merged.ok()) return merged.status();
+    accumulated = Minimize(*merged);
+  }
+  return accumulated;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OdaSolver
+
+struct OdaSolver::Impl {
+  AnsweringInstance instance;  // normalized: no complete views
+  OdaOptions options;
+  LinearAlphabet alphabet;
+
+  // View-side automata, owned for the lifetime of the solver.
+  std::vector<Nfa> one_way;
+  std::vector<TwoWayNfa> positive_two_way;
+  std::vector<TwoWayNfa> complemented_two_way;
+  std::vector<std::unique_ptr<LazyDfa>> lazies;
+  // Components that fit the materialization budget are folded into
+  // `view_context`; the rest stay lazy in `leftovers`.
+  std::optional<Dfa> view_context;
+  std::vector<LazyDfa*> leftovers;
+  Status build_status;
+
+  Impl(const AnsweringInstance& raw, const OdaOptions& options_in)
+      : instance(NormalizeCompleteViews(raw)), options(options_in) {
+    alphabet.sigma_symbols = instance.query.num_symbols();
+    alphabet.num_objects = instance.num_objects;
+    BuildViewSide();
+  }
+
+  void BuildViewSide() {
+    one_way.push_back(BuildStructureAutomaton(alphabet));
+    for (int object = 0; object < alphabet.num_objects; ++object) {
+      one_way.push_back(BuildOccurrenceAutomaton(alphabet, object));
+    }
+    for (const View& view : instance.views) {
+      RPQI_CHECK(view.assumption != ViewAssumption::kComplete)
+          << "NormalizeCompleteViews left a complete view behind";
+      for (const auto& [a, b] : view.extension) {
+        LinearEvalSpec spec;
+        spec.start = LinearEvalSpec::Start::kAtConstant;
+        spec.start_constant = a;
+        spec.end = LinearEvalSpec::End::kAtConstant;
+        spec.end_constant = b;
+        positive_two_way.push_back(
+            BuildLinearizedEvalAutomaton(view.definition, alphabet, spec));
+      }
+      if (view.assumption == ViewAssumption::kExact) {
+        complemented_two_way.push_back(BuildExcessAutomaton(view, alphabet));
+      }
+    }
+
+    for (const Nfa& nfa : one_way) {
+      lazies.push_back(std::make_unique<LazySubsetDfa>(nfa));
+    }
+    for (const TwoWayNfa& automaton : positive_two_way) {
+      lazies.push_back(
+          std::make_unique<LazyTableDfa>(automaton, /*complement=*/false));
+    }
+    for (const TwoWayNfa& automaton : complemented_two_way) {
+      lazies.push_back(
+          std::make_unique<LazyTableDfa>(automaton, /*complement=*/true));
+    }
+
+    // Materialize + minimize what fits, fold into one context DFA.
+    std::vector<Dfa> minimized;
+    for (auto& lazy : lazies) {
+      bool ok = false;
+      if (options.part_materialize_budget > 0) {
+        StatusOr<Dfa> dfa =
+            MaterializeLazyDfa(lazy.get(), options.part_materialize_budget);
+        if (dfa.ok()) {
+          minimized.push_back(Minimize(*dfa));
+          ok = true;
+        }
+      }
+      if (!ok) leftovers.push_back(lazy.get());
+    }
+    if (!minimized.empty()) {
+      std::vector<const Dfa*> rest;
+      for (size_t i = 1; i < minimized.size(); ++i) {
+        rest.push_back(&minimized[i]);
+      }
+      StatusOr<Dfa> folded =
+          FoldIntersection(minimized[0], rest, options.max_states);
+      if (folded.ok()) {
+        view_context = std::move(folded).value();
+      } else {
+        build_status = folded.status();
+      }
+    }
+  }
+
+  /// Runs one probe. `complement_query` selects certain-answer search
+  /// (counterexamples exclude the pair) vs possible-answer search.
+  StatusOr<OdaResult> Probe(int c, int d, bool complement_query) {
+    RPQI_CHECK(0 <= c && c < instance.num_objects);
+    RPQI_CHECK(0 <= d && d < instance.num_objects);
+
+    LinearEvalSpec spec;
+    spec.start = LinearEvalSpec::Start::kAtConstant;
+    spec.start_constant = c;
+    spec.end = LinearEvalSpec::End::kAtConstant;
+    spec.end_constant = d;
+    TwoWayNfa query_automaton =
+        BuildLinearizedEvalAutomaton(instance.query, alphabet, spec);
+    LazyTableDfa query_lazy(query_automaton, complement_query);
+
+    // Phase 1: cheap bounded witness search on the flat lazy product. Most
+    // non-certain pairs have shallow counterexamples that surface within a
+    // small state budget, long before the query component is materialized.
+    {
+      std::vector<LazyDfa*> quick_parts;
+      std::unique_ptr<LazyDfaFromDfa> quick_context;
+      if (view_context.has_value()) {
+        quick_context = std::make_unique<LazyDfaFromDfa>(*view_context);
+        quick_parts.push_back(quick_context.get());
+      } else {
+        for (const auto& lazy : lazies) quick_parts.push_back(lazy.get());
+      }
+      for (LazyDfa* leftover : leftovers) quick_parts.push_back(leftover);
+      quick_parts.push_back(&query_lazy);
+      LazyProductDfa quick_product(quick_parts);
+      int64_t quick_budget = std::min<int64_t>(options.max_states, 50000);
+      EmptinessResult quick = FindAcceptedWord(&quick_product, quick_budget);
+      if (quick.outcome != EmptinessResult::Outcome::kLimitExceeded) {
+        return Finish(c, d, complement_query, std::move(quick));
+      }
+    }
+
+    // Phase 2: fold the query component into the view context and decide
+    // exactly (required for the certain/exhaustion direction).
+    std::optional<Dfa> final_dfa;
+    std::vector<LazyDfa*> product_parts;
+    std::unique_ptr<LazyDfaFromDfa> context_lazy;
+    if (view_context.has_value() && options.part_materialize_budget > 0) {
+      StatusOr<Dfa> query_dfa =
+          MaterializeLazyDfa(&query_lazy, options.part_materialize_budget);
+      if (query_dfa.ok()) {
+        Dfa minimized = Minimize(*query_dfa);
+        StatusOr<Dfa> folded =
+            FoldIntersection(*view_context, {&minimized}, options.max_states);
+        if (folded.ok()) final_dfa = std::move(folded).value();
+      }
+    }
+
+    EmptinessResult emptiness;
+    if (final_dfa.has_value() && leftovers.empty()) {
+      std::optional<std::vector<int>> witness =
+          ShortestAcceptedWord(DfaToNfa(*final_dfa));
+      if (witness.has_value()) {
+        emptiness.outcome = EmptinessResult::Outcome::kFoundWord;
+        emptiness.witness = std::move(*witness);
+      } else {
+        emptiness.outcome = EmptinessResult::Outcome::kEmpty;
+      }
+      emptiness.states_explored = final_dfa->NumStates();
+    } else {
+      // Flat lazy product over whatever could not be folded.
+      if (final_dfa.has_value()) {
+        context_lazy = std::make_unique<LazyDfaFromDfa>(*final_dfa);
+        product_parts.push_back(context_lazy.get());
+      } else if (view_context.has_value()) {
+        context_lazy = std::make_unique<LazyDfaFromDfa>(*view_context);
+        product_parts.push_back(context_lazy.get());
+        product_parts.push_back(&query_lazy);
+      } else {
+        for (const auto& lazy : lazies) product_parts.push_back(lazy.get());
+        product_parts.push_back(&query_lazy);
+      }
+      for (LazyDfa* leftover : leftovers) product_parts.push_back(leftover);
+      LazyProductDfa product(product_parts);
+      emptiness = FindAcceptedWord(&product, options.max_states);
+      if (emptiness.outcome == EmptinessResult::Outcome::kLimitExceeded) {
+        return Status::ResourceExhausted("A_ODA emptiness exceeded " +
+                                         std::to_string(options.max_states) +
+                                         " states");
+      }
+    }
+
+    return Finish(c, d, complement_query, std::move(emptiness));
+  }
+
+  /// Decodes and validates the outcome of an emptiness check.
+  StatusOr<OdaResult> Finish(int c, int d, bool complement_query,
+                             EmptinessResult emptiness) {
+    OdaResult result;
+    result.states_explored = emptiness.states_explored;
+    if (emptiness.outcome == EmptinessResult::Outcome::kEmpty) {
+      result.certain = complement_query;  // no witness against the claim
+      return result;
+    }
+    StatusOr<GraphDb> witness_db =
+        WordToCanonicalDb(emptiness.witness, alphabet);
+    if (!witness_db.ok()) return witness_db.status();
+    if (options.verify_witness && complement_query) {
+      RPQI_CHECK(VerifyOdaCounterexample(instance, c, d, *witness_db))
+          << "A_ODA produced a witness the independent evaluator rejects";
+    }
+    result.certain = !complement_query;  // possible-answer witness found
+    result.counterexample = std::move(witness_db).value();
+    result.counterexample_word = std::move(emptiness.witness);
+    return result;
+  }
+};
+
+OdaSolver::OdaSolver(const AnsweringInstance& instance,
+                     const OdaOptions& options)
+    : impl_(std::make_unique<Impl>(instance, options)) {
+  CheckInstance(instance);
+}
+
+OdaSolver::~OdaSolver() = default;
+
+StatusOr<OdaResult> OdaSolver::CertainAnswer(int c, int d) {
+  StatusOr<OdaResult> result = impl_->Probe(c, d, /*complement_query=*/true);
+  if (!result.ok()) return result;
+  result->certain = !result->counterexample.has_value();
+  return result;
+}
+
+StatusOr<OdaResult> OdaSolver::PossibleAnswer(int c, int d) {
+  StatusOr<OdaResult> result = impl_->Probe(c, d, /*complement_query=*/false);
+  if (!result.ok()) return result;
+  result->certain = result->counterexample.has_value();
+  return result;
+}
+
+StatusOr<OdaResult> CertainAnswerOda(const AnsweringInstance& instance, int c,
+                                     int d, const OdaOptions& options) {
+  return OdaSolver(instance, options).CertainAnswer(c, d);
+}
+
+StatusOr<OdaResult> PossibleAnswerOda(const AnsweringInstance& instance, int c,
+                                      int d, const OdaOptions& options) {
+  return OdaSolver(instance, options).PossibleAnswer(c, d);
+}
+
+bool VerifyOdaCounterexample(const AnsweringInstance& instance, int c, int d,
+                             const GraphDb& db) {
+  for (const View& view : instance.views) {
+    std::set<std::pair<int, int>> answers;
+    for (const auto& pair : EvalRpqiAllPairs(db, view.definition)) {
+      answers.insert(pair);
+    }
+    std::set<std::pair<int, int>> extension(view.extension.begin(),
+                                            view.extension.end());
+    switch (view.assumption) {
+      case ViewAssumption::kSound:
+        for (const auto& pair : extension) {
+          if (answers.find(pair) == answers.end()) return false;
+        }
+        break;
+      case ViewAssumption::kComplete:
+        for (const auto& pair : answers) {
+          if (extension.find(pair) == extension.end()) return false;
+        }
+        break;
+      case ViewAssumption::kExact:
+        if (answers != extension) return false;
+        break;
+    }
+  }
+  return !EvalRpqiPair(db, instance.query, c, d);
+}
+
+}  // namespace rpqi

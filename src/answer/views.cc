@@ -1,0 +1,56 @@
+#include "answer/views.h"
+
+#include "automata/ops.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+void CheckInstance(const AnsweringInstance& instance) {
+  RPQI_CHECK_GE(instance.num_objects, 1);
+  for (const View& view : instance.views) {
+    RPQI_CHECK_EQ(view.definition.num_symbols(), instance.query.num_symbols())
+        << "views and query must share the signed alphabet";
+    for (const auto& [a, b] : view.extension) {
+      RPQI_CHECK(0 <= a && a < instance.num_objects);
+      RPQI_CHECK(0 <= b && b < instance.num_objects);
+    }
+  }
+}
+
+AnsweringInstance NormalizeCompleteViews(const AnsweringInstance& instance) {
+  CheckInstance(instance);
+  int num_complete = 0;
+  for (const View& view : instance.views) {
+    if (view.assumption == ViewAssumption::kComplete) ++num_complete;
+  }
+  if (num_complete == 0) return instance;
+
+  // Widen Σ± by one fresh relation per complete view.
+  const int old_symbols = instance.query.num_symbols();
+  const int new_symbols = old_symbols + 2 * num_complete;
+
+  AnsweringInstance result;
+  result.num_objects = instance.num_objects;
+  result.query = WidenAlphabet(instance.query, new_symbols);
+
+  int next_fresh_relation = old_symbols / 2;
+  for (const View& view : instance.views) {
+    View converted;
+    converted.extension = view.extension;
+    if (view.assumption == ViewAssumption::kComplete) {
+      int fresh_symbol = 2 * next_fresh_relation;
+      ++next_fresh_relation;
+      converted.definition =
+          UnionNfa(WidenAlphabet(view.definition, new_symbols),
+                   SingleWordNfa(new_symbols, {fresh_symbol}));
+      converted.assumption = ViewAssumption::kExact;
+    } else {
+      converted.definition = WidenAlphabet(view.definition, new_symbols);
+      converted.assumption = view.assumption;
+    }
+    result.views.push_back(std::move(converted));
+  }
+  return result;
+}
+
+}  // namespace rpqi

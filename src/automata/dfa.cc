@@ -1,0 +1,176 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace rpqi {
+
+Dfa Complete(const Dfa& dfa) {
+  if (dfa.IsComplete()) return dfa;
+  Dfa result(dfa.num_symbols(), dfa.NumStates() + 1);
+  int sink = dfa.NumStates();
+  result.SetInitial(dfa.initial());
+  for (int s = 0; s < dfa.NumStates(); ++s) {
+    result.SetAccepting(s, dfa.IsAccepting(s));
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int to = dfa.Next(s, a);
+      result.SetNext(s, a, to < 0 ? sink : to);
+    }
+  }
+  for (int a = 0; a < dfa.num_symbols(); ++a) result.SetNext(sink, a, sink);
+  return result;
+}
+
+Dfa ComplementDfa(const Dfa& dfa) {
+  Dfa result = Complete(dfa);
+  for (int s = 0; s < result.NumStates(); ++s) {
+    result.SetAccepting(s, !result.IsAccepting(s));
+  }
+  return result;
+}
+
+namespace {
+
+/// Restricts `dfa` to states reachable from the initial state (minimization
+/// requires this for correctness of the partition argument).
+Dfa RestrictToReachable(const Dfa& dfa) {
+  std::vector<int> order;
+  std::vector<int> new_id(dfa.NumStates(), -1);
+  order.push_back(dfa.initial());
+  new_id[dfa.initial()] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int s = order[i];
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int to = dfa.Next(s, a);
+      if (to >= 0 && new_id[to] < 0) {
+        new_id[to] = static_cast<int>(order.size());
+        order.push_back(to);
+      }
+    }
+  }
+  Dfa result(dfa.num_symbols(), static_cast<int>(order.size()));
+  result.SetInitial(0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    int s = order[i];
+    result.SetAccepting(static_cast<int>(i), dfa.IsAccepting(s));
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int to = dfa.Next(s, a);
+      if (to >= 0) result.SetNext(static_cast<int>(i), a, new_id[to]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  Dfa dfa = RestrictToReachable(Complete(input));
+  const int n = dfa.NumStates();
+  const int k = dfa.num_symbols();
+
+  // Precompute reverse transitions: preimage[a][s] = states q with q --a--> s.
+  std::vector<std::vector<std::vector<int>>> preimage(
+      k, std::vector<std::vector<int>>(n));
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < k; ++a) {
+      preimage[a][dfa.Next(s, a)].push_back(s);
+    }
+  }
+
+  // Hopcroft's algorithm. Blocks are maintained as an array of block ids per
+  // state plus member lists; the worklist holds (block, symbol) splitters.
+  std::vector<int> block_of(n);
+  std::vector<std::vector<int>> blocks;
+  {
+    std::vector<int> accepting_states, rejecting_states;
+    for (int s = 0; s < n; ++s) {
+      (dfa.IsAccepting(s) ? accepting_states : rejecting_states).push_back(s);
+    }
+    if (!accepting_states.empty()) blocks.push_back(accepting_states);
+    if (!rejecting_states.empty()) blocks.push_back(rejecting_states);
+    for (size_t b = 0; b < blocks.size(); ++b)
+      for (int s : blocks[b]) block_of[s] = static_cast<int>(b);
+  }
+
+  std::vector<std::pair<int, int>> worklist;  // (block id, symbol)
+  for (size_t b = 0; b < blocks.size(); ++b)
+    for (int a = 0; a < k; ++a) worklist.push_back({static_cast<int>(b), a});
+
+  std::vector<int> touched_count;  // per block: how many members are in X
+  std::vector<char> state_in_x(n, 0);
+  while (!worklist.empty()) {
+    auto [splitter_block, a] = worklist.back();
+    worklist.pop_back();
+
+    // X = preimage of the splitter block under symbol a.
+    std::vector<int> x;
+    for (int s : blocks[splitter_block]) {
+      for (int q : preimage[a][s]) {
+        if (!state_in_x[q]) {
+          state_in_x[q] = 1;
+          x.push_back(q);
+        }
+      }
+    }
+    if (x.empty()) continue;
+
+    // Find blocks split by X.
+    touched_count.assign(blocks.size(), 0);
+    std::vector<int> touched_blocks;
+    for (int q : x) {
+      if (touched_count[block_of[q]]++ == 0) touched_blocks.push_back(block_of[q]);
+    }
+    for (int b : touched_blocks) {
+      int in_x = touched_count[b];
+      int total = static_cast<int>(blocks[b].size());
+      if (in_x == total) continue;  // not split
+      // Split block b into (b ∩ X) and (b \ X); keep the smaller as new block.
+      std::vector<int> inside, outside;
+      for (int s : blocks[b]) (state_in_x[s] ? inside : outside).push_back(s);
+      int new_block = static_cast<int>(blocks.size());
+      if (inside.size() <= outside.size()) {
+        blocks[b] = std::move(outside);
+        blocks.push_back(std::move(inside));
+      } else {
+        blocks[b] = std::move(inside);
+        blocks.push_back(std::move(outside));
+      }
+      for (int s : blocks[new_block]) block_of[s] = new_block;
+      for (int sym = 0; sym < k; ++sym) worklist.push_back({new_block, sym});
+    }
+    for (int q : x) state_in_x[q] = 0;
+  }
+
+  // Build the quotient automaton.
+  Dfa result(k, static_cast<int>(blocks.size()));
+  result.SetInitial(block_of[dfa.initial()]);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    int representative = blocks[b][0];
+    result.SetAccepting(static_cast<int>(b), dfa.IsAccepting(representative));
+    for (int a = 0; a < k; ++a) {
+      result.SetNext(static_cast<int>(b), a,
+                     block_of[dfa.Next(representative, a)]);
+    }
+  }
+  return result;
+}
+
+Nfa DfaToNfa(const Dfa& dfa) {
+  Nfa nfa(dfa.num_symbols());
+  for (int s = 0; s < dfa.NumStates(); ++s) nfa.AddState();
+  nfa.SetInitial(dfa.initial());
+  for (int s = 0; s < dfa.NumStates(); ++s) {
+    if (dfa.IsAccepting(s)) nfa.SetAccepting(s);
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int to = dfa.Next(s, a);
+      if (to >= 0) nfa.AddTransition(s, a, to);
+    }
+  }
+  return nfa;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,97 @@
+#ifndef RPQI_AUTOMATA_DFA_H_
+#define RPQI_AUTOMATA_DFA_H_
+
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+class Nfa;
+
+/// A complete deterministic finite automaton: every state has exactly one
+/// successor per symbol (a rejecting sink plays the role of "no transition").
+class Dfa {
+ public:
+  Dfa(int num_symbols, int num_states)
+      : num_symbols_(num_symbols),
+        num_states_(num_states),
+        next_(static_cast<size_t>(num_states) * num_symbols, -1),
+        accepting_(num_states, false),
+        initial_(0) {
+    RPQI_CHECK_GE(num_symbols, 0);
+    RPQI_CHECK_GT(num_states, 0);
+  }
+
+  int num_symbols() const { return num_symbols_; }
+  int NumStates() const { return num_states_; }
+
+  int initial() const { return initial_; }
+  void SetInitial(int state) {
+    RPQI_CHECK(0 <= state && state < num_states_);
+    initial_ = state;
+  }
+
+  void SetAccepting(int state, bool value = true) {
+    RPQI_CHECK(0 <= state && state < num_states_);
+    accepting_[state] = value;
+  }
+  bool IsAccepting(int state) const {
+    RPQI_CHECK(0 <= state && state < num_states_);
+    return accepting_[state];
+  }
+
+  void SetNext(int state, int symbol, int to) {
+    RPQI_CHECK(0 <= state && state < num_states_);
+    RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
+    RPQI_CHECK(0 <= to && to < num_states_);
+    next_[static_cast<size_t>(state) * num_symbols_ + symbol] = to;
+  }
+
+  int Next(int state, int symbol) const {
+    RPQI_CHECK(0 <= state && state < num_states_);
+    RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
+    return next_[static_cast<size_t>(state) * num_symbols_ + symbol];
+  }
+
+  /// True if every (state, symbol) pair has a successor.
+  bool IsComplete() const {
+    for (int v : next_)
+      if (v < 0) return false;
+    return true;
+  }
+
+  bool Accepts(const std::vector<int>& word) const {
+    int state = initial_;
+    for (int symbol : word) {
+      state = Next(state, symbol);
+      if (state < 0) return false;
+    }
+    return accepting_[state];
+  }
+
+ private:
+  int num_symbols_;
+  int num_states_;
+  std::vector<int> next_;
+  std::vector<bool> accepting_;
+  int initial_;
+};
+
+/// Ensures totality by adding a rejecting sink if any transition is missing.
+Dfa Complete(const Dfa& dfa);
+
+/// Language complement: completes, then flips acceptance.
+Dfa ComplementDfa(const Dfa& dfa);
+
+/// Hopcroft partition-refinement minimization. The result is complete and has
+/// the minimum number of states among complete DFAs for the language
+/// (including the sink state, if the language is not universal-prefix-closed).
+Dfa Minimize(const Dfa& dfa);
+
+/// Converts to an equivalent NFA (one initial state, same transitions).
+Nfa DfaToNfa(const Dfa& dfa);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_DFA_H_

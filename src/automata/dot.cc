@@ -1,0 +1,60 @@
+#include "automata/dot.h"
+
+namespace rpqi {
+
+namespace {
+
+std::string SymbolLabel(const std::function<std::string(int)>& symbol_name,
+                        int symbol) {
+  if (symbol < 0) return "ε";
+  if (symbol_name) return symbol_name(symbol);
+  return std::to_string(symbol);
+}
+
+}  // namespace
+
+std::string NfaToDot(const Nfa& nfa,
+                     const std::function<std::string(int)>& symbol_name) {
+  std::string out = "digraph nfa {\n  rankdir=LR;\n";
+  for (int s = 0; s < nfa.NumStates(); ++s) {
+    out += "  q" + std::to_string(s) + " [shape=" +
+           (nfa.IsAccepting(s) ? "doublecircle" : "circle") + "];\n";
+    if (nfa.IsInitial(s)) {
+      out += "  start" + std::to_string(s) + " [shape=point];\n";
+      out += "  start" + std::to_string(s) + " -> q" + std::to_string(s) +
+             ";\n";
+    }
+  }
+  for (int s = 0; s < nfa.NumStates(); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      out += "  q" + std::to_string(s) + " -> q" + std::to_string(t.to) +
+             " [label=\"" + SymbolLabel(symbol_name, t.symbol) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DfaToDot(const Dfa& dfa,
+                     const std::function<std::string(int)>& symbol_name) {
+  std::string out = "digraph dfa {\n  rankdir=LR;\n";
+  for (int s = 0; s < dfa.NumStates(); ++s) {
+    out += "  q" + std::to_string(s) + " [shape=" +
+           (dfa.IsAccepting(s) ? "doublecircle" : "circle") + "];\n";
+  }
+  out += "  start [shape=point];\n  start -> q" +
+         std::to_string(dfa.initial()) + ";\n";
+  for (int s = 0; s < dfa.NumStates(); ++s) {
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int to = dfa.Next(s, a);
+      if (to >= 0) {
+        out += "  q" + std::to_string(s) + " -> q" + std::to_string(to) +
+               " [label=\"" + SymbolLabel(symbol_name, a) + "\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,21 @@
+#ifndef RPQI_AUTOMATA_DOT_H_
+#define RPQI_AUTOMATA_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqi {
+
+/// Renders the automaton in Graphviz DOT format. `symbol_name` maps symbol
+/// ids to labels (defaults to the numeric id when null).
+std::string NfaToDot(const Nfa& nfa,
+                     const std::function<std::string(int)>& symbol_name = {});
+std::string DfaToDot(const Dfa& dfa,
+                     const std::function<std::string(int)>& symbol_name = {});
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_DOT_H_

@@ -1,0 +1,389 @@
+#include "automata/lazy.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "automata/ops.h"
+
+namespace rpqi {
+
+// ---------------------------------------------------------------------------
+// LazyDfaFromDfa
+
+LazyDfaFromDfa::LazyDfaFromDfa(Dfa dfa) : dfa_(std::move(dfa)) {
+  sink_ = dfa_.NumStates();  // virtual sink id
+}
+
+int LazyDfaFromDfa::Step(int state, int symbol) {
+  if (state == sink_) return sink_;
+  int to = dfa_.Next(state, symbol);
+  return to < 0 ? sink_ : to;
+}
+
+bool LazyDfaFromDfa::IsAccepting(int state) {
+  return state != sink_ && dfa_.IsAccepting(state);
+}
+
+// ---------------------------------------------------------------------------
+// LazySubsetDfa
+
+namespace {
+
+Bitset NfaInitialClosure(const Nfa& nfa) {
+  Bitset init(nfa.NumStates());
+  for (int s : nfa.InitialStates()) init.Set(s);
+  return init;  // nfa_ is ε-free here, closure is identity
+}
+
+}  // namespace
+
+LazySubsetDfa::LazySubsetDfa(const Nfa& nfa, bool complement)
+    : nfa_(RemoveEpsilon(nfa)), complement_(complement) {}
+
+int LazySubsetDfa::Intern(const Bitset& subset) {
+  int id = interner_.Intern(subset.words());
+  if (id == static_cast<int>(subsets_.size())) {
+    subsets_.push_back(subset);
+    bool accepts = false;
+    for (int s = subset.NextSetBit(0); s >= 0; s = subset.NextSetBit(s + 1)) {
+      if (nfa_.IsAccepting(s)) {
+        accepts = true;
+        break;
+      }
+    }
+    accepting_.push_back(accepts);
+  }
+  return id;
+}
+
+int LazySubsetDfa::StartState() { return Intern(NfaInitialClosure(nfa_)); }
+
+int LazySubsetDfa::Step(int state, int symbol) {
+  RPQI_CHECK(0 <= state && state < static_cast<int>(subsets_.size()));
+  if (state >= static_cast<int>(step_cache_.size())) {
+    step_cache_.resize(subsets_.size(),
+                       std::vector<int>(nfa_.num_symbols(), -1));
+  }
+  int& cached = step_cache_[state][symbol];
+  if (cached < 0) cached = ComputeStep(state, symbol);
+  return cached;
+}
+
+int LazySubsetDfa::ComputeStep(int state, int symbol) {
+  Bitset next(nfa_.NumStates());
+  const Bitset& current = subsets_[state];
+  for (int s = current.NextSetBit(0); s >= 0; s = current.NextSetBit(s + 1)) {
+    for (const Nfa::Transition& t : nfa_.TransitionsFrom(s)) {
+      if (t.symbol == symbol) next.Set(t.to);
+    }
+  }
+  return Intern(next);
+}
+
+bool LazySubsetDfa::IsAccepting(int state) {
+  RPQI_CHECK(0 <= state && state < static_cast<int>(accepting_.size()));
+  return accepting_[state] != complement_;
+}
+
+// ---------------------------------------------------------------------------
+// LazyProductDfa
+
+LazyProductDfa::LazyProductDfa(std::vector<LazyDfa*> parts)
+    : parts_(std::move(parts)) {
+  RPQI_CHECK(!parts_.empty());
+  num_symbols_ = parts_[0]->NumSymbols();
+  for (LazyDfa* part : parts_) {
+    RPQI_CHECK_EQ(part->NumSymbols(), num_symbols_);
+  }
+}
+
+int LazyProductDfa::Intern(const std::vector<uint64_t>& key) {
+  return interner_.Intern(key);
+}
+
+int LazyProductDfa::StartState() {
+  std::vector<uint64_t> key(parts_.size());
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    key[i] = static_cast<uint64_t>(parts_[i]->StartState());
+  }
+  return Intern(key);
+}
+
+int LazyProductDfa::Step(int state, int symbol) {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  std::vector<uint64_t> next(parts_.size());
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    next[i] = static_cast<uint64_t>(
+        parts_[i]->Step(static_cast<int>(key[i]), symbol));
+  }
+  return Intern(next);
+}
+
+bool LazyProductDfa::IsAccepting(int state) {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i]->IsAccepting(static_cast<int>(key[i]))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LazyImageSubsetDfa
+
+LazyImageSubsetDfa::LazyImageSubsetDfa(LazyDfa* inner, std::vector<int> mapping,
+                                       int image_symbols, bool complement)
+    : inner_(inner),
+      mapping_(std::move(mapping)),
+      image_symbols_(image_symbols),
+      complement_(complement),
+      preimage_(image_symbols) {
+  RPQI_CHECK_EQ(static_cast<int>(mapping_.size()), inner->NumSymbols());
+  for (int symbol = 0; symbol < inner->NumSymbols(); ++symbol) {
+    int image = mapping_[symbol];
+    if (image == kEpsilon) {
+      erased_symbols_.push_back(symbol);
+    } else {
+      RPQI_CHECK(0 <= image && image < image_symbols);
+      preimage_[image].push_back(symbol);
+    }
+  }
+}
+
+int LazyImageSubsetDfa::CloseAndIntern(std::vector<int> states) {
+  // BFS closure under erased-symbol steps.
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  std::unordered_map<int, char> seen;
+  std::vector<int> stack = states;
+  for (int s : states) seen[s] = 1;
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int symbol : erased_symbols_) {
+      int to = inner_->Step(s, symbol);
+      auto [it, inserted] = seen.try_emplace(to, 1);
+      (void)it;
+      if (inserted) {
+        states.push_back(to);
+        stack.push_back(to);
+      }
+    }
+  }
+  std::sort(states.begin(), states.end());
+  std::vector<uint64_t> key(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    key[i] = static_cast<uint64_t>(states[i]);
+  }
+  return interner_.Intern(key);
+}
+
+int LazyImageSubsetDfa::StartState() {
+  return CloseAndIntern({inner_->StartState()});
+}
+
+int LazyImageSubsetDfa::Step(int state, int symbol) {
+  RPQI_CHECK(0 <= symbol && symbol < image_symbols_);
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  std::vector<int> next;
+  for (uint64_t raw : key) {
+    int s = static_cast<int>(raw);
+    for (int inner_symbol : preimage_[symbol]) {
+      next.push_back(inner_->Step(s, inner_symbol));
+    }
+  }
+  return CloseAndIntern(std::move(next));
+}
+
+bool LazyImageSubsetDfa::IsAccepting(int state) {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  bool accepts = false;
+  for (uint64_t raw : key) {
+    if (inner_->IsAccepting(static_cast<int>(raw))) {
+      accepts = true;
+      break;
+    }
+  }
+  return accepts != complement_;
+}
+
+// ---------------------------------------------------------------------------
+// Emptiness / materialization
+
+EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states) {
+  EmptinessResult result;
+  const int num_symbols = dfa->NumSymbols();
+
+  struct NodeInfo {
+    int parent;
+    int symbol;
+  };
+  std::vector<NodeInfo> info;            // indexed by BFS discovery order
+  std::unordered_map<int, int> discovered;  // state id -> discovery index
+  std::deque<std::pair<int, int>> queue;    // (state id, discovery index)
+
+  int start = dfa->StartState();
+  discovered[start] = 0;
+  info.push_back({-1, -1});
+  queue.push_back({start, 0});
+
+  while (!queue.empty()) {
+    auto [state, index] = queue.front();
+    queue.pop_front();
+    if (dfa->IsAccepting(state)) {
+      std::vector<int> word;
+      for (int i = index; info[i].parent != -1; i = info[i].parent) {
+        word.push_back(info[i].symbol);
+      }
+      std::reverse(word.begin(), word.end());
+      result.outcome = EmptinessResult::Outcome::kFoundWord;
+      result.witness = std::move(word);
+      result.states_explored = static_cast<int64_t>(discovered.size());
+      return result;
+    }
+    for (int a = 0; a < num_symbols; ++a) {
+      int to = dfa->Step(state, a);
+      auto [it, inserted] =
+          discovered.try_emplace(to, static_cast<int>(info.size()));
+      if (inserted) {
+        info.push_back({index, a});
+        queue.push_back({to, it->second});
+        if (static_cast<int64_t>(discovered.size()) > max_states) {
+          result.outcome = EmptinessResult::Outcome::kLimitExceeded;
+          result.states_explored = static_cast<int64_t>(discovered.size());
+          return result;
+        }
+      }
+    }
+  }
+  result.outcome = EmptinessResult::Outcome::kEmpty;
+  result.states_explored = static_cast<int64_t>(discovered.size());
+  return result;
+}
+
+EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
+                                        const std::vector<LazyDfa*>& parts,
+                                        int64_t max_states) {
+  const Nfa nfa = RemoveEpsilon(input);
+  for (LazyDfa* part : parts) {
+    RPQI_CHECK_EQ(part->NumSymbols(), nfa.num_symbols());
+  }
+  EmptinessResult result;
+
+  struct NodeInfo {
+    int parent;
+    int symbol;
+  };
+  std::vector<NodeInfo> info;
+  WordVectorInterner interner;
+  std::deque<std::pair<int, int>> queue;  // (interned id, discovery index)
+
+  auto intern = [&](int nfa_state, const std::vector<uint64_t>& part_states) {
+    std::vector<uint64_t> key;
+    key.reserve(parts.size() + 1);
+    key.push_back(static_cast<uint64_t>(nfa_state));
+    key.insert(key.end(), part_states.begin(), part_states.end());
+    return interner.Intern(key);
+  };
+
+  std::vector<uint64_t> start_parts(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    start_parts[i] = static_cast<uint64_t>(parts[i]->StartState());
+  }
+  for (int s : nfa.InitialStates()) {
+    int id = intern(s, start_parts);
+    if (id == static_cast<int>(info.size())) {
+      info.push_back({-1, -1});
+      queue.push_back({id, id});
+    }
+  }
+
+  auto accepts = [&](int id) {
+    const std::vector<uint64_t>& key = interner.KeyOf(id);
+    if (!nfa.IsAccepting(static_cast<int>(key[0]))) return false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (!parts[i]->IsAccepting(static_cast<int>(key[1 + i]))) return false;
+    }
+    return true;
+  };
+
+  while (!queue.empty()) {
+    auto [id, index] = queue.front();
+    queue.pop_front();
+    if (accepts(id)) {
+      std::vector<int> word;
+      for (int i = index; info[i].parent != -1; i = info[i].parent) {
+        word.push_back(info[i].symbol);
+      }
+      std::reverse(word.begin(), word.end());
+      result.outcome = EmptinessResult::Outcome::kFoundWord;
+      result.witness = std::move(word);
+      result.states_explored = interner.size();
+      return result;
+    }
+    const std::vector<uint64_t> key = interner.KeyOf(id);
+    int nfa_state = static_cast<int>(key[0]);
+    // Group NFA successors by symbol; each symbol advances all parts once.
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(nfa_state)) {
+      std::vector<uint64_t> part_states(parts.size());
+      for (size_t i = 0; i < parts.size(); ++i) {
+        part_states[i] = static_cast<uint64_t>(
+            parts[i]->Step(static_cast<int>(key[1 + i]), t.symbol));
+      }
+      int to = intern(t.to, part_states);
+      if (to == static_cast<int>(info.size())) {
+        info.push_back({index, t.symbol});
+        queue.push_back({to, to});
+        if (interner.size() > max_states) {
+          result.outcome = EmptinessResult::Outcome::kLimitExceeded;
+          result.states_explored = interner.size();
+          return result;
+        }
+      }
+    }
+  }
+  result.outcome = EmptinessResult::Outcome::kEmpty;
+  result.states_explored = interner.size();
+  return result;
+}
+
+StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states) {
+  const int num_symbols = dfa->NumSymbols();
+  std::unordered_map<int, int> dense;  // lazy state id -> dense id
+  std::vector<int> lazy_id_of;         // dense id -> lazy state id
+  std::vector<std::vector<int>> rows;
+
+  int start = dfa->StartState();
+  dense[start] = 0;
+  lazy_id_of.push_back(start);
+
+  for (size_t i = 0; i < lazy_id_of.size(); ++i) {
+    rows.emplace_back(num_symbols, -1);
+    for (int a = 0; a < num_symbols; ++a) {
+      int to = dfa->Step(lazy_id_of[i], a);
+      auto [it, inserted] =
+          dense.try_emplace(to, static_cast<int>(lazy_id_of.size()));
+      if (inserted) {
+        if (static_cast<int64_t>(lazy_id_of.size()) + 1 > max_states) {
+          return Status::ResourceExhausted(
+              "lazy DFA materialization exceeded " +
+              std::to_string(max_states) + " states");
+        }
+        lazy_id_of.push_back(to);
+      }
+      rows[i][a] = it->second;
+    }
+  }
+
+  Dfa result(num_symbols, static_cast<int>(lazy_id_of.size()));
+  result.SetInitial(0);
+  for (size_t i = 0; i < lazy_id_of.size(); ++i) {
+    result.SetAccepting(static_cast<int>(i), dfa->IsAccepting(lazy_id_of[i]));
+    for (int a = 0; a < num_symbols; ++a) {
+      result.SetNext(static_cast<int>(i), a, rows[i][a]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,155 @@
+#ifndef RPQI_AUTOMATA_LAZY_H_
+#define RPQI_AUTOMATA_LAZY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/bitset.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace rpqi {
+
+/// A deterministic automaton whose states are discovered on demand. This is
+/// the realization of Section 5.2's remark that A_ODA need not be constructed
+/// explicitly: "we can construct it on the fly while checking for
+/// nonemptiness". States are dense ids interned by each implementation; Step
+/// is total (implementations model missing transitions with a rejecting sink).
+class LazyDfa {
+ public:
+  virtual ~LazyDfa() = default;
+
+  virtual int NumSymbols() const = 0;
+  /// Interned id of the start state.
+  virtual int StartState() = 0;
+  /// Interned id of the successor of `state` on `symbol`.
+  virtual int Step(int state, int symbol) = 0;
+  virtual bool IsAccepting(int state) = 0;
+  /// Number of states discovered so far (for stats/ablation benches).
+  virtual int64_t NumDiscoveredStates() const = 0;
+};
+
+/// Wraps an explicit DFA (completing it on the fly with a sink id).
+class LazyDfaFromDfa : public LazyDfa {
+ public:
+  explicit LazyDfaFromDfa(Dfa dfa);
+
+  int NumSymbols() const override { return dfa_.num_symbols(); }
+  int StartState() override { return dfa_.initial(); }
+  int Step(int state, int symbol) override;
+  bool IsAccepting(int state) override;
+  int64_t NumDiscoveredStates() const override { return dfa_.NumStates() + 1; }
+
+ private:
+  Dfa dfa_;
+  int sink_;
+};
+
+/// On-the-fly subset construction of an NFA. `complement` flips acceptance,
+/// yielding the lazily determinized complement.
+class LazySubsetDfa : public LazyDfa {
+ public:
+  explicit LazySubsetDfa(const Nfa& nfa, bool complement = false);
+
+  int NumSymbols() const override { return nfa_.num_symbols(); }
+  int StartState() override;
+  int Step(int state, int symbol) override;
+  bool IsAccepting(int state) override;
+  int64_t NumDiscoveredStates() const override { return interner_.size(); }
+
+ private:
+  int Intern(const Bitset& subset);
+  int ComputeStep(int state, int symbol);
+
+  Nfa nfa_;  // ε-free copy
+  bool complement_;
+  WordVectorInterner interner_;
+  std::vector<Bitset> subsets_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<int>> step_cache_;  // [state][symbol], -1 = unknown
+};
+
+/// Conjunctive product of lazy automata: accepts iff every part accepts.
+/// All parts must share the alphabet size. Parts are borrowed, not owned.
+class LazyProductDfa : public LazyDfa {
+ public:
+  explicit LazyProductDfa(std::vector<LazyDfa*> parts);
+
+  int NumSymbols() const override { return num_symbols_; }
+  int StartState() override;
+  int Step(int state, int symbol) override;
+  bool IsAccepting(int state) override;
+  int64_t NumDiscoveredStates() const override { return interner_.size(); }
+
+ private:
+  int Intern(const std::vector<uint64_t>& key);
+
+  std::vector<LazyDfa*> parts_;
+  int num_symbols_;
+  WordVectorInterner interner_;
+};
+
+/// Lazy determinization of the homomorphic image of a lazy automaton: given
+/// `inner` over one alphabet and a symbol mapping (image symbol id, or
+/// kEpsilon to erase), this is a deterministic automaton over the image
+/// alphabet whose language is { h(w) : w ∈ L(inner) }. States are ε-closed
+/// sets of inner states (closure under erased-symbol steps). With
+/// `complement = true`, acceptance is flipped — which is exactly the
+/// fully-on-the-fly form of "complement of the projection" used by the
+/// Theorem 8 nonemptiness check.
+class LazyImageSubsetDfa : public LazyDfa {
+ public:
+  LazyImageSubsetDfa(LazyDfa* inner, std::vector<int> mapping,
+                     int image_symbols, bool complement = false);
+
+  int NumSymbols() const override { return image_symbols_; }
+  int StartState() override;
+  int Step(int state, int symbol) override;
+  bool IsAccepting(int state) override;
+  int64_t NumDiscoveredStates() const override { return interner_.size(); }
+
+ private:
+  /// Closes `states` (sorted, unique inner ids) under erased-symbol steps and
+  /// interns the result.
+  int CloseAndIntern(std::vector<int> states);
+
+  LazyDfa* inner_;
+  std::vector<int> mapping_;  // indexed by inner symbol id
+  int image_symbols_;
+  bool complement_;
+  std::vector<int> erased_symbols_;
+  std::vector<std::vector<int>> preimage_;  // image symbol -> inner symbols
+  WordVectorInterner interner_;
+};
+
+/// Outcome of an on-the-fly emptiness check.
+struct EmptinessResult {
+  enum class Outcome { kFoundWord, kEmpty, kLimitExceeded };
+  Outcome outcome;
+  std::vector<int> witness;  // a shortest accepted word when kFoundWord
+  int64_t states_explored = 0;
+};
+
+/// BFS over the lazy automaton, stopping at the first accepting state (which
+/// yields a shortest witness) or after `max_states` distinct states.
+EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states);
+
+/// Emptiness of L(nfa) ∩ ⋂ L(parts) without determinizing the NFA: BFS over
+/// (NFA state, part states) tuples. Use when one intersection component is a
+/// genuinely nondeterministic automaton whose subset construction would blow
+/// up (e.g. the certificate NFAs of Theorem 17).
+EmptinessResult FindAcceptedWordWithNfa(const Nfa& nfa,
+                                        const std::vector<LazyDfa*>& parts,
+                                        int64_t max_states);
+
+/// Materializes the reachable fragment into an explicit DFA; fails with
+/// ResourceExhausted beyond `max_states`.
+StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_LAZY_H_

@@ -1,0 +1,104 @@
+#ifndef RPQI_AUTOMATA_NFA_H_
+#define RPQI_AUTOMATA_NFA_H_
+
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Symbol id used on ε-transitions.
+inline constexpr int kEpsilon = -1;
+
+/// A nondeterministic finite automaton over a dense integer alphabet
+/// [0, num_symbols). States are dense integers created by AddState().
+/// ε-transitions are allowed (symbol == kEpsilon); operations that require
+/// ε-freedom call RemoveEpsilon internally.
+class Nfa {
+ public:
+  struct Transition {
+    int symbol;  // kEpsilon for ε
+    int to;
+  };
+
+  explicit Nfa(int num_symbols) : num_symbols_(num_symbols) {
+    RPQI_CHECK_GE(num_symbols, 0);
+  }
+
+  Nfa(const Nfa&) = default;
+  Nfa& operator=(const Nfa&) = default;
+  Nfa(Nfa&&) = default;
+  Nfa& operator=(Nfa&&) = default;
+
+  int num_symbols() const { return num_symbols_; }
+  int NumStates() const { return static_cast<int>(transitions_.size()); }
+
+  int NumTransitions() const {
+    int total = 0;
+    for (const auto& out : transitions_) total += static_cast<int>(out.size());
+    return total;
+  }
+
+  int AddState() {
+    transitions_.emplace_back();
+    initial_.push_back(false);
+    accepting_.push_back(false);
+    return NumStates() - 1;
+  }
+
+  void AddTransition(int from, int symbol, int to) {
+    RPQI_CHECK(0 <= from && from < NumStates());
+    RPQI_CHECK(0 <= to && to < NumStates());
+    RPQI_CHECK(symbol == kEpsilon || (0 <= symbol && symbol < num_symbols_))
+        << "symbol " << symbol << " outside alphabet of " << num_symbols_;
+    transitions_[from].push_back({symbol, to});
+  }
+
+  void SetInitial(int state, bool value = true) {
+    RPQI_CHECK(0 <= state && state < NumStates());
+    initial_[state] = value;
+  }
+
+  void SetAccepting(int state, bool value = true) {
+    RPQI_CHECK(0 <= state && state < NumStates());
+    accepting_[state] = value;
+  }
+
+  bool IsInitial(int state) const { return initial_[state]; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  const std::vector<Transition>& TransitionsFrom(int state) const {
+    return transitions_[state];
+  }
+
+  std::vector<int> InitialStates() const {
+    std::vector<int> result;
+    for (int s = 0; s < NumStates(); ++s)
+      if (initial_[s]) result.push_back(s);
+    return result;
+  }
+
+  std::vector<int> AcceptingStates() const {
+    std::vector<int> result;
+    for (int s = 0; s < NumStates(); ++s)
+      if (accepting_[s]) result.push_back(s);
+    return result;
+  }
+
+  bool HasEpsilonTransitions() const {
+    for (const auto& out : transitions_)
+      for (const Transition& t : out)
+        if (t.symbol == kEpsilon) return true;
+    return false;
+  }
+
+ private:
+  int num_symbols_;
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<bool> initial_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_NFA_H_

@@ -1,0 +1,479 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "base/bitset.h"
+#include "base/interner.h"
+
+namespace rpqi {
+
+namespace {
+
+/// ε-closure of `states` (as a bitset over nfa states).
+Bitset EpsilonClosure(const Nfa& nfa, const Bitset& states) {
+  Bitset closure = states;
+  std::vector<int> stack;
+  for (int s = closure.NextSetBit(0); s >= 0; s = closure.NextSetBit(s + 1)) {
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (t.symbol == kEpsilon && !closure.Test(t.to)) {
+        closure.Set(t.to);
+        stack.push_back(t.to);
+      }
+    }
+  }
+  return closure;
+}
+
+Bitset InitialClosure(const Nfa& nfa) {
+  Bitset init(nfa.NumStates());
+  for (int s : nfa.InitialStates()) init.Set(s);
+  return EpsilonClosure(nfa, init);
+}
+
+/// One symbol step of the subset construction, including ε-closure.
+Bitset SubsetStep(const Nfa& nfa, const Bitset& states, int symbol) {
+  Bitset next(nfa.NumStates());
+  for (int s = states.NextSetBit(0); s >= 0; s = states.NextSetBit(s + 1)) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (t.symbol == symbol) next.Set(t.to);
+    }
+  }
+  return EpsilonClosure(nfa, next);
+}
+
+bool SubsetAccepts(const Nfa& nfa, const Bitset& states) {
+  for (int s = states.NextSetBit(0); s >= 0; s = states.NextSetBit(s + 1)) {
+    if (nfa.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Nfa RemoveEpsilon(const Nfa& nfa) {
+  if (!nfa.HasEpsilonTransitions()) return nfa;
+  Nfa result(nfa.num_symbols());
+  for (int s = 0; s < nfa.NumStates(); ++s) result.AddState();
+
+  for (int s = 0; s < nfa.NumStates(); ++s) {
+    Bitset single(nfa.NumStates());
+    single.Set(s);
+    Bitset closure = EpsilonClosure(nfa, single);
+    bool accepting = false;
+    for (int q = closure.NextSetBit(0); q >= 0; q = closure.NextSetBit(q + 1)) {
+      if (nfa.IsAccepting(q)) accepting = true;
+      for (const Nfa::Transition& t : nfa.TransitionsFrom(q)) {
+        if (t.symbol != kEpsilon) result.AddTransition(s, t.symbol, t.to);
+      }
+    }
+    result.SetAccepting(s, accepting);
+    result.SetInitial(s, nfa.IsInitial(s));
+  }
+  return result;
+}
+
+Nfa Trim(const Nfa& nfa) {
+  const int n = nfa.NumStates();
+  // Forward reachability.
+  std::vector<char> reachable(n, 0);
+  std::vector<int> stack;
+  for (int s : nfa.InitialStates()) {
+    reachable[s] = 1;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (!reachable[t.to]) {
+        reachable[t.to] = 1;
+        stack.push_back(t.to);
+      }
+    }
+  }
+  // Backward reachability over reversed edges.
+  std::vector<std::vector<int>> reverse_edges(n);
+  for (int s = 0; s < n; ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      reverse_edges[t.to].push_back(s);
+    }
+  }
+  std::vector<char> useful(n, 0);
+  for (int s = 0; s < n; ++s) {
+    if (nfa.IsAccepting(s) && reachable[s]) {
+      useful[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int q : reverse_edges[s]) {
+      if (reachable[q] && !useful[q]) {
+        useful[q] = 1;
+        stack.push_back(q);
+      }
+    }
+  }
+
+  Nfa result(nfa.num_symbols());
+  std::vector<int> new_id(n, -1);
+  for (int s = 0; s < n; ++s) {
+    if (useful[s]) new_id[s] = result.AddState();
+  }
+  if (result.NumStates() == 0) {
+    // Empty language: keep one non-accepting initial state for well-formedness.
+    int s = result.AddState();
+    result.SetInitial(s);
+    return result;
+  }
+  for (int s = 0; s < n; ++s) {
+    if (!useful[s]) continue;
+    result.SetInitial(new_id[s], nfa.IsInitial(s));
+    result.SetAccepting(new_id[s], nfa.IsAccepting(s));
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (useful[t.to]) result.AddTransition(new_id[s], t.symbol, new_id[t.to]);
+    }
+  }
+  return result;
+}
+
+StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states) {
+  const Nfa nfa = RemoveEpsilon(input);
+  WordVectorInterner interner;
+  std::vector<Bitset> subset_of;   // interned id -> subset
+  std::vector<bool> accepting;
+
+  Bitset start = InitialClosure(nfa);
+  int start_id = interner.Intern(start.words());
+  subset_of.push_back(start);
+  accepting.push_back(SubsetAccepts(nfa, start));
+
+  std::vector<std::vector<int>> next_rows;
+  for (int id = 0; id < interner.size(); ++id) {
+    next_rows.emplace_back(nfa.num_symbols(), -1);
+    for (int a = 0; a < nfa.num_symbols(); ++a) {
+      Bitset next = SubsetStep(nfa, subset_of[id], a);
+      int next_id = interner.Intern(next.words());
+      if (next_id == static_cast<int>(subset_of.size())) {
+        if (interner.size() > max_states) {
+          return Status::ResourceExhausted(
+              "subset construction exceeded " + std::to_string(max_states) +
+              " states");
+        }
+        subset_of.push_back(next);
+        accepting.push_back(SubsetAccepts(nfa, next));
+      }
+      next_rows[id][a] = next_id;
+    }
+  }
+
+  Dfa dfa(nfa.num_symbols(), interner.size());
+  dfa.SetInitial(start_id);
+  for (int id = 0; id < interner.size(); ++id) {
+    dfa.SetAccepting(id, accepting[id]);
+    for (int a = 0; a < nfa.num_symbols(); ++a) {
+      dfa.SetNext(id, a, next_rows[id][a]);
+    }
+  }
+  return dfa;
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  StatusOr<Dfa> result = DeterminizeWithLimit(nfa, int64_t{1} << 22);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Nfa Intersect(const Nfa& a_input, const Nfa& b_input) {
+  const Nfa a = RemoveEpsilon(a_input);
+  const Nfa b = RemoveEpsilon(b_input);
+  RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa result(a.num_symbols());
+
+  // Lazily discover reachable product states.
+  std::unordered_map<int64_t, int> ids;
+  std::vector<std::pair<int, int>> pairs;
+  auto intern = [&](int sa, int sb) {
+    int64_t key = static_cast<int64_t>(sa) * b.NumStates() + sb;
+    auto [it, inserted] = ids.try_emplace(key, result.NumStates());
+    if (inserted) {
+      int state = result.AddState();
+      RPQI_CHECK_EQ(state, it->second);
+      pairs.push_back({sa, sb});
+      result.SetAccepting(state, a.IsAccepting(sa) && b.IsAccepting(sb));
+    }
+    return it->second;
+  };
+
+  for (int sa : a.InitialStates()) {
+    for (int sb : b.InitialStates()) {
+      result.SetInitial(intern(sa, sb));
+    }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto [sa, sb] = pairs[i];
+    int from = static_cast<int>(i);
+    for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
+      for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+        if (ta.symbol == tb.symbol) {
+          result.AddTransition(from, ta.symbol, intern(ta.to, tb.to));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Nfa UnionNfa(const Nfa& a, const Nfa& b) {
+  RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa result(a.num_symbols());
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < b.NumStates(); ++s) result.AddState();
+  int offset = a.NumStates();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    result.SetInitial(s, a.IsInitial(s));
+    result.SetAccepting(s, a.IsAccepting(s));
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      result.AddTransition(s, t.symbol, t.to);
+    }
+  }
+  for (int s = 0; s < b.NumStates(); ++s) {
+    result.SetInitial(offset + s, b.IsInitial(s));
+    result.SetAccepting(offset + s, b.IsAccepting(s));
+    for (const Nfa::Transition& t : b.TransitionsFrom(s)) {
+      result.AddTransition(offset + s, t.symbol, offset + t.to);
+    }
+  }
+  return result;
+}
+
+Nfa Concat(const Nfa& a, const Nfa& b) {
+  RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa result(a.num_symbols());
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < b.NumStates(); ++s) result.AddState();
+  int offset = a.NumStates();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    result.SetInitial(s, a.IsInitial(s));
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      result.AddTransition(s, t.symbol, t.to);
+    }
+  }
+  for (int s = 0; s < b.NumStates(); ++s) {
+    result.SetAccepting(offset + s, b.IsAccepting(s));
+    for (const Nfa::Transition& t : b.TransitionsFrom(s)) {
+      result.AddTransition(offset + s, t.symbol, offset + t.to);
+    }
+  }
+  for (int sa = 0; sa < a.NumStates(); ++sa) {
+    if (!a.IsAccepting(sa)) continue;
+    for (int sb = 0; sb < b.NumStates(); ++sb) {
+      if (b.IsInitial(sb)) result.AddTransition(sa, kEpsilon, offset + sb);
+    }
+  }
+  return result;
+}
+
+Nfa Star(const Nfa& a) {
+  Nfa result(a.num_symbols());
+  int hub = result.AddState();  // new initial+accepting hub state
+  result.SetInitial(hub);
+  result.SetAccepting(hub);
+  int offset = 1;
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      result.AddTransition(offset + s, t.symbol, offset + t.to);
+    }
+    if (a.IsInitial(s)) result.AddTransition(hub, kEpsilon, offset + s);
+    if (a.IsAccepting(s)) result.AddTransition(offset + s, kEpsilon, hub);
+  }
+  return result;
+}
+
+Nfa ReverseNfa(const Nfa& a) {
+  Nfa result(a.num_symbols());
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    result.SetInitial(s, a.IsAccepting(s));
+    result.SetAccepting(s, a.IsInitial(s));
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      result.AddTransition(t.to, t.symbol, s);
+    }
+  }
+  return result;
+}
+
+Nfa Project(const Nfa& a, const std::vector<int>& mapping,
+            int new_num_symbols) {
+  RPQI_CHECK_EQ(static_cast<int>(mapping.size()), a.num_symbols());
+  Nfa result(new_num_symbols);
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    result.SetInitial(s, a.IsInitial(s));
+    result.SetAccepting(s, a.IsAccepting(s));
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      int image = t.symbol == kEpsilon ? kEpsilon : mapping[t.symbol];
+      result.AddTransition(s, image, t.to);
+    }
+  }
+  return result;
+}
+
+bool Accepts(const Nfa& nfa, const std::vector<int>& word) {
+  Bitset current = InitialClosure(nfa);
+  for (int symbol : word) {
+    if (current.None()) return false;
+    current = SubsetStep(nfa, current, symbol);
+  }
+  return SubsetAccepts(nfa, current);
+}
+
+bool IsEmpty(const Nfa& nfa) { return !ShortestAcceptedWord(nfa).has_value(); }
+
+std::optional<std::vector<int>> ShortestAcceptedWord(const Nfa& nfa) {
+  // BFS over states; ε-transitions contribute no letters.
+  const int n = nfa.NumStates();
+  std::vector<int> parent(n, -2);       // -2 unvisited, -1 root
+  std::vector<int> parent_symbol(n, kEpsilon);
+  std::deque<int> queue;                // 0-1 BFS: ε edges go to the front
+  for (int s : nfa.InitialStates()) {
+    parent[s] = -1;
+    queue.push_back(s);
+  }
+  int goal = -1;
+  // Plain BFS is not length-optimal with ε edges; use 0-1 BFS (deque).
+  std::vector<int> dist(n, -1);
+  for (int s : nfa.InitialStates()) dist[s] = 0;
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    if (nfa.IsAccepting(s)) {
+      goal = s;
+      break;
+    }
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      int weight = t.symbol == kEpsilon ? 0 : 1;
+      if (dist[t.to] == -1 || dist[s] + weight < dist[t.to]) {
+        dist[t.to] = dist[s] + weight;
+        parent[t.to] = s;
+        parent_symbol[t.to] = t.symbol;
+        if (weight == 0) {
+          queue.push_front(t.to);
+        } else {
+          queue.push_back(t.to);
+        }
+      }
+    }
+  }
+  if (goal < 0) return std::nullopt;
+  std::vector<int> word;
+  for (int s = goal; parent[s] != -1; s = parent[s]) {
+    if (parent_symbol[s] != kEpsilon) word.push_back(parent_symbol[s]);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+bool IsContained(const Nfa& a_input, const Nfa& b_input) {
+  // L(a) ⊆ L(b) iff L(a) ∩ complement(L(b)) = ∅. Run the product of `a`
+  // with the lazily determinized complement of `b` without materializing it.
+  const Nfa a = RemoveEpsilon(Trim(a_input));
+  const Nfa b = RemoveEpsilon(b_input);
+  RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
+
+  WordVectorInterner subset_interner;
+  std::vector<Bitset> subsets;
+  auto intern_subset = [&](const Bitset& subset) {
+    int id = subset_interner.Intern(subset.words());
+    if (id == static_cast<int>(subsets.size())) subsets.push_back(subset);
+    return id;
+  };
+
+  int start_subset = intern_subset(InitialClosure(b));
+  // Product state: (a state, interned b-subset id).
+  std::unordered_map<int64_t, char> visited;
+  std::vector<std::pair<int, int>> stack;
+  auto visit = [&](int sa, int subset_id) {
+    int64_t key = static_cast<int64_t>(sa) * (int64_t{1} << 32) + subset_id;
+    auto [it, inserted] = visited.try_emplace(key, 1);
+    if (inserted) stack.push_back({sa, subset_id});
+    (void)it;
+  };
+  for (int sa : a.InitialStates()) visit(sa, start_subset);
+
+  // Cache of subset transitions to avoid recomputing SubsetStep.
+  std::unordered_map<int64_t, int> subset_next;
+  auto subset_step_cached = [&](int subset_id, int symbol) {
+    int64_t key = static_cast<int64_t>(subset_id) * a.num_symbols() + symbol;
+    auto it = subset_next.find(key);
+    if (it != subset_next.end()) return it->second;
+    int next_id = intern_subset(SubsetStep(b, subsets[subset_id], symbol));
+    subset_next.emplace(key, next_id);
+    return next_id;
+  };
+
+  while (!stack.empty()) {
+    auto [sa, subset_id] = stack.back();
+    stack.pop_back();
+    if (a.IsAccepting(sa) && !SubsetAccepts(b, subsets[subset_id])) {
+      return false;  // found a word in L(a) \ L(b)
+    }
+    for (const Nfa::Transition& t : a.TransitionsFrom(sa)) {
+      visit(t.to, subset_step_cached(subset_id, t.symbol));
+    }
+  }
+  return true;
+}
+
+bool AreEquivalent(const Nfa& a, const Nfa& b) {
+  return IsContained(a, b) && IsContained(b, a);
+}
+
+Nfa SingleWordNfa(int num_symbols, const std::vector<int>& word) {
+  Nfa nfa(num_symbols);
+  int state = nfa.AddState();
+  nfa.SetInitial(state);
+  for (int symbol : word) {
+    int next = nfa.AddState();
+    nfa.AddTransition(state, symbol, next);
+    state = next;
+  }
+  nfa.SetAccepting(state);
+  return nfa;
+}
+
+Nfa UniversalNfa(int num_symbols) {
+  Nfa nfa(num_symbols);
+  int state = nfa.AddState();
+  nfa.SetInitial(state);
+  nfa.SetAccepting(state);
+  for (int a = 0; a < num_symbols; ++a) nfa.AddTransition(state, a, state);
+  return nfa;
+}
+
+Nfa WidenAlphabet(const Nfa& a, int new_num_symbols, int offset) {
+  RPQI_CHECK_GE(new_num_symbols, a.num_symbols() + offset);
+  Nfa result(new_num_symbols);
+  for (int s = 0; s < a.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < a.NumStates(); ++s) {
+    result.SetInitial(s, a.IsInitial(s));
+    result.SetAccepting(s, a.IsAccepting(s));
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      int symbol = t.symbol == kEpsilon ? kEpsilon : t.symbol + offset;
+      result.AddTransition(s, symbol, t.to);
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,109 @@
+#include "automata/pair_complement.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rpqi {
+
+namespace {
+
+constexpr int kMaxTwoWayStates = 20;
+
+struct PairState {
+  bool has_prev;
+  uint32_t prev;
+  uint32_t cur;
+};
+
+uint64_t KeyOf(const PairState& p) {
+  return (p.has_prev ? (uint64_t{1} << 62) : 0) |
+         (static_cast<uint64_t>(p.prev) << 31) | p.cur;
+}
+
+}  // namespace
+
+StatusOr<Nfa> VardiComplement(const TwoWayNfa& two_way, int64_t max_states) {
+  const int n = two_way.NumStates();
+  RPQI_CHECK_LE(n, kMaxTwoWayStates)
+      << "VardiComplement is a reference implementation for small automata";
+  const uint32_t full = n == 32 ? ~uint32_t{0} : ((uint32_t{1} << n) - 1);
+
+  uint32_t initial_mask = 0;
+  uint32_t accepting_mask = 0;
+  for (int s = 0; s < n; ++s) {
+    if (two_way.IsInitial(s)) initial_mask |= uint32_t{1} << s;
+    if (two_way.IsAccepting(s)) accepting_mask |= uint32_t{1} << s;
+  }
+
+  Nfa result(two_way.num_symbols());
+  std::unordered_map<uint64_t, int> ids;
+  std::vector<PairState> pair_of;
+
+  auto intern = [&](const PairState& p) -> int {
+    auto [it, inserted] = ids.try_emplace(KeyOf(p), result.NumStates());
+    if (inserted) {
+      int state = result.AddState();
+      RPQI_CHECK_EQ(state, it->second);
+      pair_of.push_back(p);
+      // Accept iff the current certificate set avoids all accepting states.
+      result.SetAccepting(state, (p.cur & accepting_mask) == 0);
+    }
+    return it->second;
+  };
+
+  // Initial NFA states: (⊥, T0) for every T0 ⊇ I.
+  uint32_t non_initial = full & ~initial_mask;
+  for (uint32_t sub = non_initial;; sub = (sub - 1) & non_initial) {
+    int id = intern({false, 0, initial_mask | sub});
+    result.SetInitial(id);
+    if (sub == 0) break;
+  }
+
+  for (size_t i = 0; i < pair_of.size(); ++i) {
+    if (static_cast<int64_t>(pair_of.size()) > max_states) {
+      return Status::ResourceExhausted("VardiComplement exceeded " +
+                                       std::to_string(max_states) + " states");
+    }
+    // Copy: pair_of may reallocate as successors are interned.
+    const PairState p = pair_of[i];
+    for (int a = 0; a < two_way.num_symbols(); ++a) {
+      // Check stay/left conditions for letter a and collect the forced
+      // forward set; if any condition fails there is no successor on a.
+      bool consistent = true;
+      uint32_t forced_forward = 0;
+      for (int s = 0; s < n && consistent; ++s) {
+        if (!((p.cur >> s) & 1)) continue;
+        for (const TwoWayNfa::Transition& t : two_way.TransitionsOn(s, a)) {
+          uint32_t target_bit = uint32_t{1} << t.to;
+          if (t.move == Move::kStay) {
+            if (!(p.cur & target_bit)) {
+              consistent = false;
+              break;
+            }
+          } else if (t.move == Move::kLeft) {
+            // At the first position a left move is unavailable; elsewhere the
+            // target must be covered by the previous certificate set.
+            if (p.has_prev && !(p.prev & target_bit)) {
+              consistent = false;
+              break;
+            }
+          } else {
+            forced_forward |= target_bit;
+          }
+        }
+      }
+      if (!consistent) continue;
+      // Guess T_{j+1}: any superset of the forced forward set.
+      uint32_t free_bits = full & ~forced_forward;
+      for (uint32_t sub = free_bits;; sub = (sub - 1) & free_bits) {
+        int to = intern({true, p.cur, forced_forward | sub});
+        result.AddTransition(static_cast<int>(i), a, to);
+        if (sub == 0) break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,36 @@
+#ifndef RPQI_AUTOMATA_PAIR_COMPLEMENT_H_
+#define RPQI_AUTOMATA_PAIR_COMPLEMENT_H_
+
+#include "automata/nfa.h"
+#include "automata/two_way.h"
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Vardi's single-exponential complementation of a two-way automaton
+/// ("A note on the reduction of two-way automata to one-way automata", IPL
+/// 1989) — the construction behind the paper's O(2^n) complement bound
+/// (Section 3) and hence behind the complexity claims of Theorems 7/16.
+///
+/// A word a_0…a_{n-1} is *rejected* by the 2NFA iff there exists a certificate
+/// T_0,…,T_n of state sets (T_j over-approximates the configurations reachable
+/// at position j) with:
+///   (1) I ⊆ T_0;
+///   (2) for every j < n, s ∈ T_j and (t,k) ∈ ρ(s, a_j):
+///         k = 0 ⇒ t ∈ T_j;  k = 1 ⇒ t ∈ T_{j+1};  k = −1 ∧ j > 0 ⇒ t ∈ T_{j−1};
+///   (3) T_n ∩ F = ∅.
+/// The complement NFA guesses the certificate: its states are pairs
+/// (T_{j−1}, T_j) so that every condition mentioning letter a_j is checkable
+/// when that letter is consumed.
+///
+/// This is a *reference implementation* with eager subset enumeration
+/// (exponential branching on the guess of T_{j+1}); it exists to cross-validate
+/// the lazy deterministic table translation (LazyTableDfa with complement=true)
+/// and to measure the classical construction in bench_two_way_translation.
+/// Use only for small automata (≲ 10 states); beyond `max_states` discovered
+/// NFA states it fails with ResourceExhausted.
+StatusOr<Nfa> VardiComplement(const TwoWayNfa& two_way, int64_t max_states);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_PAIR_COMPLEMENT_H_

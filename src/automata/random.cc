@@ -1,0 +1,70 @@
+#include "automata/random.h"
+
+namespace rpqi {
+
+Nfa RandomNfa(std::mt19937_64& rng, const RandomAutomatonOptions& options) {
+  Nfa nfa(options.num_symbols);
+  for (int s = 0; s < options.num_states; ++s) nfa.AddState();
+  nfa.SetInitial(0);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pick_state(0, options.num_states - 1);
+
+  double p = options.transition_density / options.num_states;
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int a = 0; a < options.num_symbols; ++a) {
+      for (int t = 0; t < options.num_states; ++t) {
+        if (coin(rng) < p) nfa.AddTransition(s, a, t);
+      }
+    }
+  }
+  bool any_accepting = false;
+  for (int s = 0; s < options.num_states; ++s) {
+    if (coin(rng) < options.accepting_probability) {
+      nfa.SetAccepting(s);
+      any_accepting = true;
+    }
+  }
+  if (!any_accepting) nfa.SetAccepting(pick_state(rng));
+  return nfa;
+}
+
+TwoWayNfa RandomTwoWayNfa(std::mt19937_64& rng,
+                          const RandomAutomatonOptions& options) {
+  TwoWayNfa automaton(options.num_symbols);
+  for (int s = 0; s < options.num_states; ++s) automaton.AddState();
+  automaton.SetInitial(0);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pick_state(0, options.num_states - 1);
+  std::uniform_int_distribution<int> pick_move(-1, 1);
+
+  double p = options.transition_density / options.num_states;
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int a = 0; a < options.num_symbols; ++a) {
+      for (int t = 0; t < options.num_states; ++t) {
+        if (coin(rng) < p) {
+          automaton.AddTransition(s, a, t, static_cast<Move>(pick_move(rng)));
+        }
+      }
+    }
+  }
+  bool any_accepting = false;
+  for (int s = 0; s < options.num_states; ++s) {
+    if (coin(rng) < options.accepting_probability) {
+      automaton.SetAccepting(s);
+      any_accepting = true;
+    }
+  }
+  if (!any_accepting) automaton.SetAccepting(pick_state(rng));
+  return automaton;
+}
+
+std::vector<int> RandomWord(std::mt19937_64& rng, int num_symbols, int length) {
+  std::uniform_int_distribution<int> pick_symbol(0, num_symbols - 1);
+  std::vector<int> word(length);
+  for (int& symbol : word) symbol = pick_symbol(rng);
+  return word;
+}
+
+}  // namespace rpqi

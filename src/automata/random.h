@@ -1,0 +1,35 @@
+#ifndef RPQI_AUTOMATA_RANDOM_H_
+#define RPQI_AUTOMATA_RANDOM_H_
+
+#include <random>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/two_way.h"
+
+namespace rpqi {
+
+/// Options for random automaton generation (used by property tests and the
+/// translation benches; all generation is seeded and deterministic).
+struct RandomAutomatonOptions {
+  int num_states = 4;
+  int num_symbols = 2;
+  /// Expected number of outgoing transitions per (state, symbol).
+  double transition_density = 1.0;
+  /// Probability that a state is accepting (at least one is forced).
+  double accepting_probability = 0.3;
+};
+
+/// A random NFA with one initial state.
+Nfa RandomNfa(std::mt19937_64& rng, const RandomAutomatonOptions& options);
+
+/// A random two-way NFA; moves are drawn uniformly from {left, stay, right}.
+TwoWayNfa RandomTwoWayNfa(std::mt19937_64& rng,
+                          const RandomAutomatonOptions& options);
+
+/// A uniformly random word of the given length over [0, num_symbols).
+std::vector<int> RandomWord(std::mt19937_64& rng, int num_symbols, int length);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_RANDOM_H_

@@ -1,0 +1,74 @@
+#include "automata/state_elim.h"
+
+#include <map>
+#include <utility>
+
+#include "automata/ops.h"
+
+namespace rpqi {
+
+RegexPtr NfaToRegex(const Nfa& input,
+                    const std::vector<RegexPtr>& atom_of_symbol) {
+  RPQI_CHECK_EQ(static_cast<int>(atom_of_symbol.size()), input.num_symbols());
+  const Nfa nfa = Trim(input);
+  const int n = nfa.NumStates();
+
+  // Work on a generalized NFA with fresh start (n) and end (n+1) states and a
+  // regex label per ordered state pair.
+  const int start = n;
+  const int end = n + 1;
+  std::map<std::pair<int, int>, RegexPtr> label;
+  auto add = [&](int from, int to, const RegexPtr& regex) {
+    auto [it, inserted] = label.try_emplace({from, to}, regex);
+    if (!inserted) it->second = RUnion(it->second, regex);
+  };
+
+  for (int s = 0; s < n; ++s) {
+    if (nfa.IsInitial(s)) add(start, s, REpsilon());
+    if (nfa.IsAccepting(s)) add(s, end, REpsilon());
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      add(s, t.to, t.symbol == kEpsilon ? REpsilon()
+                                        : atom_of_symbol[t.symbol]);
+    }
+  }
+
+  auto get = [&](int from, int to) -> RegexPtr {
+    auto it = label.find({from, to});
+    return it == label.end() ? REmpty() : it->second;
+  };
+
+  // Eliminate internal states one by one.
+  for (int victim = 0; victim < n; ++victim) {
+    RegexPtr self = get(victim, victim);
+    RegexPtr self_star =
+        self->kind == RegexKind::kEmptySet ? REpsilon() : RStar(self);
+
+    // Collect current in/out edges of the victim.
+    std::vector<std::pair<int, RegexPtr>> incoming, outgoing;
+    for (const auto& [key, regex] : label) {
+      if (regex->kind == RegexKind::kEmptySet) continue;
+      if (key.second == victim && key.first != victim) {
+        incoming.push_back({key.first, regex});
+      }
+      if (key.first == victim && key.second != victim) {
+        outgoing.push_back({key.second, regex});
+      }
+    }
+    for (const auto& [from, in_regex] : incoming) {
+      for (const auto& [to, out_regex] : outgoing) {
+        add(from, to, RConcat(RConcat(in_regex, self_star), out_regex));
+      }
+    }
+    // Remove all edges touching the victim.
+    for (auto it = label.begin(); it != label.end();) {
+      if (it->first.first == victim || it->first.second == victim) {
+        it = label.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return get(start, end);
+}
+
+}  // namespace rpqi

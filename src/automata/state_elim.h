@@ -1,0 +1,23 @@
+#ifndef RPQI_AUTOMATA_STATE_ELIM_H_
+#define RPQI_AUTOMATA_STATE_ELIM_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "regex/ast.h"
+
+namespace rpqi {
+
+/// Converts an automaton back to a regular expression by state elimination
+/// (Brzozowski–McCluskey). `atom_of_symbol[a]` supplies the regex atom to use
+/// for symbol id a — e.g. RAtom("p") or RAtom("p", /*inverse=*/true) — so
+/// callers control how signed/marker symbols print.
+///
+/// Output size can be exponential in the automaton size; intended for
+/// presenting rewritings, not for further computation (keep computing on the
+/// automaton form).
+RegexPtr NfaToRegex(const Nfa& nfa, const std::vector<RegexPtr>& atom_of_symbol);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_STATE_ELIM_H_

@@ -1,0 +1,251 @@
+#include "automata/table_dfa.h"
+
+namespace rpqi {
+
+LazyTableDfa::LazyTableDfa(const TwoWayNfa& two_way, bool complement)
+    : two_way_(two_way),
+      complement_(complement),
+      n_(two_way.NumStates()),
+      words_per_set_((two_way.NumStates() + 63) / 64),
+      accepting_states_(two_way.NumStates()),
+      left_targets_(two_way.NumStates()) {
+  for (int s = 0; s < n_; ++s) {
+    if (two_way_.IsAccepting(s)) accepting_states_.Set(s);
+  }
+  // Behavior rows are only ever consulted when a left move lands in their
+  // state (see ComputeStep); rows of states that are never left-move targets
+  // are dead and get masked out before interning, which collapses otherwise
+  // distinct table states into one.
+  for (int s = 0; s < n_; ++s) {
+    for (int symbol = 0; symbol < two_way_.num_symbols(); ++symbol) {
+      for (const TwoWayNfa::Transition& t : two_way_.TransitionsOn(s, symbol)) {
+        if (t.move == Move::kLeft) left_targets_.Set(t.to);
+      }
+    }
+  }
+  row_index_.assign(n_, -1);
+  for (int s = 0; s < n_; ++s) {
+    if (left_targets_.Test(s)) {
+      row_index_[s] = num_live_rows_;
+      ++num_live_rows_;
+    }
+  }
+}
+
+int LazyTableDfa::Intern(const Bitset& reach,
+                         const std::vector<Bitset>& behavior) {
+  // Compact key: the reach set followed by the live (left-target) behavior
+  // rows only — dead rows are never consulted, so omitting them both shrinks
+  // keys and merges otherwise-distinct table states.
+  std::vector<uint64_t> key;
+  key.reserve(static_cast<size_t>(words_per_set_) * (num_live_rows_ + 1));
+  key.insert(key.end(), reach.words().begin(), reach.words().end());
+  for (int s = 0; s < n_; ++s) {
+    if (!left_targets_.Test(s)) continue;
+    key.insert(key.end(), behavior[s].words().begin(),
+               behavior[s].words().end());
+  }
+  return interner_.Intern(key);
+}
+
+void LazyTableDfa::Decode(int state, Bitset* reach,
+                          std::vector<Bitset>* behavior) const {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  *reach = Bitset(n_);
+  behavior->assign(n_, Bitset(n_));
+  // Bitset words() is read-only; rebuild by bit testing on the raw words.
+  auto test_bit = [&](int word_offset, int bit) {
+    return (key[word_offset + (bit >> 6)] >> (bit & 63)) & 1;
+  };
+  for (int s = 0; s < n_; ++s) {
+    if (test_bit(0, s)) reach->Set(s);
+  }
+  for (int row = 0; row < n_; ++row) {
+    if (row_index_[row] < 0) continue;
+    int offset = words_per_set_ * (1 + row_index_[row]);
+    for (int t = 0; t < n_; ++t) {
+      if (test_bit(offset, t)) (*behavior)[row].Set(t);
+    }
+  }
+}
+
+int LazyTableDfa::StartState() {
+  Bitset reach(n_);
+  for (int s : two_way_.InitialStates()) reach.Set(s);
+  std::vector<Bitset> behavior(n_, Bitset(n_));
+  return Intern(reach, behavior);
+}
+
+int LazyTableDfa::Step(int state, int symbol) {
+  if (state >= static_cast<int>(step_cache_.size())) {
+    step_cache_.resize(interner_.size(),
+                       std::vector<int>(two_way_.num_symbols(), -1));
+  }
+  int& cached = step_cache_[state][symbol];
+  if (cached < 0) cached = ComputeStep(state, symbol);
+  return cached;
+}
+
+int LazyTableDfa::ComputeStep(int state, int symbol) {
+  if (n_ <= 64) return ComputeStepSmall(state, symbol);
+  Bitset reach(n_);
+  std::vector<Bitset> behavior;
+  Decode(state, &reach, &behavior);
+
+  // closure[s] = states reachable from s while the head stays on the current
+  // cell: stay-moves, or a left move followed by a B-summarized excursion.
+  // Computed as the reflexive-transitive closure of the one-step relation.
+  std::vector<Bitset> one_step(n_, Bitset(n_));
+  for (int s = 0; s < n_; ++s) {
+    for (const TwoWayNfa::Transition& t : two_way_.TransitionsOn(s, symbol)) {
+      if (t.move == Move::kStay) {
+        one_step[s].Set(t.to);
+      } else if (t.move == Move::kLeft) {
+        one_step[s] |= behavior[t.to];
+      }
+    }
+  }
+  // Closure by iterating until fixpoint (row-wise union propagation).
+  std::vector<Bitset> closure(n_, Bitset(n_));
+  for (int s = 0; s < n_; ++s) closure[s].Set(s);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n_; ++s) {
+      Bitset updated = closure[s];
+      for (int mid = closure[s].NextSetBit(0); mid >= 0;
+           mid = closure[s].NextSetBit(mid + 1)) {
+        updated |= one_step[mid];
+      }
+      if (!(updated == closure[s])) {
+        closure[s] = updated;
+        changed = true;
+      }
+    }
+  }
+
+  // forward[s] = states entered by a right move from s on this symbol.
+  std::vector<Bitset> forward(n_, Bitset(n_));
+  for (int s = 0; s < n_; ++s) {
+    for (const TwoWayNfa::Transition& t : two_way_.TransitionsOn(s, symbol)) {
+      if (t.move == Move::kRight) forward[s].Set(t.to);
+    }
+  }
+
+  // New behavior row s: closure then one right move.
+  std::vector<Bitset> new_behavior(n_, Bitset(n_));
+  for (int s = 0; s < n_; ++s) {
+    for (int mid = closure[s].NextSetBit(0); mid >= 0;
+         mid = closure[s].NextSetBit(mid + 1)) {
+      new_behavior[s] |= forward[mid];
+    }
+  }
+
+  // New reach set: union of new behavior rows over current reach states.
+  Bitset new_reach(n_);
+  for (int s = reach.NextSetBit(0); s >= 0; s = reach.NextSetBit(s + 1)) {
+    new_reach |= new_behavior[s];
+  }
+
+  return Intern(new_reach, new_behavior);
+}
+
+int LazyTableDfa::ComputeStepSmall(int state, int symbol) {
+  // Specialization for ≤ 64 two-way states: sets and behavior rows are raw
+  // uint64 masks, avoiding all Bitset heap traffic on the hot path.
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  const uint64_t reach = key[0];
+  // key[1 + row_index_[s]] = behavior row s (words_per_set_ == 1).
+
+  // Per-(symbol) transition masks, computed once and cached.
+  if (static_cast<int>(small_masks_.size()) == 0) BuildSmallMasks();
+  const SmallSymbolMasks& masks = small_masks_[symbol];
+
+  // one_step[s] = stay targets ∪ (⋃ behavior rows of left targets).
+  uint64_t one_step[64];
+  for (int s = 0; s < n_; ++s) {
+    uint64_t row = masks.stay[s];
+    uint64_t left = masks.left[s];
+    while (left != 0) {
+      int t = __builtin_ctzll(left);
+      left &= left - 1;
+      row |= key[1 + row_index_[t]];
+    }
+    one_step[s] = row;
+  }
+  // closure[s] = reflexive-transitive closure of one_step.
+  uint64_t closure[64];
+  for (int s = 0; s < n_; ++s) closure[s] = one_step[s] | (uint64_t{1} << s);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n_; ++s) {
+      uint64_t updated = closure[s];
+      uint64_t members = closure[s];
+      while (members != 0) {
+        int mid = __builtin_ctzll(members);
+        members &= members - 1;
+        updated |= closure[mid];
+      }
+      if (updated != closure[s]) {
+        closure[s] = updated;
+        changed = true;
+      }
+    }
+  }
+  // New behavior rows and reach set.
+  std::vector<uint64_t> next_key(static_cast<size_t>(num_live_rows_) + 1, 0);
+  for (int s = 0; s < n_; ++s) {
+    bool live = (left_target_mask_ & (uint64_t{1} << s)) != 0;
+    bool in_reach = (reach & (uint64_t{1} << s)) != 0;
+    if (!live && !in_reach) continue;
+    uint64_t row = 0;
+    uint64_t members = closure[s];
+    while (members != 0) {
+      int mid = __builtin_ctzll(members);
+      members &= members - 1;
+      row |= masks.right[mid];
+    }
+    if (live) next_key[1 + row_index_[s]] = row;
+    if (in_reach) next_key[0] |= row;
+  }
+  return interner_.Intern(next_key);
+}
+
+void LazyTableDfa::BuildSmallMasks() {
+  small_masks_.resize(two_way_.num_symbols());
+  for (int symbol = 0; symbol < two_way_.num_symbols(); ++symbol) {
+    SmallSymbolMasks& masks = small_masks_[symbol];
+    masks.stay.assign(n_, 0);
+    masks.left.assign(n_, 0);
+    masks.right.assign(n_, 0);
+    for (int s = 0; s < n_; ++s) {
+      for (const TwoWayNfa::Transition& t : two_way_.TransitionsOn(s, symbol)) {
+        uint64_t bit = uint64_t{1} << t.to;
+        switch (t.move) {
+          case Move::kStay: masks.stay[s] |= bit; break;
+          case Move::kLeft: masks.left[s] |= bit; break;
+          case Move::kRight: masks.right[s] |= bit; break;
+        }
+      }
+    }
+  }
+  left_target_mask_ = 0;
+  for (int s = 0; s < n_; ++s) {
+    if (left_targets_.Test(s)) left_target_mask_ |= uint64_t{1} << s;
+  }
+}
+
+bool LazyTableDfa::IsAccepting(int state) {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  bool reach_accepts = false;
+  for (int i = 0; i < words_per_set_; ++i) {
+    if (key[i] & accepting_states_.words()[i]) {
+      reach_accepts = true;
+      break;
+    }
+  }
+  return reach_accepts != complement_;
+}
+
+}  // namespace rpqi

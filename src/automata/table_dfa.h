@@ -1,0 +1,80 @@
+#ifndef RPQI_AUTOMATA_TABLE_DFA_H_
+#define RPQI_AUTOMATA_TABLE_DFA_H_
+
+#include <vector>
+
+#include "automata/lazy.h"
+#include "automata/two_way.h"
+#include "base/bitset.h"
+#include "base/interner.h"
+
+namespace rpqi {
+
+/// Shepherdson/Vardi table translation of a two-way automaton into a lazy
+/// *deterministic* one-way automaton.
+///
+/// After consuming a prefix u of the input, the automaton's state is the pair
+///   R(u) = { t : some run from an initial configuration, confined to u,
+///                exits u to the right in state t }
+///   B(u) = { (s,t) : a run entering u from the right in state s, confined to
+///                    u, exits u to the right in state t }
+/// Both components update deterministically per input letter: left excursions
+/// into the already-consumed prefix are summarized by B, stay-moves by a
+/// transitive closure within the current cell. The word is accepted iff
+/// R(word) contains an accepting state — i.e. the two-way automaton can reach
+/// the past-the-end position in an accepting state.
+///
+/// With `complement = true` the acceptance condition is flipped; since the
+/// automaton is deterministic this yields the complement language for free,
+/// which is how the constructions of Sections 4 and 5 obtain the complements
+/// A2 and the complements of A_Vi / A_(Q,c,d) without an extra subset
+/// construction.
+///
+/// Worst-case state count is 2^(n²+n) for n two-way states; states are
+/// discovered lazily and interned, so only the reachable fragment is paid for.
+class LazyTableDfa : public LazyDfa {
+ public:
+  explicit LazyTableDfa(const TwoWayNfa& two_way, bool complement = false);
+
+  int NumSymbols() const override { return two_way_.num_symbols(); }
+  int StartState() override;
+  int Step(int state, int symbol) override;
+  bool IsAccepting(int state) override;
+  int64_t NumDiscoveredStates() const override { return interner_.size(); }
+
+ private:
+  // State encoding: [R words | B row words], where B is stored row-major
+  // (row s = set of t with (s,t) ∈ B).
+  int Intern(const Bitset& reach, const std::vector<Bitset>& behavior);
+  void Decode(int state, Bitset* reach, std::vector<Bitset>* behavior) const;
+  int ComputeStep(int state, int symbol);
+  // uint64-mask fast path for automata with ≤ 64 states (the common case for
+  // the Section 4/5 constructions).
+  int ComputeStepSmall(int state, int symbol);
+  void BuildSmallMasks();
+
+  struct SmallSymbolMasks {
+    std::vector<uint64_t> stay, left, right;  // indexed by source state
+  };
+
+  TwoWayNfa two_way_;
+  bool complement_;
+  int n_;                    // number of two-way states
+  int words_per_set_;        // ceil(n/64)
+  Bitset accepting_states_;  // of the two-way automaton
+  Bitset left_targets_;      // states reachable by a left move (live B rows)
+  std::vector<int> row_index_;  // state -> compact key row slot, -1 if dead
+  int num_live_rows_ = 0;
+  WordVectorInterner interner_;
+  // Memoized transitions: step_cache_[state][symbol], -1 = not yet computed.
+  // Lazy product states share component states heavily, so this converts the
+  // (expensive) table update into a per-(state, symbol) one-time cost.
+  std::vector<std::vector<int>> step_cache_;
+  // Fast-path precomputation (n ≤ 64).
+  std::vector<SmallSymbolMasks> small_masks_;
+  uint64_t left_target_mask_ = 0;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_TABLE_DFA_H_

@@ -1,0 +1,42 @@
+#include "automata/two_way.h"
+
+#include <vector>
+
+namespace rpqi {
+
+bool SimulateTwoWay(const TwoWayNfa& automaton, const std::vector<int>& word) {
+  const int n = static_cast<int>(word.size());
+  const int num_states = automaton.NumStates();
+
+  // visited[pos * num_states + state]
+  std::vector<char> visited(static_cast<size_t>(n + 1) * num_states, 0);
+  std::vector<std::pair<int, int>> stack;  // (state, position)
+
+  auto visit = [&](int state, int pos) {
+    size_t index = static_cast<size_t>(pos) * num_states + state;
+    if (!visited[index]) {
+      visited[index] = 1;
+      stack.push_back({state, pos});
+    }
+  };
+
+  for (int s : automaton.InitialStates()) visit(s, 0);
+
+  while (!stack.empty()) {
+    auto [state, pos] = stack.back();
+    stack.pop_back();
+    if (pos == n) {
+      if (automaton.IsAccepting(state)) return true;
+      continue;  // no transitions past the end of the word
+    }
+    for (const TwoWayNfa::Transition& t :
+         automaton.TransitionsOn(state, word[pos])) {
+      int next_pos = pos + static_cast<int>(t.move);
+      if (next_pos < 0) continue;  // falling off the left end: move unavailable
+      visit(t.to, next_pos);
+    }
+  }
+  return false;
+}
+
+}  // namespace rpqi

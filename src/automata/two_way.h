@@ -1,0 +1,95 @@
+#ifndef RPQI_AUTOMATA_TWO_WAY_H_
+#define RPQI_AUTOMATA_TWO_WAY_H_
+
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Head movement of a two-way automaton transition.
+enum class Move : int { kLeft = -1, kStay = 0, kRight = 1 };
+
+/// A two-way nondeterministic finite automaton (Section 3 of the paper).
+///
+/// A configuration is a pair (state, position) with position ∈ [0, n] for an
+/// input word of length n. A transition may be taken only at positions < n
+/// (the head reads word[position]); it moves the head left, right, or keeps it
+/// in place. A move left of position 0 is simply unavailable. A run accepts
+/// when it reaches (f, n) with f accepting.
+class TwoWayNfa {
+ public:
+  struct Transition {
+    int to;
+    Move move;
+  };
+
+  explicit TwoWayNfa(int num_symbols) : num_symbols_(num_symbols) {
+    RPQI_CHECK_GE(num_symbols, 0);
+  }
+
+  int num_symbols() const { return num_symbols_; }
+  int NumStates() const { return static_cast<int>(delta_.size()); }
+
+  int NumTransitions() const {
+    int total = 0;
+    for (const auto& by_symbol : delta_)
+      for (const auto& list : by_symbol) total += static_cast<int>(list.size());
+    return total;
+  }
+
+  int AddState() {
+    delta_.emplace_back(num_symbols_);
+    initial_.push_back(false);
+    accepting_.push_back(false);
+    return NumStates() - 1;
+  }
+
+  void AddTransition(int from, int symbol, int to, Move move) {
+    RPQI_CHECK(0 <= from && from < NumStates());
+    RPQI_CHECK(0 <= to && to < NumStates());
+    RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
+    delta_[from][symbol].push_back({to, move});
+  }
+
+  void SetInitial(int state, bool value = true) {
+    RPQI_CHECK(0 <= state && state < NumStates());
+    initial_[state] = value;
+  }
+  void SetAccepting(int state, bool value = true) {
+    RPQI_CHECK(0 <= state && state < NumStates());
+    accepting_[state] = value;
+  }
+
+  bool IsInitial(int state) const { return initial_[state]; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  const std::vector<Transition>& TransitionsOn(int state, int symbol) const {
+    RPQI_CHECK(0 <= state && state < NumStates());
+    RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
+    return delta_[state][symbol];
+  }
+
+  std::vector<int> InitialStates() const {
+    std::vector<int> result;
+    for (int s = 0; s < NumStates(); ++s)
+      if (initial_[s]) result.push_back(s);
+    return result;
+  }
+
+ private:
+  int num_symbols_;
+  // delta_[state][symbol] -> possible (state, move) successors.
+  std::vector<std::vector<std::vector<Transition>>> delta_;
+  std::vector<bool> initial_;
+  std::vector<bool> accepting_;
+};
+
+/// Decides membership by direct reachability over the configuration graph
+/// (states × positions). O(|word| · states · transitions); this is the
+/// reference semantics every translation is validated against.
+bool SimulateTwoWay(const TwoWayNfa& automaton, const std::vector<int>& word);
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_TWO_WAY_H_

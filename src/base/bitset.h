@@ -1,0 +1,149 @@
+#ifndef RPQI_BASE_BITSET_H_
+#define RPQI_BASE_BITSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Fixed-size-at-construction dynamic bitset used to represent state sets and
+/// state relations of automata. Word-parallel bulk operations are the hot path
+/// of the two-way-automaton translations, so the representation is a plain
+/// vector<uint64_t> that can also serve directly as an interning key.
+class Bitset {
+ public:
+  Bitset() : num_bits_(0) {}
+  explicit Bitset(int num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {
+    RPQI_CHECK_GE(num_bits, 0);
+  }
+
+  int size() const { return num_bits_; }
+
+  bool Test(int i) const {
+    RPQI_CHECK(0 <= i && i < num_bits_) << "bit " << i << " of " << num_bits_;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(int i) {
+    RPQI_CHECK(0 <= i && i < num_bits_) << "bit " << i << " of " << num_bits_;
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(int i) {
+    RPQI_CHECK(0 <= i && i < num_bits_) << "bit " << i << " of " << num_bits_;
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  int Count() const {
+    int count = 0;
+    for (uint64_t w : words_) count += __builtin_popcountll(w);
+    return count;
+  }
+
+  /// True if this and `other` share at least one set bit.
+  bool Intersects(const Bitset& other) const {
+    RPQI_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  /// True if every bit set here is also set in `other`.
+  bool IsSubsetOf(const Bitset& other) const {
+    RPQI_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~other.words_[i]) return false;
+    return true;
+  }
+
+  Bitset& operator|=(const Bitset& other) {
+    RPQI_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& other) {
+    RPQI_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  Bitset& operator-=(const Bitset& other) {
+    RPQI_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  /// Index of the first set bit at or after `from`, or -1 if none. Use to
+  /// iterate: for (int i = bs.NextSetBit(0); i >= 0; i = bs.NextSetBit(i+1)).
+  int NextSetBit(int from) const {
+    if (from >= num_bits_) return -1;
+    int word_index = from >> 6;
+    uint64_t word = words_[word_index] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (word != 0) {
+        int bit = (word_index << 6) + __builtin_ctzll(word);
+        return bit < num_bits_ ? bit : -1;
+      }
+      if (++word_index >= static_cast<int>(words_.size())) return -1;
+      word = words_[word_index];
+    }
+  }
+
+  /// Raw word storage; usable as an interning key fragment.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  uint64_t Hash() const { return HashWords(words_); }
+
+  /// Renders as e.g. "{0,3,7}" for diagnostics.
+  std::string ToString() const {
+    std::string out = "{";
+    for (int i = NextSetBit(0); i >= 0; i = NextSetBit(i + 1)) {
+      if (out.size() > 1) out += ",";
+      out += std::to_string(i);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  void TrimTail() {
+    int tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  int num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_BITSET_H_

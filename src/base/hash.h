@@ -1,0 +1,36 @@
+#ifndef RPQI_BASE_HASH_H_
+#define RPQI_BASE_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace rpqi {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Derived from the 64-bit finalizer of MurmurHash3.
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  value *= 0xc4ceb9fe1a85ec53ULL;
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+/// Hashes a span of 64-bit words; used to intern lazily-constructed automaton
+/// states whose canonical encoding is a word vector.
+inline uint64_t HashWords(const std::vector<uint64_t>& words) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t w : words) h = HashCombine(h, w);
+  return h;
+}
+
+struct WordVectorHash {
+  size_t operator()(const std::vector<uint64_t>& words) const {
+    return static_cast<size_t>(HashWords(words));
+  }
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_HASH_H_

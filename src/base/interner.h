@@ -1,0 +1,83 @@
+#ifndef RPQI_BASE_INTERNER_H_
+#define RPQI_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Maps canonical state encodings (vectors of 64-bit words) to dense integer
+/// ids, retaining the encodings for reverse lookup. This is the backbone of
+/// every on-the-fly automaton construction: lazily discovered states are
+/// interned so that product/searches operate over small integers.
+class WordVectorInterner {
+ public:
+  WordVectorInterner() = default;
+
+  WordVectorInterner(const WordVectorInterner&) = delete;
+  WordVectorInterner& operator=(const WordVectorInterner&) = delete;
+
+  /// Returns the dense id for `key`, creating one if never seen.
+  int Intern(const std::vector<uint64_t>& key) {
+    auto [it, inserted] = ids_.try_emplace(key, static_cast<int>(keys_.size()));
+    if (inserted) keys_.push_back(&it->first);
+    return it->second;
+  }
+
+  /// Id for `key` if already interned, else -1.
+  int Find(const std::vector<uint64_t>& key) const {
+    auto it = ids_.find(key);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  const std::vector<uint64_t>& KeyOf(int id) const {
+    RPQI_CHECK(0 <= id && id < static_cast<int>(keys_.size()));
+    return *keys_[id];
+  }
+
+  int size() const { return static_cast<int>(keys_.size()); }
+
+ private:
+  std::unordered_map<std::vector<uint64_t>, int, WordVectorHash> ids_;
+  std::deque<const std::vector<uint64_t>*> keys_;
+};
+
+/// Interns strings (node names, relation names) to dense ids.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  StringInterner(const StringInterner&) = default;
+  StringInterner& operator=(const StringInterner&) = default;
+
+  int Intern(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, static_cast<int>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  int Find(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  const std::string& NameOf(int id) const {
+    RPQI_CHECK(0 <= id && id < static_cast<int>(names_.size()));
+    return names_[id];
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_INTERNER_H_

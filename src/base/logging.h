@@ -1,0 +1,51 @@
+#ifndef RPQI_BASE_LOGGING_H_
+#define RPQI_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rpqi {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process on destruction.
+/// Used by the CHECK family below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rpqi
+
+/// CHECK(cond) aborts with a diagnostic if `cond` is false. Additional context
+/// can be streamed: CHECK(x > 0) << "x was " << x;
+#define RPQI_CHECK(condition)                                            \
+  if (!(condition))                                                      \
+  ::rpqi::internal_logging::FatalMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define RPQI_CHECK_EQ(a, b) RPQI_CHECK((a) == (b))
+#define RPQI_CHECK_NE(a, b) RPQI_CHECK((a) != (b))
+#define RPQI_CHECK_LT(a, b) RPQI_CHECK((a) < (b))
+#define RPQI_CHECK_LE(a, b) RPQI_CHECK((a) <= (b))
+#define RPQI_CHECK_GT(a, b) RPQI_CHECK((a) > (b))
+#define RPQI_CHECK_GE(a, b) RPQI_CHECK((a) >= (b))
+
+#endif  // RPQI_BASE_LOGGING_H_

@@ -1,0 +1,96 @@
+#ifndef RPQI_BASE_STATUS_H_
+#define RPQI_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Lightweight error-status type in the style of database engines (RocksDB,
+/// Arrow): operations that can fail return a Status or a StatusOr<T> instead
+/// of throwing. Only two codes are needed in this library: parse/validation
+/// errors and resource-limit errors (a construction exceeded its state budget).
+class Status {
+ public:
+  enum class Code { kOk, kInvalidArgument, kResourceExhausted };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(Code::kResourceExhausted, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kResourceExhausted:
+        return "ResourceExhausted: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Access via value() after
+/// checking ok(); value() on an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    RPQI_CHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    RPQI_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    RPQI_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RPQI_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_STATUS_H_

@@ -1,0 +1,22 @@
+#ifndef RPQI_BASE_STRINGS_H_
+#define RPQI_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpqi {
+
+/// Splits `text` on `sep`, dropping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_STRINGS_H_

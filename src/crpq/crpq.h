@@ -1,0 +1,52 @@
+#ifndef RPQI_CRPQ_CRPQ_H_
+#define RPQI_CRPQ_CRPQ_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "base/status.h"
+#include "graphdb/graph.h"
+
+namespace rpqi {
+
+/// Conjunctive regular path queries with inverse (C2RPQs) — the query class
+/// the paper's conclusion points to (its technique extends to containment of
+/// these, reference [12]). A query is a conjunction of atoms x —E→ y over
+/// variables, with a tuple of distinguished (output) variables:
+///
+///   q(x̄) ← ⋀ᵢ  Eᵢ(vᵢ, wᵢ)
+///
+/// where each Eᵢ is an RPQI over the shared Σ±. Semantics: an answer is the
+/// projection to x̄ of any assignment of all variables to database nodes such
+/// that every atom's pair is in ans(Eᵢ, B).
+struct CrpqAtom {
+  int from_variable = 0;
+  Nfa automaton{0};  // RPQI over Σ±
+  int to_variable = 0;
+};
+
+struct ConjunctiveRpqi {
+  int num_variables = 0;
+  std::vector<CrpqAtom> atoms;
+  /// Output tuple (indices into the variables); may repeat and may be empty
+  /// (a boolean query).
+  std::vector<int> distinguished;
+};
+
+/// Validates variable indices and alphabet agreement; aborts on malformed
+/// queries.
+void CheckCrpq(const ConjunctiveRpqi& query);
+
+/// Evaluates a C2RPQ over a database: all distinct output tuples, sorted.
+/// Implementation: each atom's binary relation is materialized by the RPQI
+/// evaluator and indexed; the conjunction is solved by backtracking join with
+/// smallest-relation-first atom ordering and forward pruning.
+std::vector<std::vector<int>> EvalCrpq(const GraphDb& db,
+                                       const ConjunctiveRpqi& query);
+
+/// Boolean satisfaction: does any assignment exist?
+bool CrpqSatisfiable(const GraphDb& db, const ConjunctiveRpqi& query);
+
+}  // namespace rpqi
+
+#endif  // RPQI_CRPQ_CRPQ_H_

@@ -1,0 +1,91 @@
+#include "graphdb/eval.h"
+
+#include <algorithm>
+
+#include "automata/ops.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+
+namespace {
+
+/// Shared BFS core: reachable (state, node) configurations from `start_node`
+/// in all initial states. Returns visited flags indexed [node * states + s].
+std::vector<char> ReachableConfigurations(const GraphDb& db, const Nfa& query,
+                                          int start_node) {
+  const int num_states = query.NumStates();
+  std::vector<char> visited(static_cast<size_t>(db.NumNodes()) * num_states,
+                            0);
+  std::vector<std::pair<int, int>> stack;  // (state, node)
+  auto visit = [&](int state, int node) {
+    size_t index = static_cast<size_t>(node) * num_states + state;
+    if (!visited[index]) {
+      visited[index] = 1;
+      stack.push_back({state, node});
+    }
+  };
+  for (int s : query.InitialStates()) visit(s, start_node);
+
+  while (!stack.empty()) {
+    auto [state, node] = stack.back();
+    stack.pop_back();
+    for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
+      if (SignedAlphabet::IsInverseSymbol(t.symbol)) {
+        int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
+        for (const GraphDb::Edge& e : db.InEdges(node)) {
+          if (e.relation == relation) visit(t.to, e.to);
+        }
+      } else {
+        int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
+        for (const GraphDb::Edge& e : db.OutEdges(node)) {
+          if (e.relation == relation) visit(t.to, e.to);
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query_input,
+                    int start_node) {
+  RPQI_CHECK(0 <= start_node && start_node < db.NumNodes());
+  const Nfa query = RemoveEpsilon(query_input);
+  const int num_states = query.NumStates();
+  std::vector<char> visited = ReachableConfigurations(db, query, start_node);
+
+  Bitset answer(db.NumNodes());
+  for (int node = 0; node < db.NumNodes(); ++node) {
+    for (int s = 0; s < num_states; ++s) {
+      if (query.IsAccepting(s) &&
+          visited[static_cast<size_t>(node) * num_states + s]) {
+        answer.Set(node);
+        break;
+      }
+    }
+  }
+  return answer;
+}
+
+std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
+                                                  const Nfa& query_input) {
+  const Nfa query = RemoveEpsilon(query_input);
+  std::vector<std::pair<int, int>> answer;
+  for (int x = 0; x < db.NumNodes(); ++x) {
+    Bitset reachable = EvalRpqiFrom(db, query, x);
+    for (int y = reachable.NextSetBit(0); y >= 0;
+         y = reachable.NextSetBit(y + 1)) {
+      answer.push_back({x, y});
+    }
+  }
+  std::sort(answer.begin(), answer.end());
+  return answer;
+}
+
+bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to) {
+  RPQI_CHECK(0 <= to && to < db.NumNodes());
+  return EvalRpqiFrom(db, query, from).Test(to);
+}
+
+}  // namespace rpqi

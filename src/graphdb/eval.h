@@ -1,0 +1,28 @@
+#ifndef RPQI_GRAPHDB_EVAL_H_
+#define RPQI_GRAPHDB_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "base/bitset.h"
+#include "graphdb/graph.h"
+
+namespace rpqi {
+
+/// Evaluates an RPQI over a database: the set of nodes y such that some
+/// semipath from x to y conforms to the query (Section 2 semantics — forward
+/// symbols 2k follow edges of relation k, inverse symbols 2k+1 traverse them
+/// backwards). Product-graph BFS over (query state, node); O(|states|·|edges|).
+Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query, int start_node);
+
+/// ans(query, db) as a sorted list of node pairs.
+std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
+                                                  const Nfa& query);
+
+/// Membership of one pair in ans(query, db).
+bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to);
+
+}  // namespace rpqi
+
+#endif  // RPQI_GRAPHDB_EVAL_H_

@@ -1,0 +1,88 @@
+#ifndef RPQI_GRAPHDB_GRAPH_H_
+#define RPQI_GRAPHDB_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// A semistructured database (Section 2): a finite directed graph whose edges
+/// are labeled with relation ids. Relation ids follow the convention of
+/// SignedAlphabet (relation k owns Σ± symbols 2k and 2k+1), so a GraphDb and
+/// the query automata over it are coordinated through one alphabet.
+///
+/// Nodes are dense ids; named nodes are interned, anonymous nodes (the
+/// intermediate objects of canonical databases, Definition 12) get synthetic
+/// names.
+class GraphDb {
+ public:
+  struct Edge {
+    int relation;
+    int to;
+  };
+
+  GraphDb() = default;
+
+  GraphDb(const GraphDb&) = default;
+  GraphDb& operator=(const GraphDb&) = default;
+  GraphDb(GraphDb&&) = default;
+  GraphDb& operator=(GraphDb&&) = default;
+
+  /// Returns the id of the named node, creating it if new.
+  int AddNode(const std::string& name) {
+    int id = nodes_.Intern(name);
+    if (id == static_cast<int>(out_.size())) {
+      out_.emplace_back();
+      in_.emplace_back();
+    }
+    return id;
+  }
+
+  /// Creates a fresh unnamed node (named "_anonN" internally).
+  int AddAnonymousNode() {
+    return AddNode("_anon" + std::to_string(NumNodes()));
+  }
+
+  int NodeId(const std::string& name) const { return nodes_.Find(name); }
+  const std::string& NodeName(int id) const { return nodes_.NameOf(id); }
+
+  int NumNodes() const { return static_cast<int>(out_.size()); }
+
+  int NumEdges() const {
+    int total = 0;
+    for (const auto& edges : out_) total += static_cast<int>(edges.size());
+    return total;
+  }
+
+  void AddEdge(int from, int relation, int to) {
+    RPQI_CHECK(0 <= from && from < NumNodes());
+    RPQI_CHECK(0 <= to && to < NumNodes());
+    RPQI_CHECK_GE(relation, 0);
+    out_[from].push_back({relation, to});
+    in_[to].push_back({relation, from});
+  }
+
+  bool HasEdge(int from, int relation, int to) const {
+    for (const Edge& e : out_[from]) {
+      if (e.relation == relation && e.to == to) return true;
+    }
+    return false;
+  }
+
+  /// Outgoing edges of `node`: node --relation--> e.to.
+  const std::vector<Edge>& OutEdges(int node) const { return out_[node]; }
+  /// Incoming edges of `node`: e.to --relation--> node (e.to is the source).
+  const std::vector<Edge>& InEdges(int node) const { return in_[node]; }
+
+ private:
+  StringInterner nodes_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_GRAPHDB_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "graphdb/io.h"
+
+#include "base/strings.h"
+
+namespace rpqi {
+
+StatusOr<GraphDb> LoadGraphText(std::string_view text,
+                                SignedAlphabet* alphabet) {
+  GraphDb db;
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = StrSplit(line, ' ');
+    // Tolerate repeated separators by dropping empties (StrSplit already does).
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected '<from> <relation> <to>', got '" + std::string(line) +
+          "'");
+    }
+    int from = db.AddNode(fields[0]);
+    int relation = alphabet->AddRelation(fields[1]);
+    int to = db.AddNode(fields[2]);
+    db.AddEdge(from, relation, to);
+  }
+  return db;
+}
+
+std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet) {
+  std::string out;
+  for (int node = 0; node < db.NumNodes(); ++node) {
+    for (const GraphDb::Edge& e : db.OutEdges(node)) {
+      out += db.NodeName(node);
+      out += ' ';
+      out += alphabet.RelationName(e.relation);
+      out += ' ';
+      out += db.NodeName(e.to);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,26 @@
+#ifndef RPQI_GRAPHDB_IO_H_
+#define RPQI_GRAPHDB_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "graphdb/graph.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+
+/// Parses the whitespace text format, one edge per line:
+///   <from-node> <relation> <to-node>
+/// Blank lines and lines starting with '#' are skipped. Relations are
+/// registered into `alphabet` (so relation ids stay coordinated with query
+/// compilation); nodes are interned into the returned database.
+StatusOr<GraphDb> LoadGraphText(std::string_view text,
+                                SignedAlphabet* alphabet);
+
+/// Serializes back to the text format (stable node/relation names).
+std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet);
+
+}  // namespace rpqi
+
+#endif  // RPQI_GRAPHDB_IO_H_

@@ -1,0 +1,28 @@
+#ifndef RPQI_GRAPHDB_VIEWS_H_
+#define RPQI_GRAPHDB_VIEWS_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "graphdb/graph.h"
+
+namespace rpqi {
+
+/// Materializes a view over a database: ext(V) = ans(def(V), B), as a sorted
+/// pair list. This is how benchmarks and examples produce view extensions that
+/// are exact by construction.
+std::vector<std::pair<int, int>> MaterializeView(const GraphDb& db,
+                                                 const Nfa& definition);
+
+/// A "view graph": a database over the view alphabet Σ_E whose edges are the
+/// view extensions — pair (a,b) ∈ ext(V_i) becomes an edge a --i--> b. A
+/// rewriting (a query over Σ_E±) is evaluated by running it over this graph,
+/// which is the second step of view-based query rewriting.
+GraphDb BuildViewGraph(int num_objects,
+                       const std::vector<std::vector<std::pair<int, int>>>&
+                           extensions);
+
+}  // namespace rpqi
+
+#endif  // RPQI_GRAPHDB_VIEWS_H_

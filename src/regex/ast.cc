@@ -1,0 +1,129 @@
+#include "regex/ast.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+namespace {
+
+RegexPtr MakeNode(Regex node) {
+  return std::make_shared<const Regex>(std::move(node));
+}
+
+}  // namespace
+
+RegexPtr REmpty() {
+  static const RegexPtr kEmpty = MakeNode({.kind = RegexKind::kEmptySet});
+  return kEmpty;
+}
+
+RegexPtr REpsilon() {
+  static const RegexPtr kEpsilon = MakeNode({.kind = RegexKind::kEpsilon});
+  return kEpsilon;
+}
+
+RegexPtr RAtom(std::string name, bool inverse) {
+  RPQI_CHECK(!name.empty());
+  return MakeNode({.kind = RegexKind::kAtom,
+                   .atom_name = std::move(name),
+                   .atom_inverse = inverse});
+}
+
+RegexPtr RConcat(RegexPtr e1, RegexPtr e2) {
+  RPQI_CHECK(e1 != nullptr);
+  RPQI_CHECK(e2 != nullptr);
+  if (e1->kind == RegexKind::kEmptySet || e2->kind == RegexKind::kEmptySet) {
+    return REmpty();
+  }
+  if (e1->kind == RegexKind::kEpsilon) return e2;
+  if (e2->kind == RegexKind::kEpsilon) return e1;
+  return MakeNode({.kind = RegexKind::kConcat,
+                   .left = std::move(e1),
+                   .right = std::move(e2)});
+}
+
+RegexPtr RUnion(RegexPtr e1, RegexPtr e2) {
+  RPQI_CHECK(e1 != nullptr);
+  RPQI_CHECK(e2 != nullptr);
+  if (e1->kind == RegexKind::kEmptySet) return e2;
+  if (e2->kind == RegexKind::kEmptySet) return e1;
+  return MakeNode({.kind = RegexKind::kUnion,
+                   .left = std::move(e1),
+                   .right = std::move(e2)});
+}
+
+RegexPtr RStar(RegexPtr e) {
+  RPQI_CHECK(e != nullptr);
+  if (e->kind == RegexKind::kEmptySet || e->kind == RegexKind::kEpsilon) {
+    return REpsilon();
+  }
+  if (e->kind == RegexKind::kStar) return e;
+  return MakeNode({.kind = RegexKind::kStar, .left = std::move(e)});
+}
+
+RegexPtr RPlus(RegexPtr e) { return RConcat(e, RStar(e)); }
+
+RegexPtr ROptional(RegexPtr e) { return RUnion(std::move(e), REpsilon()); }
+
+RegexPtr Inv(const RegexPtr& e) {
+  RPQI_CHECK(e != nullptr);
+  switch (e->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      return e;
+    case RegexKind::kAtom:
+      return RAtom(e->atom_name, !e->atom_inverse);
+    case RegexKind::kConcat:
+      return RConcat(Inv(e->right), Inv(e->left));
+    case RegexKind::kUnion:
+      return RUnion(Inv(e->left), Inv(e->right));
+    case RegexKind::kStar:
+      return RStar(Inv(e->left));
+  }
+  RPQI_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+int RegexSize(const RegexPtr& e) {
+  RPQI_CHECK(e != nullptr);
+  switch (e->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+    case RegexKind::kAtom:
+      return 1;
+    case RegexKind::kStar:
+      return 1 + RegexSize(e->left);
+    case RegexKind::kConcat:
+    case RegexKind::kUnion:
+      return 1 + RegexSize(e->left) + RegexSize(e->right);
+  }
+  RPQI_CHECK(false) << "unreachable";
+  return 0;
+}
+
+void CollectAtomNames(const RegexPtr& e, std::vector<std::string>* names) {
+  RPQI_CHECK(e != nullptr);
+  switch (e->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      return;
+    case RegexKind::kAtom:
+      if (std::find(names->begin(), names->end(), e->atom_name) ==
+          names->end()) {
+        names->push_back(e->atom_name);
+      }
+      return;
+    case RegexKind::kStar:
+      CollectAtomNames(e->left, names);
+      return;
+    case RegexKind::kConcat:
+    case RegexKind::kUnion:
+      CollectAtomNames(e->left, names);
+      CollectAtomNames(e->right, names);
+      return;
+  }
+}
+
+}  // namespace rpqi

@@ -1,0 +1,66 @@
+#ifndef RPQI_REGEX_AST_H_
+#define RPQI_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rpqi {
+
+/// Node kinds of regular expressions over a signed alphabet Σ± (relation names
+/// and their inverses). These are the RPQI expressions of the paper's
+/// Section 2; kAtom carries the relation name plus an inverse flag (p vs p⁻).
+enum class RegexKind {
+  kEmptySet,  // ∅ — denotes the empty language
+  kEpsilon,   // ε — the language {ε}
+  kAtom,      // p or p⁻
+  kConcat,    // e1 · e2
+  kUnion,     // e1 ∪ e2
+  kStar,      // e*
+};
+
+/// Immutable regular-expression node. Build with the factory functions below;
+/// share freely (nodes are never mutated after construction).
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+struct Regex {
+  RegexKind kind = RegexKind::kEmptySet;
+  // kAtom only.
+  std::string atom_name = {};
+  bool atom_inverse = false;
+  // kConcat/kUnion: both; kStar: left only.
+  RegexPtr left = nullptr;
+  RegexPtr right = nullptr;
+};
+
+/// ∅ — the empty language.
+RegexPtr REmpty();
+/// ε — the empty word.
+RegexPtr REpsilon();
+/// Atom `name`, inverted (p⁻) if `inverse`.
+RegexPtr RAtom(std::string name, bool inverse = false);
+/// e1 · e2 (with ∅/ε simplifications applied).
+RegexPtr RConcat(RegexPtr e1, RegexPtr e2);
+/// e1 ∪ e2 (with ∅ simplifications applied).
+RegexPtr RUnion(RegexPtr e1, RegexPtr e2);
+/// e* (with ∅*/ε* ⇒ ε simplification applied).
+RegexPtr RStar(RegexPtr e);
+/// e+ = e · e*.
+RegexPtr RPlus(RegexPtr e);
+/// e? = e ∪ ε.
+RegexPtr ROptional(RegexPtr e);
+
+/// The paper's inv() transformation (Section 4): mirrors the expression and
+/// flips every atom's inverse flag, so that L(inv(e)) = {inv(w) : w ∈ L(e)}.
+RegexPtr Inv(const RegexPtr& e);
+
+/// Number of AST nodes; the "size of the query" for complexity experiments.
+int RegexSize(const RegexPtr& e);
+
+/// Collects the distinct relation names mentioned in `e` into `names`.
+void CollectAtomNames(const RegexPtr& e, std::vector<std::string>* names);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REGEX_AST_H_

@@ -1,0 +1,163 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace rpqi {
+
+namespace {
+
+/// Recursive-descent parser over a raw character window.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<RegexPtr> Parse() {
+    StatusOr<RegexPtr> result = ParseAlternation();
+    if (!result.ok()) return result;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return result;
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_) + " in \"" +
+                                   std::string(text_) + "\"");
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool TryConsume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<RegexPtr> ParseAlternation() {
+    StatusOr<RegexPtr> left = ParseConcat();
+    if (!left.ok()) return left;
+    RegexPtr result = left.value();
+    while (TryConsume('|')) {
+      StatusOr<RegexPtr> right = ParseConcat();
+      if (!right.ok()) return right;
+      result = RUnion(result, right.value());
+    }
+    return result;
+  }
+
+  static bool StartsPrimary(char c) {
+    return c == '(' || c == '%' || c == '_' ||
+           std::isalpha(static_cast<unsigned char>(c));
+  }
+
+  StatusOr<RegexPtr> ParseConcat() {
+    StatusOr<RegexPtr> first = ParseRepetition();
+    if (!first.ok()) return first;
+    RegexPtr result = first.value();
+    while (StartsPrimary(Peek())) {
+      StatusOr<RegexPtr> next = ParseRepetition();
+      if (!next.ok()) return next;
+      result = RConcat(result, next.value());
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParseRepetition() {
+    StatusOr<RegexPtr> primary = ParsePrimary();
+    if (!primary.ok()) return primary;
+    RegexPtr result = primary.value();
+    while (true) {
+      char c = Peek();
+      if (c == '*') {
+        ++pos_;
+        result = RStar(result);
+      } else if (c == '+') {
+        ++pos_;
+        result = RPlus(result);
+      } else if (c == '?') {
+        ++pos_;
+        result = ROptional(result);
+      } else if (c == '^') {
+        ++pos_;
+        if (pos_ >= text_.size() || text_[pos_] != '-') {
+          return Error("expected '-' after '^'");
+        }
+        ++pos_;
+        result = Inv(result);
+      } else {
+        break;
+      }
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParsePrimary() {
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      StatusOr<RegexPtr> inner = ParseAlternation();
+      if (!inner.ok()) return inner;
+      if (!TryConsume(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (c == '%') {
+      ++pos_;
+      std::string word = ConsumeIdent();
+      if (word == "eps" || word == "epsilon") return REpsilon();
+      if (word == "empty") return REmpty();
+      return Error("unknown %-token '%" + word + "'");
+    }
+    if (c == '_' || std::isalpha(static_cast<unsigned char>(c))) {
+      std::string name = ConsumeIdent();
+      return RAtom(std::move(name));
+    }
+    return Error("expected identifier, '(' or %-token");
+  }
+
+  std::string ConsumeIdent() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '_' || std::isalnum(static_cast<unsigned char>(c))) {
+        out += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RegexPtr> ParseRegex(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+RegexPtr MustParseRegex(std::string_view text) {
+  StatusOr<RegexPtr> result = ParseRegex(text);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+}  // namespace rpqi

@@ -1,0 +1,33 @@
+#ifndef RPQI_REGEX_PARSER_H_
+#define RPQI_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace rpqi {
+
+/// Parses the textual RPQI syntax into an AST.
+///
+/// Grammar (whitespace insignificant):
+///   alternation := concat ('|' concat)*
+///   concat      := repetition+              -- juxtaposition concatenates
+///   repetition  := primary ('*' | '+' | '?' | '^-')*
+///   primary     := IDENT | '(' alternation ')' | '%empty' | '%eps'
+///   IDENT       := [A-Za-z_][A-Za-z0-9_]*
+///
+/// `^-` is the inverse operator: `p^-` is p⁻; on a parenthesized group it
+/// applies the paper's inv() transformation to the whole subexpression.
+///
+/// Examples:
+///   (hasSubmodule^-)* (containsVar | hasSubmodule)     -- the paper's Example 1
+///   (a b^-)* c+ (d | %eps)
+StatusOr<RegexPtr> ParseRegex(std::string_view text);
+
+/// Parses, aborting on syntax errors. For tests and hard-coded expressions.
+RegexPtr MustParseRegex(std::string_view text);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REGEX_PARSER_H_

@@ -1,0 +1,67 @@
+#include "regex/printer.h"
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+namespace {
+
+// Precedence levels: union (lowest), concat, star/atom (highest).
+enum Precedence { kUnionPrec = 0, kConcatPrec = 1, kAtomPrec = 2 };
+
+void Render(const RegexPtr& e, int parent_prec, std::string* out) {
+  switch (e->kind) {
+    case RegexKind::kEmptySet:
+      *out += "%empty";
+      return;
+    case RegexKind::kEpsilon:
+      *out += "%eps";
+      return;
+    case RegexKind::kAtom:
+      *out += e->atom_name;
+      if (e->atom_inverse) *out += "^-";
+      return;
+    case RegexKind::kStar: {
+      // The star operand always needs grouping unless it is a bare atom.
+      if (e->left->kind == RegexKind::kAtom && !e->left->atom_inverse) {
+        Render(e->left, kAtomPrec, out);
+      } else {
+        *out += "(";
+        Render(e->left, kUnionPrec, out);
+        *out += ")";
+      }
+      *out += "*";
+      return;
+    }
+    case RegexKind::kConcat: {
+      bool parens = parent_prec > kConcatPrec;
+      if (parens) *out += "(";
+      Render(e->left, kConcatPrec, out);
+      *out += " ";
+      Render(e->right, kConcatPrec, out);
+      if (parens) *out += ")";
+      return;
+    }
+    case RegexKind::kUnion: {
+      bool parens = parent_prec > kUnionPrec;
+      if (parens) *out += "(";
+      Render(e->left, kUnionPrec, out);
+      *out += " | ";
+      Render(e->right, kUnionPrec, out);
+      if (parens) *out += ")";
+      return;
+    }
+  }
+  RPQI_CHECK(false) << "unreachable";
+}
+
+}  // namespace
+
+std::string RegexToString(const RegexPtr& e) {
+  RPQI_CHECK(e != nullptr);
+  std::string out;
+  Render(e, kUnionPrec, &out);
+  return out;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,16 @@
+#ifndef RPQI_REGEX_PRINTER_H_
+#define RPQI_REGEX_PRINTER_H_
+
+#include <string>
+
+#include "regex/ast.h"
+
+namespace rpqi {
+
+/// Renders `e` in the parser's input syntax with minimal parentheses, so that
+/// ParseRegex(RegexToString(e)) reproduces an AST with the same language.
+std::string RegexToString(const RegexPtr& e);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REGEX_PRINTER_H_

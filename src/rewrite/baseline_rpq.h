@@ -1,0 +1,38 @@
+#ifndef RPQI_REWRITE_BASELINE_RPQ_H_
+#define RPQI_REWRITE_BASELINE_RPQ_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/status.h"
+#include "rewrite/rewriter.h"
+
+namespace rpqi {
+
+/// Maximal rewriting for *plain* RPQs (no inverse operator), following the
+/// one-way-automaton method of Calvanese, De Giacomo, Lenzerini, Vardi,
+/// "Rewriting of regular expressions and regular path queries" (PODS'99,
+/// reference [10] of the paper) — the baseline this paper extends.
+///
+/// For inverse-free queries a word w satisfies E0 iff w ∈ L(E0), so the bad
+/// view words are those with an expansion outside L(E0):
+///   1. D := determinize(E0), C := complement(D);
+///   2. A4' over Σ_E: states of C, an edge q --e--> q' whenever some word of
+///      L(def(e)) drives C from q to q';
+///   3. R := complement(determinize(A4')) — single-exponential from D.
+///
+/// Inputs must not mention inverse symbols (odd Σ± ids); the result DFA is
+/// over Σ_E forward symbols only, re-hosted on 2k symbols (odd view symbols
+/// are dead) so it is directly comparable with ComputeMaximalRewriting.
+StatusOr<MaximalRewriting> ComputeBaselineRpqRewriting(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const RewritingOptions& options = {});
+
+/// True if the automaton uses no inverse (odd) symbols — the applicability
+/// condition of the baseline.
+bool IsInverseFree(const Nfa& automaton);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REWRITE_BASELINE_RPQ_H_

@@ -1,0 +1,19 @@
+#include "rewrite/eval.h"
+
+#include "automata/ops.h"
+#include "graphdb/eval.h"
+#include "graphdb/views.h"
+
+namespace rpqi {
+
+std::vector<std::pair<int, int>> EvaluateRewriting(
+    const Dfa& rewriting, int num_objects,
+    const std::vector<std::vector<std::pair<int, int>>>& extensions) {
+  RPQI_CHECK_EQ(rewriting.num_symbols(),
+                2 * static_cast<int>(extensions.size()));
+  GraphDb view_graph = BuildViewGraph(num_objects, extensions);
+  Nfa query = Trim(DfaToNfa(rewriting));
+  return EvalRpqiAllPairs(view_graph, query);
+}
+
+}  // namespace rpqi

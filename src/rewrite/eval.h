@@ -1,0 +1,22 @@
+#ifndef RPQI_REWRITE_EVAL_H_
+#define RPQI_REWRITE_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graphdb/graph.h"
+
+namespace rpqi {
+
+/// Second phase of view-based query rewriting: evaluates a rewriting (a query
+/// over Σ_E±, symbols 2i/2i+1 for view i) over materialized view extensions.
+/// Builds the view graph (extension pair (a,b) of view i ⇒ edge a --i--> b)
+/// and runs the standard RPQI evaluator on it.
+std::vector<std::pair<int, int>> EvaluateRewriting(
+    const Dfa& rewriting, int num_objects,
+    const std::vector<std::vector<std::pair<int, int>>>& extensions);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REWRITE_EVAL_H_

@@ -1,0 +1,20 @@
+#include "rewrite/exactness.h"
+
+#include "rewrite/expansion.h"
+#include "rpq/containment.h"
+
+namespace rpqi {
+
+bool IsSoundRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                      const Dfa& rewriting) {
+  Nfa expansion = ExpandRewriting(rewriting, views);
+  return RpqiContained(expansion, query);
+}
+
+bool IsExactRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                      const Dfa& rewriting) {
+  Nfa expansion = ExpandRewriting(rewriting, views);
+  return RpqiContained(query, expansion);
+}
+
+}  // namespace rpqi

@@ -1,0 +1,26 @@
+#ifndef RPQI_REWRITE_EXACTNESS_H_
+#define RPQI_REWRITE_EXACTNESS_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqi {
+
+/// Soundness check (Definition 3, for testing the pipeline): is `rewriting`
+/// (over Σ_E±) actually a rewriting of `query` w.r.t. `views`, i.e. does
+/// ans(expand(R), B) ⊆ ans(query, B) hold on every database? By Theorem 4
+/// this reduces to RPQI containment of the expansion in the query.
+bool IsSoundRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                      const Dfa& rewriting);
+
+/// Exactness check (Theorem 9): does ans(expand(R), B) = ans(query, B) hold
+/// on every database? Given a maximal rewriting only the ⊇ direction is open,
+/// which is RPQI containment of the query in the expansion.
+bool IsExactRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                      const Dfa& rewriting);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REWRITE_EXACTNESS_H_

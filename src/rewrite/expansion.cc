@@ -1,0 +1,53 @@
+#include "rewrite/expansion.h"
+
+#include "automata/ops.h"
+#include "rpq/compile.h"
+
+namespace rpqi {
+
+Nfa ExpandRewriting(const Nfa& rewriting, const std::vector<Nfa>& views) {
+  RPQI_CHECK_EQ(rewriting.num_symbols(),
+                2 * static_cast<int>(views.size()));
+  RPQI_CHECK(!views.empty());
+  const int sigma_symbols = views[0].num_symbols();
+
+  Nfa result(sigma_symbols);
+  // Host copies of the rewriting's states first.
+  for (int s = 0; s < rewriting.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < rewriting.NumStates(); ++s) {
+    result.SetInitial(s, rewriting.IsInitial(s));
+    result.SetAccepting(s, rewriting.IsAccepting(s));
+  }
+  for (int s = 0; s < rewriting.NumStates(); ++s) {
+    for (const Nfa::Transition& t : rewriting.TransitionsFrom(s)) {
+      if (t.symbol == kEpsilon) {
+        result.AddTransition(s, kEpsilon, t.to);
+        continue;
+      }
+      int view = t.symbol / 2;
+      bool inverse = (t.symbol % 2) != 0;
+      Nfa definition =
+          RemoveEpsilon(inverse ? InverseAutomaton(views[view]) : views[view]);
+      int offset = result.NumStates();
+      for (int q = 0; q < definition.NumStates(); ++q) result.AddState();
+      for (int q = 0; q < definition.NumStates(); ++q) {
+        for (const Nfa::Transition& d : definition.TransitionsFrom(q)) {
+          result.AddTransition(offset + q, d.symbol, offset + d.to);
+        }
+        if (definition.IsInitial(q)) {
+          result.AddTransition(s, kEpsilon, offset + q);
+        }
+        if (definition.IsAccepting(q)) {
+          result.AddTransition(offset + q, kEpsilon, t.to);
+        }
+      }
+    }
+  }
+  return RemoveEpsilon(Trim(result));
+}
+
+Nfa ExpandRewriting(const Dfa& rewriting, const std::vector<Nfa>& views) {
+  return ExpandRewriting(Trim(DfaToNfa(rewriting)), views);
+}
+
+}  // namespace rpqi

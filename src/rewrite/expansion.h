@@ -1,0 +1,20 @@
+#ifndef RPQI_REWRITE_EXPANSION_H_
+#define RPQI_REWRITE_EXPANSION_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqi {
+
+/// expand_E(R): substitutes every view edge of the rewriting automaton by the
+/// automaton of its definition — forward symbols 2i by def(eᵢ), inverse
+/// symbols 2i+1 by inv(def(eᵢ)) — yielding a query over Σ±. `rewriting` is
+/// over Σ_E± (2k symbols); the result is over the views' shared Σ±.
+Nfa ExpandRewriting(const Nfa& rewriting, const std::vector<Nfa>& views);
+Nfa ExpandRewriting(const Dfa& rewriting, const std::vector<Nfa>& views);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REWRITE_EXPANSION_H_

@@ -1,0 +1,195 @@
+#include "rewrite/rewriter.h"
+
+#include <utility>
+
+#include "automata/lazy.h"
+#include "automata/ops.h"
+#include "automata/state_elim.h"
+#include "automata/table_dfa.h"
+#include "regex/printer.h"
+#include "rpq/compile.h"
+#include "rpq/satisfaction.h"
+
+namespace rpqi {
+
+namespace {
+
+RewritingAlphabet MakeAlphabet(const Nfa& query, const std::vector<Nfa>& views) {
+  RewritingAlphabet alphabet;
+  alphabet.sigma_symbols = query.num_symbols();
+  alphabet.num_views = static_cast<int>(views.size());
+  for (const Nfa& view : views) {
+    RPQI_CHECK_EQ(view.num_symbols(), query.num_symbols())
+        << "query and views must share the signed alphabet";
+  }
+  return alphabet;
+}
+
+/// A1 (Section 4): the Section 3 satisfaction automaton for the query over
+/// the combined alphabet, with view symbols transparent and $ as terminator.
+TwoWayNfa BuildA1(const Nfa& query, const RewritingAlphabet& alphabet) {
+  SatisfactionOptions options;
+  options.total_symbols = alphabet.TotalSymbols();
+  options.dollar_symbol = alphabet.DollarSymbol();
+  for (int view = 0; view < alphabet.num_views; ++view) {
+    options.transparent.push_back(alphabet.ViewSymbol(view, false));
+    options.transparent.push_back(alphabet.ViewSymbol(view, true));
+  }
+  return BuildSatisfactionAutomaton(query, options);
+}
+
+/// A3 (Section 4): accepts exactly the well-formed words
+/// $e₁w₁$e₂w₂$…$eₘwₘ$ with wᵢ ∈ L(def(eᵢ)), where def(e⁻) = inv(def(e)).
+Nfa BuildA3(const std::vector<Nfa>& views, const RewritingAlphabet& alphabet) {
+  Nfa a3(alphabet.TotalSymbols());
+  int start = a3.AddState();
+  int chooser = a3.AddState();  // reached after each $; also the end state
+  a3.SetInitial(start);
+  a3.SetAccepting(chooser);
+  a3.AddTransition(start, alphabet.DollarSymbol(), chooser);
+
+  for (int view = 0; view < alphabet.num_views; ++view) {
+    for (bool inverse : {false, true}) {
+      Nfa definition =
+          inverse ? InverseAutomaton(views[view]) : views[view];
+      definition = RemoveEpsilon(definition);
+      int offset = a3.NumStates();
+      for (int s = 0; s < definition.NumStates(); ++s) a3.AddState();
+      for (int s = 0; s < definition.NumStates(); ++s) {
+        for (const Nfa::Transition& t : definition.TransitionsFrom(s)) {
+          a3.AddTransition(offset + s, t.symbol, offset + t.to);
+        }
+        if (definition.IsInitial(s)) {
+          a3.AddTransition(chooser, alphabet.ViewSymbol(view, inverse),
+                           offset + s);
+        }
+        if (definition.IsAccepting(s)) {
+          a3.AddTransition(offset + s, alphabet.DollarSymbol(), chooser);
+        }
+      }
+    }
+  }
+  return a3;
+}
+
+/// Symbol mapping for the projection onto Σ_E± (view symbols keep their
+/// Σ_E± id, everything else is erased).
+std::vector<int> ProjectionMapping(const RewritingAlphabet& alphabet) {
+  std::vector<int> mapping(alphabet.TotalSymbols(), kEpsilon);
+  for (int view = 0; view < alphabet.num_views; ++view) {
+    for (bool inverse : {false, true}) {
+      int symbol = alphabet.ViewSymbol(view, inverse);
+      mapping[symbol] = alphabet.ViewAlphabetId(symbol);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+StatusOr<MaximalRewriting> ComputeMaximalRewriting(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const RewritingOptions& options) {
+  RewritingAlphabet alphabet = MakeAlphabet(query, views);
+  RewritingStats stats;
+
+  TwoWayNfa a1 = BuildA1(query, alphabet);
+  stats.a1_states = a1.NumStates();
+
+  Nfa a3 = BuildA3(views, alphabet);
+  stats.a3_states = a3.NumStates();
+
+  // A2 ∩ A3 materialized lazily: A2 is the complement of A1 obtained by
+  // flipping the deterministic table translation.
+  LazyTableDfa a2(a1, /*complement=*/true);
+  LazySubsetDfa a3_dfa(a3);
+  LazyProductDfa product({&a2, &a3_dfa});
+  StatusOr<Dfa> product_dfa =
+      MaterializeLazyDfa(&product, options.max_product_states);
+  if (!product_dfa.ok()) return product_dfa.status();
+  stats.a2_states_discovered = a2.NumDiscoveredStates();
+  stats.product_states = product_dfa->NumStates();
+
+  // A4: project onto Σ_E±, so it accepts exactly the *bad* view words.
+  Nfa a4 = Trim(Project(DfaToNfa(*product_dfa), ProjectionMapping(alphabet),
+                        2 * alphabet.num_views));
+  stats.a4_states = a4.NumStates();
+
+  // R = complement of A4.
+  StatusOr<Dfa> a4_dfa = DeterminizeWithLimit(a4, options.max_subset_states);
+  if (!a4_dfa.ok()) return a4_dfa.status();
+  Dfa rewriting = ComplementDfa(*a4_dfa);
+  if (options.minimize_result) rewriting = Minimize(rewriting);
+  stats.rewriting_states = rewriting.NumStates();
+
+  MaximalRewriting result{std::move(rewriting), false, stats};
+  result.empty = !ShortestAcceptedWord(DfaToNfa(result.dfa)).has_value();
+  return result;
+}
+
+bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                              const std::vector<int>& view_word) {
+  RewritingAlphabet alphabet = MakeAlphabet(query, views);
+  const int total = alphabet.TotalSymbols();
+  const int dollar = alphabet.DollarSymbol();
+
+  // W = $ e₁ L(def(e₁)) $ … $ eₘ L(def(eₘ)) $ for this specific view word.
+  Nfa w = SingleWordNfa(total, {dollar});
+  for (int e : view_word) {
+    RPQI_CHECK(0 <= e && e < 2 * alphabet.num_views);
+    int view = e / 2;
+    bool inverse = (e % 2) != 0;
+    Nfa definition = inverse ? InverseAutomaton(views[view]) : views[view];
+    w = Concat(w, SingleWordNfa(total, {alphabet.ViewSymbol(view, inverse)}));
+    w = Concat(w, WidenAlphabet(definition, total));
+    w = Concat(w, SingleWordNfa(total, {dollar}));
+  }
+
+  // e₁…eₘ ∈ R iff every word of W satisfies the query, i.e. W ∩ comp(A1) = ∅.
+  TwoWayNfa a1 = BuildA1(query, alphabet);
+  LazySubsetDfa w_dfa(w);
+  LazyTableDfa not_a1(a1, /*complement=*/true);
+  LazyProductDfa product({&w_dfa, &not_a1});
+  EmptinessResult result =
+      FindAcceptedWord(&product, /*max_states=*/int64_t{1} << 24);
+  RPQI_CHECK(result.outcome != EmptinessResult::Outcome::kLimitExceeded);
+  return result.outcome == EmptinessResult::Outcome::kEmpty;
+}
+
+StatusOr<bool> MaximalRewritingNonEmpty(const Nfa& query,
+                                        const std::vector<Nfa>& views,
+                                        const RewritingOptions& options) {
+  RewritingAlphabet alphabet = MakeAlphabet(query, views);
+
+  // Fully on the fly: R ≠ ∅ iff A4 is not universal over Σ_E±, i.e. the
+  // complemented lazy image-subset automaton of (A2 ∩ A3) accepts some word.
+  TwoWayNfa a1 = BuildA1(query, alphabet);
+  Nfa a3 = BuildA3(views, alphabet);
+  LazyTableDfa a2(a1, /*complement=*/true);
+  LazySubsetDfa a3_dfa(a3);
+  LazyProductDfa product({&a2, &a3_dfa});
+  LazyImageSubsetDfa not_a4(&product, ProjectionMapping(alphabet),
+                            2 * alphabet.num_views, /*complement=*/true);
+
+  EmptinessResult result = FindAcceptedWord(&not_a4, options.max_subset_states);
+  if (result.outcome == EmptinessResult::Outcome::kLimitExceeded) {
+    return Status::ResourceExhausted(
+        "nonemptiness search exceeded its state budget");
+  }
+  return result.outcome == EmptinessResult::Outcome::kFoundWord;
+}
+
+std::string RewritingToString(const Dfa& rewriting,
+                              const std::vector<std::string>& view_names) {
+  RPQI_CHECK_EQ(static_cast<int>(view_names.size()) * 2,
+                rewriting.num_symbols());
+  std::vector<RegexPtr> atoms;
+  atoms.reserve(rewriting.num_symbols());
+  for (size_t view = 0; view < view_names.size(); ++view) {
+    atoms.push_back(RAtom(view_names[view], false));
+    atoms.push_back(RAtom(view_names[view], true));
+  }
+  return RegexToString(NfaToRegex(DfaToNfa(rewriting), atoms));
+}
+
+}  // namespace rpqi

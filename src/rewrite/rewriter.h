@@ -1,0 +1,95 @@
+#ifndef RPQI_REWRITE_REWRITER_H_
+#define RPQI_REWRITE_REWRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Describes the combined word alphabet used by the Section 4 constructions:
+/// Σ± first, then the signed view alphabet Σ_E±, then the $ separator.
+/// For k views, view i owns symbols base+2i (e_i) and base+2i+1 (e_i⁻) where
+/// base = |Σ±|; the final symbol is $.
+struct RewritingAlphabet {
+  int sigma_symbols = 0;  // |Σ±|
+  int num_views = 0;      // k
+
+  int TotalSymbols() const { return sigma_symbols + 2 * num_views + 1; }
+  int DollarSymbol() const { return sigma_symbols + 2 * num_views; }
+  int ViewSymbol(int view, bool inverse) const {
+    return sigma_symbols + 2 * view + (inverse ? 1 : 0);
+  }
+  bool IsViewSymbol(int symbol) const {
+    return symbol >= sigma_symbols && symbol < DollarSymbol();
+  }
+  /// Maps a combined-alphabet view symbol to its id in Σ_E± ([0, 2k)).
+  int ViewAlphabetId(int symbol) const { return symbol - sigma_symbols; }
+};
+
+/// Resource limits for the (provably worst-case doubly exponential)
+/// constructions. Exceeding a limit yields Status::ResourceExhausted rather
+/// than unbounded memory use.
+struct RewritingOptions {
+  int64_t max_product_states = int64_t{1} << 20;
+  int64_t max_subset_states = int64_t{1} << 20;
+  bool minimize_result = true;
+};
+
+/// Size accounting for every stage of the pipeline (Theorem 7's objects).
+struct RewritingStats {
+  int a1_states = 0;                 // two-way automaton A1
+  int a3_states = 0;                 // structure/conformance NFA A3
+  int64_t a2_states_discovered = 0;  // lazily discovered states of A2
+  int product_states = 0;            // materialized A2 ∩ A3
+  int a4_states = 0;                 // after projection onto Σ_E±
+  int rewriting_states = 0;          // final DFA for the maximal rewriting
+};
+
+/// The maximal rewriting R_{E,E0} of Theorem 6: a DFA over Σ_E± (2k symbols,
+/// view i forward = 2i, inverse = 2i+1) accepting exactly the view words all
+/// of whose expansions satisfy the query.
+struct MaximalRewriting {
+  Dfa dfa;
+  bool empty = false;  // true iff the rewriting language is empty
+  RewritingStats stats;
+};
+
+/// Computes the maximal rewriting of `query` w.r.t. `views` (Theorems 6/7).
+/// All automata are over the same Σ±. The pipeline follows the paper:
+///   A1: two-way automaton accepting $e₁w₁$…$eₘwₘ$ whose payload w₁…wₘ
+///       satisfies the query (built from the Section 3 construction with
+///       view symbols transparent);
+///   A2: its complement, via the deterministic table translation, on the fly;
+///   A3: one-way automaton enforcing the block structure and wᵢ ∈ L(def(eᵢ));
+///   A4: projection of A2 ∩ A3 onto the view symbols (the *bad* view words);
+///   R : complement of A4.
+StatusOr<MaximalRewriting> ComputeMaximalRewriting(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const RewritingOptions& options = {});
+
+/// Decides membership of a single view word in the maximal rewriting without
+/// materializing it: e₁…eₘ ∈ R iff L($e₁·def(e₁)·$…$) ⊆ L(A1). Symbols of
+/// `view_word` are in Σ_E± ids ([0, 2k)). Used for cross-validation and for
+/// the on-the-fly ablation.
+bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                              const std::vector<int>& view_word);
+
+/// Theorem 8 check, fully on the fly: is the maximal rewriting nonempty?
+/// Searches for a view word rejected by A4 through a lazy subset construction
+/// over the lazy projected product — no automaton is materialized.
+StatusOr<bool> MaximalRewritingNonEmpty(const Nfa& query,
+                                        const std::vector<Nfa>& views,
+                                        const RewritingOptions& options = {});
+
+/// Pretty-prints the rewriting as an RPQI expression over the view names.
+std::string RewritingToString(const Dfa& rewriting,
+                              const std::vector<std::string>& view_names);
+
+}  // namespace rpqi
+
+#endif  // RPQI_REWRITE_REWRITER_H_

@@ -1,0 +1,65 @@
+#ifndef RPQI_RPQ_ALPHABET_H_
+#define RPQI_RPQ_ALPHABET_H_
+
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// The signed alphabet Σ± of Section 2: for every database relation p there
+/// are two symbols, p (forward traversal) and p⁻ (inverse traversal). A
+/// relation with id k owns symbols 2k (forward) and 2k+1 (inverse), so the
+/// inverse of a symbol is computed by flipping its low bit.
+class SignedAlphabet {
+ public:
+  SignedAlphabet() = default;
+
+  /// Registers a relation name; returns its relation id (idempotent).
+  int AddRelation(const std::string& name) { return relations_.Intern(name); }
+
+  /// Relation id of `name`, or -1 if unknown.
+  int RelationId(const std::string& name) const {
+    return relations_.Find(name);
+  }
+
+  int NumRelations() const { return relations_.size(); }
+  /// Number of symbols in Σ± (= 2 × relations).
+  int NumSymbols() const { return 2 * relations_.size(); }
+
+  static int ForwardSymbol(int relation) { return 2 * relation; }
+  static int InverseSymbolOfRelation(int relation) { return 2 * relation + 1; }
+  /// The paper's r ↦ r⁻ on symbols: p ↦ p⁻ and p⁻ ↦ p.
+  static int InverseSymbol(int symbol) { return symbol ^ 1; }
+  static bool IsInverseSymbol(int symbol) { return (symbol & 1) != 0; }
+  static int RelationOfSymbol(int symbol) { return symbol >> 1; }
+
+  /// Symbol id of `name`, inverted if `inverse`; -1 if the name is unknown.
+  int SymbolId(const std::string& name, bool inverse) const {
+    int relation = relations_.Find(name);
+    if (relation < 0) return -1;
+    return inverse ? InverseSymbolOfRelation(relation)
+                   : ForwardSymbol(relation);
+  }
+
+  const std::string& RelationName(int relation) const {
+    return relations_.NameOf(relation);
+  }
+
+  /// Printable name of a symbol: "p" or "p^-".
+  std::string SymbolName(int symbol) const {
+    RPQI_CHECK(0 <= symbol && symbol < NumSymbols());
+    std::string name = relations_.NameOf(RelationOfSymbol(symbol));
+    if (IsInverseSymbol(symbol)) name += "^-";
+    return name;
+  }
+
+ private:
+  StringInterner relations_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_RPQ_ALPHABET_H_

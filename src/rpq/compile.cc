@@ -1,0 +1,130 @@
+#include "rpq/compile.h"
+
+#include <algorithm>
+
+#include "automata/ops.h"
+#include "regex/parser.h"
+
+namespace rpqi {
+
+void RegisterRelations(const std::vector<RegexPtr>& expressions,
+                       SignedAlphabet* alphabet) {
+  std::vector<std::string> names;
+  for (const RegexPtr& e : expressions) CollectAtomNames(e, &names);
+  for (const std::string& name : names) alphabet->AddRelation(name);
+}
+
+namespace {
+
+/// Thompson fragment: one entry, one exit, built inside `nfa`.
+struct Fragment {
+  int entry;
+  int exit;
+};
+
+StatusOr<Fragment> Build(const RegexPtr& e, const SignedAlphabet& alphabet,
+                         Nfa* nfa) {
+  switch (e->kind) {
+    case RegexKind::kEmptySet: {
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      return f;  // no connection: accepts nothing
+    }
+    case RegexKind::kEpsilon: {
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddTransition(f.entry, kEpsilon, f.exit);
+      return f;
+    }
+    case RegexKind::kAtom: {
+      int symbol = alphabet.SymbolId(e->atom_name, e->atom_inverse);
+      if (symbol < 0) {
+        return Status::InvalidArgument("unregistered relation '" +
+                                       e->atom_name + "'");
+      }
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddTransition(f.entry, symbol, f.exit);
+      return f;
+    }
+    case RegexKind::kConcat: {
+      StatusOr<Fragment> left = Build(e->left, alphabet, nfa);
+      if (!left.ok()) return left.status();
+      StatusOr<Fragment> right = Build(e->right, alphabet, nfa);
+      if (!right.ok()) return right.status();
+      nfa->AddTransition(left->exit, kEpsilon, right->entry);
+      return Fragment{left->entry, right->exit};
+    }
+    case RegexKind::kUnion: {
+      StatusOr<Fragment> left = Build(e->left, alphabet, nfa);
+      if (!left.ok()) return left.status();
+      StatusOr<Fragment> right = Build(e->right, alphabet, nfa);
+      if (!right.ok()) return right.status();
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddTransition(f.entry, kEpsilon, left->entry);
+      nfa->AddTransition(f.entry, kEpsilon, right->entry);
+      nfa->AddTransition(left->exit, kEpsilon, f.exit);
+      nfa->AddTransition(right->exit, kEpsilon, f.exit);
+      return f;
+    }
+    case RegexKind::kStar: {
+      StatusOr<Fragment> inner = Build(e->left, alphabet, nfa);
+      if (!inner.ok()) return inner.status();
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddTransition(f.entry, kEpsilon, f.exit);
+      nfa->AddTransition(f.entry, kEpsilon, inner->entry);
+      nfa->AddTransition(inner->exit, kEpsilon, inner->entry);
+      nfa->AddTransition(inner->exit, kEpsilon, f.exit);
+      return f;
+    }
+  }
+  RPQI_CHECK(false) << "unreachable";
+  return Status::InvalidArgument("corrupt AST");
+}
+
+}  // namespace
+
+StatusOr<Nfa> CompileRegex(const RegexPtr& expression,
+                           const SignedAlphabet& alphabet) {
+  Nfa nfa(alphabet.NumSymbols());
+  StatusOr<Fragment> f = Build(expression, alphabet, &nfa);
+  if (!f.ok()) return f.status();
+  nfa.SetInitial(f->entry);
+  nfa.SetAccepting(f->exit);
+  return RemoveEpsilon(Trim(nfa));
+}
+
+Nfa MustCompileRegex(const RegexPtr& expression,
+                     const SignedAlphabet& alphabet) {
+  StatusOr<Nfa> result = CompileRegex(expression, alphabet);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Nfa MustCompileRegex(std::string_view text, SignedAlphabet* alphabet) {
+  RegexPtr expression = MustParseRegex(text);
+  RegisterRelations({expression}, alphabet);
+  return MustCompileRegex(expression, *alphabet);
+}
+
+std::vector<int> InverseWord(const std::vector<int>& word) {
+  std::vector<int> result(word.rbegin(), word.rend());
+  for (int& symbol : result) symbol = SignedAlphabet::InverseSymbol(symbol);
+  return result;
+}
+
+Nfa InverseAutomaton(const Nfa& a) {
+  Nfa reversed = ReverseNfa(a);
+  Nfa result(reversed.num_symbols());
+  for (int s = 0; s < reversed.NumStates(); ++s) result.AddState();
+  for (int s = 0; s < reversed.NumStates(); ++s) {
+    result.SetInitial(s, reversed.IsInitial(s));
+    result.SetAccepting(s, reversed.IsAccepting(s));
+    for (const Nfa::Transition& t : reversed.TransitionsFrom(s)) {
+      int symbol = t.symbol == kEpsilon
+                       ? kEpsilon
+                       : SignedAlphabet::InverseSymbol(t.symbol);
+      result.AddTransition(s, symbol, t.to);
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,40 @@
+#ifndef RPQI_RPQ_COMPILE_H_
+#define RPQI_RPQ_COMPILE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "base/status.h"
+#include "regex/ast.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+
+/// Registers every relation mentioned in `expressions` into `alphabet`.
+void RegisterRelations(const std::vector<RegexPtr>& expressions,
+                       SignedAlphabet* alphabet);
+
+/// Thompson construction: compiles an RPQI expression into an NFA over the
+/// signed alphabet. Every atom's relation must already be registered.
+StatusOr<Nfa> CompileRegex(const RegexPtr& expression,
+                           const SignedAlphabet& alphabet);
+
+/// Compiles, aborting on unknown relations. For tests and examples.
+Nfa MustCompileRegex(const RegexPtr& expression, const SignedAlphabet& alphabet);
+
+/// Parses and compiles in one step (registering relations on the fly).
+Nfa MustCompileRegex(std::string_view text, SignedAlphabet* alphabet);
+
+/// Maps every symbol of a Σ±-word to its "inverse word": reverses the word
+/// and inverts each symbol, i.e. the label of the same semipath walked
+/// backwards.
+std::vector<int> InverseWord(const std::vector<int>& word);
+
+/// Reinterprets an automaton over Σ± as its inverse query: L(result) =
+/// {InverseWord(w) : w ∈ L(a)} — used for def(p⁻) = inv(def(p)) in Section 4.
+Nfa InverseAutomaton(const Nfa& a);
+
+}  // namespace rpqi
+
+#endif  // RPQI_RPQ_COMPILE_H_

@@ -1,0 +1,22 @@
+#ifndef RPQI_RPQ_CONTAINMENT_H_
+#define RPQI_RPQ_CONTAINMENT_H_
+
+#include "automata/nfa.h"
+
+namespace rpqi {
+
+/// Decides containment of RPQIs: ans(q1, B) ⊆ ans(q2, B) for every database
+/// B. By the homomorphism argument underlying Theorem 4, this holds iff every
+/// word of L(q1) *satisfies* q2; the check intersects L(q1)·$ with the
+/// complement of the satisfaction automaton A_q2 (translated on the fly by the
+/// table construction) and tests emptiness.
+///
+/// Both queries must be over the same signed alphabet Σ±.
+bool RpqiContained(const Nfa& q1, const Nfa& q2);
+
+/// ans-equality on every database.
+bool RpqiEquivalent(const Nfa& q1, const Nfa& q2);
+
+}  // namespace rpqi
+
+#endif  // RPQI_RPQ_CONTAINMENT_H_

@@ -1,0 +1,126 @@
+#include "rpq/satisfaction.h"
+
+#include <algorithm>
+
+#include "automata/ops.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+
+TwoWayNfa BuildSatisfactionAutomaton(const Nfa& query_input,
+                                     const SatisfactionOptions& options) {
+  const Nfa query = RemoveEpsilon(query_input);
+  const int n = query.NumStates();
+  RPQI_CHECK_GE(options.total_symbols, query.num_symbols() + 1);
+  RPQI_CHECK_GE(options.dollar_symbol, query.num_symbols());
+  for (int t : options.transparent) RPQI_CHECK_GE(t, query.num_symbols());
+
+  TwoWayNfa automaton(options.total_symbols);
+  // State layout: forward copies [0,n), backward copies [n,2n), final = 2n.
+  for (int s = 0; s < 2 * n + 1; ++s) automaton.AddState();
+  const int final_state = 2 * n;
+  auto backward = [n](int s) { return n + s; };
+
+  for (int s = 0; s < n; ++s) {
+    automaton.SetInitial(s, query.IsInitial(s));
+  }
+  automaton.SetAccepting(final_state);
+
+  // Group 1 (paper, Section 3): at any point a forward-mode state may turn
+  // around — move the head one cell left and enter backward mode.
+  for (int s = 0; s < n; ++s) {
+    for (int symbol = 0; symbol < options.total_symbols; ++symbol) {
+      automaton.AddTransition(s, symbol, backward(s), Move::kLeft);
+    }
+  }
+
+  // Group 2: each query transition s1 --r--> s2 is performed forward (reading
+  // r, moving right) or backward (in backward mode, reading r⁻ of the cell the
+  // head sits on, staying put and returning to forward mode).
+  for (int s1 = 0; s1 < n; ++s1) {
+    for (const Nfa::Transition& t : query.TransitionsFrom(s1)) {
+      automaton.AddTransition(s1, t.symbol, t.to, Move::kRight);
+      automaton.AddTransition(backward(s1),
+                              SignedAlphabet::InverseSymbol(t.symbol), t.to,
+                              Move::kStay);
+    }
+  }
+
+  // Group 3: on the terminator, an accepting query state moves past the end
+  // of the word into the (otherwise stuck) final state. Because the final
+  // state has no outgoing transitions, a premature firing on an inner $ simply
+  // dies; acceptance requires reaching position |word|.
+  for (int s = 0; s < n; ++s) {
+    if (query.IsAccepting(s)) {
+      automaton.AddTransition(s, options.dollar_symbol, final_state,
+                              Move::kRight);
+    }
+  }
+
+  // Skip moves over markers: transparent symbols and inner $ separators do not
+  // correspond to database edges, so the evaluation glides over them, in the
+  // current direction, without changing query state.
+  std::vector<int> skippable = options.transparent;
+  skippable.push_back(options.dollar_symbol);
+  for (int s = 0; s < n; ++s) {
+    for (int symbol : skippable) {
+      automaton.AddTransition(s, symbol, s, Move::kRight);
+      automaton.AddTransition(backward(s), symbol, backward(s), Move::kLeft);
+    }
+  }
+
+  return automaton;
+}
+
+bool WordSatisfies(const Nfa& query, const std::vector<int>& word) {
+  SatisfactionOptions options;
+  options.total_symbols = query.num_symbols() + 1;
+  options.dollar_symbol = query.num_symbols();
+  TwoWayNfa automaton = BuildSatisfactionAutomaton(query, options);
+  std::vector<int> terminated = word;
+  terminated.push_back(options.dollar_symbol);
+  return SimulateTwoWay(automaton, terminated);
+}
+
+bool WordSatisfiesViaLineDb(const Nfa& query_input,
+                            const std::vector<int>& word) {
+  const Nfa query = RemoveEpsilon(query_input);
+  const int num_nodes = static_cast<int>(word.size()) + 1;
+  const int num_states = query.NumStates();
+
+  // Reachability over (query state, line-db node). From node v, symbol σ can
+  // be traversed to v+1 if word[v] == σ, or to v−1 if word[v−1] == σ⁻.
+  std::vector<char> visited(static_cast<size_t>(num_nodes) * num_states, 0);
+  std::vector<std::pair<int, int>> stack;
+  auto visit = [&](int state, int node) {
+    size_t index = static_cast<size_t>(node) * num_states + state;
+    if (!visited[index]) {
+      visited[index] = 1;
+      stack.push_back({state, node});
+    }
+  };
+  for (int s : query.InitialStates()) visit(s, 0);
+
+  while (!stack.empty()) {
+    auto [state, node] = stack.back();
+    stack.pop_back();
+    for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
+      if (node + 1 < num_nodes && word[node] == t.symbol) {
+        visit(t.to, node + 1);
+      }
+      if (node - 1 >= 0 &&
+          word[node - 1] == SignedAlphabet::InverseSymbol(t.symbol)) {
+        visit(t.to, node - 1);
+      }
+    }
+  }
+  for (int s = 0; s < num_states; ++s) {
+    if (query.IsAccepting(s) &&
+        visited[static_cast<size_t>(num_nodes - 1) * num_states + s]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rpqi

@@ -1,0 +1,49 @@
+#ifndef RPQI_RPQ_SATISFACTION_H_
+#define RPQI_RPQ_SATISFACTION_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/two_way.h"
+
+namespace rpqi {
+
+/// Parameters for the Section 3 construction of the two-way automaton A_E
+/// that recognizes the words satisfying an RPQI E.
+///
+/// The automaton runs over an extended alphabet of `total_symbols` symbols:
+/// the query's own Σ± symbols occupy [0, query.num_symbols()), and ids at or
+/// above that may serve as the terminator `dollar_symbol` or as `transparent`
+/// markers that the evaluation skips in both directions (Section 4 interleaves
+/// view names and $ separators with the payload; Section 5.2 adds object
+/// constants, which are handled separately in answer/).
+struct SatisfactionOptions {
+  int total_symbols = 0;
+  int dollar_symbol = 0;
+  std::vector<int> transparent;
+};
+
+/// Builds A_E (Section 3, generalized): a two-way automaton accepting exactly
+/// the words `u · $` whose payload (the subsequence of Σ± symbols of u)
+/// satisfies the query E, i.e. the line database of the payload admits a
+/// semipath conforming to E from its first to its last node.
+///
+/// States: for each query state s a forward copy and a "backward mode" copy
+/// s⁻; plus one final state. The paper's three transition groups are
+/// implemented verbatim, with additional skip moves over transparent symbols
+/// and inner $ separators in both modes.
+TwoWayNfa BuildSatisfactionAutomaton(const Nfa& query,
+                                     const SatisfactionOptions& options);
+
+/// Theorem 2 decision: does `word` (over Σ±) satisfy the query? Builds A_E
+/// over the minimal extended alphabet and simulates it on `word · $`.
+bool WordSatisfies(const Nfa& query, const std::vector<int>& word);
+
+/// Independent reference implementation of WordSatisfies used for
+/// cross-validation: evaluates the query over the line database of `word` by
+/// product-graph reachability, without two-way automata.
+bool WordSatisfiesViaLineDb(const Nfa& query, const std::vector<int>& word);
+
+}  // namespace rpqi
+
+#endif  // RPQI_RPQ_SATISFACTION_H_

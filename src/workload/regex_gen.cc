@@ -1,0 +1,37 @@
+#include "workload/regex_gen.h"
+
+#include "base/logging.h"
+
+namespace rpqi {
+
+namespace {
+
+RegexPtr Generate(std::mt19937_64& rng, const RandomRegexOptions& options,
+                  int budget) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (budget <= 1) {
+    std::uniform_int_distribution<size_t> pick_name(
+        0, options.relation_names.size() - 1);
+    bool inverse = coin(rng) < options.inverse_probability;
+    return RAtom(options.relation_names[pick_name(rng)], inverse);
+  }
+  if (coin(rng) < options.star_probability) {
+    return RStar(Generate(rng, options, budget - 1));
+  }
+  std::uniform_int_distribution<int> split(1, budget - 1);
+  int left_budget = split(rng);
+  RegexPtr left = Generate(rng, options, left_budget);
+  RegexPtr right = Generate(rng, options, budget - 1 - left_budget);
+  if (coin(rng) < options.union_probability) return RUnion(left, right);
+  return RConcat(left, right);
+}
+
+}  // namespace
+
+RegexPtr RandomRegex(std::mt19937_64& rng, const RandomRegexOptions& options) {
+  RPQI_CHECK(!options.relation_names.empty());
+  RPQI_CHECK_GE(options.target_size, 1);
+  return Generate(rng, options, options.target_size);
+}
+
+}  // namespace rpqi

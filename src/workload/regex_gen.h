@@ -1,0 +1,30 @@
+#ifndef RPQI_WORKLOAD_REGEX_GEN_H_
+#define RPQI_WORKLOAD_REGEX_GEN_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace rpqi {
+
+/// Options for random RPQI expression generation (property tests, complexity
+/// sweeps). `inverse_probability = 0` yields plain RPQs — the knob behind the
+/// inverse-overhead experiment.
+struct RandomRegexOptions {
+  /// Relation names to draw atoms from.
+  std::vector<std::string> relation_names = {"a", "b"};
+  /// Approximate number of AST nodes.
+  int target_size = 8;
+  double inverse_probability = 0.3;
+  double star_probability = 0.25;
+  double union_probability = 0.35;  // vs concat for binary nodes
+};
+
+/// A random RPQI expression of roughly the requested size.
+RegexPtr RandomRegex(std::mt19937_64& rng, const RandomRegexOptions& options);
+
+}  // namespace rpqi
+
+#endif  // RPQI_WORKLOAD_REGEX_GEN_H_

@@ -1,0 +1,50 @@
+#ifndef RPQI_WORKLOAD_SCENARIO_H_
+#define RPQI_WORKLOAD_SCENARIO_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graphdb/graph.h"
+#include "regex/ast.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+
+/// The paper's Example 1: a database of software modules with relations
+/// hasSubmodule (module nesting) and containsVar (variable definitions), plus
+/// the Algol-visibility query
+///   (hasSubmodule^-)* (containsVar | hasSubmodule).
+struct SoftwareModulesScenario {
+  SignedAlphabet alphabet;
+  GraphDb db;
+  RegexPtr visibility_query;
+  /// Natural navigation views: up = hasSubmodule^-, downOrVar =
+  /// containsVar | hasSubmodule.
+  std::vector<RegexPtr> view_definitions;
+  std::vector<std::string> view_names;
+};
+
+/// Generates a random module tree with `num_modules` modules and
+/// `num_variables` variables attached uniformly.
+SoftwareModulesScenario MakeSoftwareModulesScenario(std::mt19937_64& rng,
+                                                    int num_modules,
+                                                    int num_variables);
+
+/// Crafted family exhibiting exponential rewriting growth: the query
+///   a (b c)^(2^k-ish patterns)… is approximated by the classic
+///   (a|b)* a (a|b)^k  "k-th letter from a marked position" family, whose
+///   minimal DFA has ≥ 2^k states. Views expose single letters, so the
+///   maximal rewriting inherits the blowup — the adversarial input for
+///   Theorems 7/8.
+struct HardRewritingInstance {
+  SignedAlphabet alphabet;
+  RegexPtr query;
+  std::vector<RegexPtr> view_definitions;
+  std::vector<std::string> view_names;
+};
+HardRewritingInstance MakeHardRewritingInstance(int k);
+
+}  // namespace rpqi
+
+#endif  // RPQI_WORKLOAD_SCENARIO_H_

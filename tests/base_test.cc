@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "base/bitset.h"
+#include "base/interner.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace rpqi {
+namespace {
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.size(), 130);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3);
+  bits.Reset(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2);
+}
+
+TEST(BitsetTest, IterationVisitsAllSetBits) {
+  Bitset bits(200);
+  std::vector<int> expected = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (int i : expected) bits.Set(i);
+  std::vector<int> seen;
+  for (int i = bits.NextSetBit(0); i >= 0; i = bits.NextSetBit(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  Bitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70);
+  EXPECT_EQ(bits.NextSetBit(69), 69);
+  EXPECT_EQ(bits.NextSetBit(70), -1);
+}
+
+TEST(BitsetTest, BulkOperations) {
+  Bitset a(100), b(100);
+  a.Set(3);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  EXPECT_TRUE(a.Intersects(b));
+  Bitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3);
+  Bitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1);
+  EXPECT_TRUE(i.Test(50));
+  Bitset d = a;
+  d -= b;
+  EXPECT_EQ(d.Count(), 1);
+  EXPECT_TRUE(d.Test(3));
+  EXPECT_TRUE(i.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(BitsetTest, EqualityAndToString) {
+  Bitset a(10), b(10);
+  a.Set(2);
+  b.Set(2);
+  EXPECT_EQ(a, b);
+  b.Set(7);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(b.ToString(), "{2,7}");
+}
+
+TEST(WordVectorInternerTest, DeduplicatesKeys) {
+  WordVectorInterner interner;
+  EXPECT_EQ(interner.Intern({1, 2, 3}), 0);
+  EXPECT_EQ(interner.Intern({4}), 1);
+  EXPECT_EQ(interner.Intern({1, 2, 3}), 0);
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.KeyOf(1), (std::vector<uint64_t>{4}));
+  EXPECT_EQ(interner.Find({1, 2, 3}), 0);
+  EXPECT_EQ(interner.Find({9}), -1);
+}
+
+TEST(StringInternerTest, NamesRoundTrip) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.Intern("beta"), 1);
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.NameOf(1), "beta");
+  EXPECT_EQ(interner.Find("gamma"), -1);
+}
+
+TEST(StringsTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a  b c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ' '), (std::vector<std::string>{}));
+  EXPECT_EQ(StrSplit("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringsTest, JoinAndStrip) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: nope");
+  Status exhausted = Status::ResourceExhausted("limit");
+  EXPECT_EQ(exhausted.code(), Status::Code::kResourceExhausted);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/random.h"
+#include "graphdb/eval.h"
+#include "graphdb/graph.h"
+#include "graphdb/io.h"
+#include "graphdb/views.h"
+#include "regex/parser.h"
+#include "rpq/compile.h"
+#include "rpq/satisfaction.h"
+#include "workload/graph_gen.h"
+#include "workload/scenario.h"
+
+namespace rpqi {
+namespace {
+
+TEST(GraphDbTest, NodesAndEdges) {
+  GraphDb db;
+  int x = db.AddNode("x");
+  int y = db.AddNode("y");
+  EXPECT_EQ(db.AddNode("x"), x);  // interning
+  db.AddEdge(x, 0, y);
+  EXPECT_TRUE(db.HasEdge(x, 0, y));
+  EXPECT_FALSE(db.HasEdge(y, 0, x));
+  EXPECT_EQ(db.NumNodes(), 2);
+  EXPECT_EQ(db.NumEdges(), 1);
+  EXPECT_EQ(db.OutEdges(x).size(), 1u);
+  EXPECT_EQ(db.InEdges(y).size(), 1u);
+  EXPECT_EQ(db.NodeName(y), "y");
+  EXPECT_EQ(db.NodeId("z"), -1);
+}
+
+TEST(EvalTest, ForwardAndInverseTraversal) {
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  GraphDb db;
+  int x = db.AddNode("x"), y = db.AddNode("y"), z = db.AddNode("z");
+  db.AddEdge(x, 0, y);
+  db.AddEdge(z, 0, y);
+
+  Nfa forward = MustCompileRegex(MustParseRegex("p"), alphabet);
+  EXPECT_TRUE(EvalRpqiPair(db, forward, x, y));
+  EXPECT_FALSE(EvalRpqiPair(db, forward, y, x));
+
+  // x --p--> y <--p-- z : the RPQI p p⁻ connects x to z.
+  Nfa around = MustCompileRegex(MustParseRegex("p p^-"), alphabet);
+  EXPECT_TRUE(EvalRpqiPair(db, around, x, z));
+  EXPECT_TRUE(EvalRpqiPair(db, around, x, x));
+  EXPECT_FALSE(EvalRpqiPair(db, around, x, y));
+}
+
+TEST(EvalTest, Example1VisibilitySemantics) {
+  // The paper's Example 1: x is visible in m if x is reachable by
+  // (hasSubmodule⁻)* (containsVar ∪ hasSubmodule).
+  SignedAlphabet alphabet;
+  GraphDb db;
+  int root = db.AddNode("root");
+  int child = db.AddNode("child");
+  int grandchild = db.AddNode("grandchild");
+  int v_root = db.AddNode("v_root");
+  int v_child = db.AddNode("v_child");
+  int has_submodule = alphabet.AddRelation("hasSubmodule");
+  int contains_var = alphabet.AddRelation("containsVar");
+  db.AddEdge(root, has_submodule, child);
+  db.AddEdge(child, has_submodule, grandchild);
+  db.AddEdge(root, contains_var, v_root);
+  db.AddEdge(child, contains_var, v_child);
+
+  Nfa query = MustCompileRegex(
+      MustParseRegex("(hasSubmodule^-)* (containsVar | hasSubmodule)"),
+      alphabet);
+  // Visible in grandchild: everything up the chain.
+  Bitset visible = EvalRpqiFrom(db, query, grandchild);
+  EXPECT_TRUE(visible.Test(v_child));
+  EXPECT_TRUE(visible.Test(v_root));
+  EXPECT_TRUE(visible.Test(child));       // sibling-submodule visibility
+  EXPECT_TRUE(visible.Test(grandchild));  // child of child
+  // Visible in root: only its own variable and child module.
+  Bitset visible_root = EvalRpqiFrom(db, query, root);
+  EXPECT_TRUE(visible_root.Test(v_root));
+  EXPECT_TRUE(visible_root.Test(child));
+  EXPECT_FALSE(visible_root.Test(v_child));
+}
+
+TEST(EvalTest, AllPairsConsistentWithPerPair) {
+  std::mt19937_64 rng(3);
+  RandomGraphOptions options;
+  options.num_nodes = 8;
+  options.num_relations = 2;
+  GraphDb db = RandomGraph(rng, options);
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("r0");
+  alphabet.AddRelation("r1");
+  Nfa query = MustCompileRegex(MustParseRegex("r0 (r1^- | r0)*"), alphabet);
+  auto pairs = EvalRpqiAllPairs(db, query);
+  for (int x = 0; x < db.NumNodes(); ++x) {
+    for (int y = 0; y < db.NumNodes(); ++y) {
+      bool in_pairs = std::find(pairs.begin(), pairs.end(),
+                                std::make_pair(x, y)) != pairs.end();
+      EXPECT_EQ(in_pairs, EvalRpqiPair(db, query, x, y));
+    }
+  }
+}
+
+TEST(EvalTest, LineDbAgreesWithWordSatisfaction) {
+  // Evaluating a query over an explicit line database must agree with the
+  // two-way-automaton word-satisfaction semantics (Theorem 2 both ways).
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  alphabet.AddRelation("q");
+  std::mt19937_64 rng(43);
+  Nfa query = MustCompileRegex(MustParseRegex("p (q^- p)* | q"), alphabet);
+  for (int len = 0; len <= 5; ++len) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<int> word = RandomWord(rng, 4, len);
+      // Build the line database of the word.
+      GraphDb db;
+      int first = db.AddNode("n0");
+      int prev = first;
+      for (size_t i = 0; i < word.size(); ++i) {
+        int next = db.AddNode("n" + std::to_string(i + 1));
+        int relation = SignedAlphabet::RelationOfSymbol(word[i]);
+        if (SignedAlphabet::IsInverseSymbol(word[i])) {
+          db.AddEdge(next, relation, prev);
+        } else {
+          db.AddEdge(prev, relation, next);
+        }
+        prev = next;
+      }
+      EXPECT_EQ(EvalRpqiPair(db, query, first, prev),
+                WordSatisfies(query, word));
+    }
+  }
+}
+
+TEST(IoTest, LoadSaveRoundTrip) {
+  SignedAlphabet alphabet;
+  StatusOr<GraphDb> db = LoadGraphText(
+      "# software modules\n"
+      "root hasSubmodule child\n"
+      "root containsVar v1\n"
+      "\n"
+      "child hasSubmodule leaf\n",
+      &alphabet);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumNodes(), 4);  // root, child, v1, leaf
+  EXPECT_EQ(db->NumEdges(), 3);
+  EXPECT_EQ(alphabet.NumRelations(), 2);
+
+  SignedAlphabet alphabet2;
+  StatusOr<GraphDb> reloaded =
+      LoadGraphText(SaveGraphText(*db, alphabet), &alphabet2);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->NumEdges(), db->NumEdges());
+  EXPECT_EQ(SaveGraphText(*reloaded, alphabet2), SaveGraphText(*db, alphabet));
+}
+
+TEST(IoTest, RejectsMalformedLines) {
+  SignedAlphabet alphabet;
+  EXPECT_FALSE(LoadGraphText("a b\n", &alphabet).ok());
+  EXPECT_FALSE(LoadGraphText("a b c d\n", &alphabet).ok());
+}
+
+TEST(ViewsTest, MaterializedViewsAreExactByConstruction) {
+  std::mt19937_64 rng(47);
+  SoftwareModulesScenario scenario = MakeSoftwareModulesScenario(rng, 6, 4);
+  Nfa definition =
+      MustCompileRegex(scenario.view_definitions[0], scenario.alphabet);
+  auto extension = MaterializeView(scenario.db, definition);
+  for (const auto& [a, b] : extension) {
+    EXPECT_TRUE(EvalRpqiPair(scenario.db, definition, a, b));
+  }
+}
+
+TEST(ViewsTest, ViewGraphEvaluation) {
+  // Two views as edges; a rewriting over them is just an RPQI over the view
+  // graph.
+  std::vector<std::vector<std::pair<int, int>>> extensions = {
+      {{0, 1}, {1, 2}},  // view 0
+      {{2, 3}},          // view 1
+  };
+  GraphDb graph = BuildViewGraph(4, extensions);
+  EXPECT_EQ(graph.NumEdges(), 3);
+  SignedAlphabet view_alphabet;
+  view_alphabet.AddRelation("v0");
+  view_alphabet.AddRelation("v1");
+  Nfa path =
+      MustCompileRegex(MustParseRegex("v0 v0 v1"), view_alphabet);
+  EXPECT_TRUE(EvalRpqiPair(graph, path, 0, 3));
+  Nfa back = MustCompileRegex(MustParseRegex("v1^- v0^-"), view_alphabet);
+  EXPECT_TRUE(EvalRpqiPair(graph, back, 3, 1));
+}
+
+TEST(GeneratorsTest, ShapesAreAsAdvertised) {
+  std::mt19937_64 rng(53);
+  GraphDb chain = ChainGraph(rng, 5, 2);
+  EXPECT_EQ(chain.NumNodes(), 5);
+  EXPECT_EQ(chain.NumEdges(), 4);
+  GraphDb tree = RandomTree(rng, 10, 1);
+  EXPECT_EQ(tree.NumEdges(), 9);
+  for (int node = 1; node < 10; ++node) {
+    EXPECT_EQ(tree.InEdges(node).size(), 1u);  // single parent
+  }
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "answer/oda.h"
+#include "answer/views.h"
+#include "automata/dot.h"
+#include "automata/lazy.h"
+#include "automata/ops.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+#include "rewrite/rewriter.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+#include "workload/graph_gen.h"
+#include "workload/regex_gen.h"
+#include "workload/scenario.h"
+
+namespace rpqi {
+namespace {
+
+TEST(OdaSolverTest, AmortizesAcrossProbes) {
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  AnsweringInstance instance;
+  instance.num_objects = 3;
+  instance.query = MustCompileRegex(MustParseRegex("p p"), alphabet);
+  View view;
+  view.definition = MustCompileRegex(MustParseRegex("p"), alphabet);
+  view.extension = {{0, 1}, {1, 2}};
+  view.assumption = ViewAssumption::kSound;
+  instance.views.push_back(std::move(view));
+
+  OdaSolver solver(instance);
+  // Reuse the solver for every pair; answers must match the one-shot API.
+  for (int c = 0; c < 3; ++c) {
+    for (int d = 0; d < 3; ++d) {
+      StatusOr<OdaResult> reused = solver.CertainAnswer(c, d);
+      StatusOr<OdaResult> fresh = CertainAnswerOda(instance, c, d);
+      ASSERT_TRUE(reused.ok());
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_EQ(reused->certain, fresh->certain)
+          << "(" << c << "," << d << ")";
+    }
+  }
+  // Mixing certain and possible probes on the same solver.
+  StatusOr<OdaResult> possible = solver.PossibleAnswer(2, 0);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_TRUE(possible->certain);  // some DB adds a path back
+}
+
+TEST(NormalizeCompleteViewsTest, WidensAlphabetAndConvertsAssumptions) {
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  AnsweringInstance instance;
+  instance.num_objects = 2;
+  instance.query = MustCompileRegex(MustParseRegex("p"), alphabet);
+  View complete;
+  complete.definition = MustCompileRegex(MustParseRegex("p p"), alphabet);
+  complete.extension = {{0, 0}};
+  complete.assumption = ViewAssumption::kComplete;
+  instance.views.push_back(complete);
+  View sound = complete;
+  sound.assumption = ViewAssumption::kSound;
+  instance.views.push_back(sound);
+
+  AnsweringInstance normalized = NormalizeCompleteViews(instance);
+  ASSERT_EQ(normalized.views.size(), 2u);
+  EXPECT_EQ(normalized.views[0].assumption, ViewAssumption::kExact);
+  EXPECT_EQ(normalized.views[1].assumption, ViewAssumption::kSound);
+  // One fresh relation was appended for the one complete view.
+  EXPECT_EQ(normalized.query.num_symbols(),
+            instance.query.num_symbols() + 2);
+  // The converted definition accepts the fresh relation as an alternative.
+  int fresh_symbol = instance.query.num_symbols();
+  EXPECT_TRUE(Accepts(normalized.views[0].definition, {fresh_symbol}));
+  EXPECT_FALSE(Accepts(normalized.views[1].definition, {fresh_symbol}));
+  // Idempotent on instances without complete views.
+  AnsweringInstance again = NormalizeCompleteViews(normalized);
+  EXPECT_EQ(again.query.num_symbols(), normalized.query.num_symbols());
+}
+
+TEST(DotExportTest, MentionsStatesAndLabels) {
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  Nfa nfa = MustCompileRegex(MustParseRegex("p p^-"), alphabet);
+  std::string dot = NfaToDot(nfa, [&](int s) { return alphabet.SymbolName(s); });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("p^-"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+
+  std::string dfa_dot = DfaToDot(Determinize(nfa));
+  EXPECT_NE(dfa_dot.find("start"), std::string::npos);
+}
+
+TEST(LazyImageSubsetDfaTest, MatchesEagerProjection) {
+  // Image of (ab)* under erasing b = a*.(even-length check erased)
+  Nfa nfa(2);
+  int s0 = nfa.AddState();
+  int s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 1, s0);
+
+  Dfa inner = Determinize(nfa);
+  LazyDfaFromDfa inner_lazy(inner);
+  LazyImageSubsetDfa image(&inner_lazy, {0, kEpsilon}, 1);
+  // a^k is in the image for every k.
+  int state = image.StartState();
+  EXPECT_TRUE(image.IsAccepting(state));
+  for (int i = 0; i < 5; ++i) {
+    state = image.Step(state, 0);
+    EXPECT_TRUE(image.IsAccepting(state));
+  }
+  // Complemented flavour flips.
+  LazyImageSubsetDfa complement(&inner_lazy, {0, kEpsilon}, 1,
+                                /*complement=*/true);
+  EXPECT_FALSE(complement.IsAccepting(complement.StartState()));
+}
+
+TEST(WorkloadTest, RandomRegexRespectsOptions) {
+  std::mt19937_64 rng(303);
+  RandomRegexOptions options;
+  options.relation_names = {"x"};
+  options.target_size = 10;
+  options.inverse_probability = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    RegexPtr e = RandomRegex(rng, options);
+    EXPECT_LE(RegexSize(e), 2 * options.target_size + 4);
+    std::string text = RegexToString(e);
+    EXPECT_EQ(text.find("^-"), std::string::npos) << text;
+  }
+  options.inverse_probability = 1.0;
+  bool saw_inverse = false;
+  for (int i = 0; i < 10; ++i) {
+    if (RegexToString(RandomRegex(rng, options)).find("^-") !=
+        std::string::npos) {
+      saw_inverse = true;
+    }
+  }
+  EXPECT_TRUE(saw_inverse);
+}
+
+TEST(WorkloadTest, HardRewritingInstanceHasAdvertisedBlowup) {
+  for (int k = 0; k <= 3; ++k) {
+    HardRewritingInstance instance = MakeHardRewritingInstance(k);
+    Nfa query = MustCompileRegex(instance.query, instance.alphabet);
+    std::vector<Nfa> views;
+    for (const RegexPtr& def : instance.view_definitions) {
+      views.push_back(MustCompileRegex(def, instance.alphabet));
+    }
+    StatusOr<MaximalRewriting> rewriting =
+        ComputeMaximalRewriting(query, views);
+    ASSERT_TRUE(rewriting.ok());
+    EXPECT_EQ(rewriting->stats.rewriting_states, (1 << (k + 1)) + 1)
+        << "k=" << k;
+  }
+}
+
+TEST(RewritingToStringTest, RoundTripsThroughTheParser) {
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("a");
+  alphabet.AddRelation("b");
+  Nfa query = MustCompileRegex(MustParseRegex("a b^- | b a*"), alphabet);
+  std::vector<Nfa> views = {MustCompileRegex(MustParseRegex("a"), alphabet),
+                            MustCompileRegex(MustParseRegex("b"), alphabet)};
+  StatusOr<MaximalRewriting> rewriting = ComputeMaximalRewriting(query, views);
+  ASSERT_TRUE(rewriting.ok());
+  ASSERT_FALSE(rewriting->empty);
+  // Reparse the printed rewriting over fresh relations named like the views
+  // and compare its language with the rewriting DFA.
+  std::string text = RewritingToString(rewriting->dfa, {"va", "vb"});
+  SignedAlphabet view_alphabet;
+  view_alphabet.AddRelation("va");
+  view_alphabet.AddRelation("vb");
+  Nfa reparsed = MustCompileRegex(MustParseRegex(text), view_alphabet);
+  EXPECT_TRUE(AreEquivalent(reparsed, Trim(DfaToNfa(rewriting->dfa)))) << text;
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "regex/ast.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+
+namespace rpqi {
+namespace {
+
+TEST(RegexParserTest, ParsesPaperExample1) {
+  RegexPtr e =
+      MustParseRegex("(hasSubmodule^-)* (containsVar | hasSubmodule)");
+  EXPECT_EQ(e->kind, RegexKind::kConcat);
+  EXPECT_EQ(e->left->kind, RegexKind::kStar);
+  EXPECT_EQ(e->left->left->kind, RegexKind::kAtom);
+  EXPECT_TRUE(e->left->left->atom_inverse);
+  EXPECT_EQ(e->right->kind, RegexKind::kUnion);
+}
+
+TEST(RegexParserTest, PostfixOperators) {
+  RegexPtr plus = MustParseRegex("a+");
+  // a+ expands to a · a*.
+  EXPECT_EQ(plus->kind, RegexKind::kConcat);
+  EXPECT_EQ(plus->right->kind, RegexKind::kStar);
+
+  RegexPtr optional = MustParseRegex("a?");
+  EXPECT_EQ(optional->kind, RegexKind::kUnion);
+  EXPECT_EQ(optional->right->kind, RegexKind::kEpsilon);
+}
+
+TEST(RegexParserTest, EpsilonAndEmptyTokens) {
+  EXPECT_EQ(MustParseRegex("%eps")->kind, RegexKind::kEpsilon);
+  EXPECT_EQ(MustParseRegex("%epsilon")->kind, RegexKind::kEpsilon);
+  EXPECT_EQ(MustParseRegex("%empty")->kind, RegexKind::kEmptySet);
+}
+
+TEST(RegexParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRegex("(a").ok());
+  EXPECT_FALSE(ParseRegex("a |").ok());
+  EXPECT_FALSE(ParseRegex("a ^ b").ok());
+  EXPECT_FALSE(ParseRegex("%bogus").ok());
+  EXPECT_FALSE(ParseRegex("a ) b").ok());
+  EXPECT_FALSE(ParseRegex("*").ok());
+}
+
+TEST(RegexParserTest, GroupInverseAppliesInvTransform) {
+  // (a b)^- = b^- a^-.
+  RegexPtr e = MustParseRegex("(a b)^-");
+  EXPECT_EQ(e->kind, RegexKind::kConcat);
+  EXPECT_EQ(e->left->atom_name, "b");
+  EXPECT_TRUE(e->left->atom_inverse);
+  EXPECT_EQ(e->right->atom_name, "a");
+  EXPECT_TRUE(e->right->atom_inverse);
+}
+
+TEST(RegexInvTest, FollowsPaperEquations) {
+  // inv(a) = a⁻, inv(a⁻) = a.
+  EXPECT_TRUE(Inv(RAtom("a"))->atom_inverse);
+  EXPECT_FALSE(Inv(RAtom("a", true))->atom_inverse);
+  // inv(e1 · e2) = inv(e2) · inv(e1).
+  RegexPtr cat = Inv(MustParseRegex("a b"));
+  EXPECT_EQ(cat->left->atom_name, "b");
+  EXPECT_EQ(cat->right->atom_name, "a");
+  // inv(e*) = inv(e)*.
+  EXPECT_EQ(Inv(MustParseRegex("a*"))->kind, RegexKind::kStar);
+  // inv is an involution.
+  RegexPtr e = MustParseRegex("(a b^-)* (c | d)+");
+  EXPECT_EQ(RegexToString(Inv(Inv(e))), RegexToString(e));
+}
+
+TEST(RegexPrinterTest, RoundTripsThroughParser) {
+  for (const char* text : {
+           "a",
+           "a^-",
+           "a b c",
+           "a | b | c",
+           "(a | b) c",
+           "(a b | c)* d^-",
+           "(hasSubmodule^-)* (containsVar | hasSubmodule)",
+           "%eps | a",
+       }) {
+    RegexPtr once = MustParseRegex(text);
+    RegexPtr twice = MustParseRegex(RegexToString(once));
+    EXPECT_EQ(RegexToString(once), RegexToString(twice)) << text;
+  }
+}
+
+TEST(RegexSimplificationTest, EmptySetAndEpsilonIdentities) {
+  EXPECT_EQ(RConcat(REmpty(), RAtom("a"))->kind, RegexKind::kEmptySet);
+  EXPECT_EQ(RConcat(REpsilon(), RAtom("a"))->atom_name, "a");
+  EXPECT_EQ(RUnion(REmpty(), RAtom("a"))->atom_name, "a");
+  EXPECT_EQ(RStar(REmpty())->kind, RegexKind::kEpsilon);
+  EXPECT_EQ(RStar(RStar(RAtom("a")))->left->kind, RegexKind::kAtom);
+}
+
+TEST(RegexSizeTest, CountsNodes) {
+  EXPECT_EQ(RegexSize(RAtom("a")), 1);
+  EXPECT_EQ(RegexSize(MustParseRegex("a b")), 3);
+  EXPECT_EQ(RegexSize(MustParseRegex("(a | b)*")), 4);
+}
+
+TEST(CollectAtomNamesTest, DistinctNamesInOrder) {
+  std::vector<std::string> names;
+  CollectAtomNames(MustParseRegex("a b^- a (c | b)"), &names);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+#include "rpq/containment.h"
+#include "rpq/satisfaction.h"
+#include "workload/regex_gen.h"
+
+namespace rpqi {
+namespace {
+
+struct TestAlphabet {
+  SignedAlphabet alphabet;
+  TestAlphabet() {
+    alphabet.AddRelation("p");
+    alphabet.AddRelation("q");
+  }
+  Nfa Compile(const std::string& text) {
+    return MustCompileRegex(MustParseRegex(text), alphabet);
+  }
+};
+
+// Σ± symbol ids for relations p and q.
+const int kP = 0, kPInv = 1, kQ = 2, kQInv = 3;
+
+TEST(WordSatisfiesTest, PlainMembershipImpliesSatisfaction) {
+  TestAlphabet t;
+  Nfa query = t.Compile("p q p");
+  EXPECT_TRUE(WordSatisfies(query, {kP, kQ, kP}));
+  EXPECT_FALSE(WordSatisfies(query, {kP, kQ}));
+  EXPECT_FALSE(WordSatisfies(query, {kQ, kP, kP}));
+}
+
+TEST(WordSatisfiesTest, SatisfactionBeyondMembership) {
+  TestAlphabet t;
+  // The paper (Section 2) notes w may satisfy E with w ∉ L(E): the evaluation
+  // may walk back and forth on the line database. p p⁻ p conforms to a
+  // semipath of the single-edge word p: go forward, back, forward.
+  Nfa query = t.Compile("p p^- p");
+  EXPECT_TRUE(WordSatisfies(query, {kP}));
+  EXPECT_FALSE(Accepts(query, {kP}));
+
+  // q q⁻ in the query matches a q-edge traversed forward then backward —
+  // including the "wrong-way" edge denoted by q⁻ in the word.
+  Nfa query2 = t.Compile("p q q^- p");
+  EXPECT_TRUE(WordSatisfies(query2, {kP, kQ, kQInv, kP}));
+  // But the detour needs an actual q-edge: a pure p-word does not satisfy it.
+  EXPECT_FALSE(WordSatisfies(query2, {kP, kP}));
+  // A p p⁻ detour can reuse the p-edge just traversed.
+  EXPECT_TRUE(WordSatisfies(t.Compile("p p p^- p"), {kP, kP}));
+}
+
+TEST(WordSatisfiesTest, InverseWordSemantics) {
+  TestAlphabet t;
+  // The word p⁻ denotes an edge pointing backwards; query p⁻ matches it,
+  // query p does not.
+  Nfa inverse_query = t.Compile("p^-");
+  EXPECT_TRUE(WordSatisfies(inverse_query, {kPInv}));
+  EXPECT_FALSE(WordSatisfies(inverse_query, {kP}));
+  Nfa forward_query = t.Compile("p");
+  EXPECT_FALSE(WordSatisfies(forward_query, {kPInv}));
+}
+
+TEST(WordSatisfiesTest, EmptyWordAndEpsilonQuery) {
+  TestAlphabet t;
+  EXPECT_TRUE(WordSatisfies(t.Compile("%eps"), {}));
+  EXPECT_FALSE(WordSatisfies(t.Compile("p"), {}));
+  // ε query on a nonempty word: endpoints differ, no semipath of length 0.
+  EXPECT_FALSE(WordSatisfies(t.Compile("%eps"), {kP}));
+  // But p p⁻-style round trips satisfy queries ending where they started,
+  // never connecting distinct endpoints with ε.
+  EXPECT_TRUE(WordSatisfies(t.Compile("p p^- p"), {kP}));
+}
+
+TEST(WordSatisfiesTest, MatchesLineDbReferenceOnRandomInputs) {
+  std::mt19937_64 rng(31);
+  RandomRegexOptions regex_options;
+  regex_options.relation_names = {"p", "q"};
+  regex_options.target_size = 7;
+  regex_options.inverse_probability = 0.4;
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  alphabet.AddRelation("q");
+  int satisfied = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RegexPtr regex = RandomRegex(rng, regex_options);
+    Nfa query = MustCompileRegex(regex, alphabet);
+    for (int i = 0; i < 15; ++i) {
+      std::vector<int> word = RandomWord(rng, 4, i % 6);
+      bool via_automaton = WordSatisfies(query, word);
+      bool via_line_db = WordSatisfiesViaLineDb(query, word);
+      EXPECT_EQ(via_automaton, via_line_db) << "trial " << trial;
+      if (via_automaton) ++satisfied;
+    }
+  }
+  EXPECT_GT(satisfied, 0) << "sweep never exercised the positive case";
+}
+
+TEST(WordSatisfiesTest, InverseFreeQueriesReduceToMembership) {
+  // For inverse-free query AND inverse-free word, satisfaction coincides
+  // with plain language membership (the evaluation cannot go backwards).
+  std::mt19937_64 rng(37);
+  RandomRegexOptions regex_options;
+  regex_options.relation_names = {"p", "q"};
+  regex_options.target_size = 6;
+  regex_options.inverse_probability = 0.0;
+  SignedAlphabet alphabet;
+  alphabet.AddRelation("p");
+  alphabet.AddRelation("q");
+  for (int trial = 0; trial < 40; ++trial) {
+    Nfa query = MustCompileRegex(RandomRegex(rng, regex_options), alphabet);
+    for (int i = 0; i < 10; ++i) {
+      std::vector<int> raw = RandomWord(rng, 2, i % 6);
+      std::vector<int> word;
+      for (int s : raw) word.push_back(2 * s);  // forward symbols only
+      EXPECT_EQ(WordSatisfies(query, word), Accepts(query, word));
+    }
+  }
+}
+
+TEST(RpqiContainmentTest, LanguageContainmentImpliesQueryContainment) {
+  TestAlphabet t;
+  EXPECT_TRUE(RpqiContained(t.Compile("p p"), t.Compile("p* ")));
+  EXPECT_FALSE(RpqiContained(t.Compile("p*"), t.Compile("p p")));
+}
+
+TEST(RpqiContainmentTest, SemanticContainmentBeyondLanguages) {
+  TestAlphabet t;
+  // L(p) and L(p p⁻ p) are incomparable as languages, yet as queries
+  // p ⊑ p p⁻ p: any p-edge x→y admits the semipath x→y→x→y. The converse
+  // fails: p p⁻ p can relate x to a node reachable only via a shared
+  // p-successor (x→y, u→y, u→z), which p cannot.
+  EXPECT_TRUE(RpqiContained(t.Compile("p"), t.Compile("p p^- p")));
+  EXPECT_FALSE(RpqiContained(t.Compile("p p^- p"), t.Compile("p")));
+  EXPECT_FALSE(RpqiEquivalent(t.Compile("p p^- p"), t.Compile("p")));
+}
+
+TEST(RpqiContainmentTest, UnionAndDetours) {
+  TestAlphabet t;
+  // Re-walking the final edge back and forth is always available.
+  EXPECT_TRUE(RpqiContained(t.Compile("p p"), t.Compile("p p p^- p")));
+  EXPECT_FALSE(RpqiContained(t.Compile("p p p^- p"), t.Compile("p p")));
+  EXPECT_TRUE(RpqiContained(t.Compile("p"), t.Compile("p | q")));
+  EXPECT_FALSE(RpqiContained(t.Compile("p | q"), t.Compile("p")));
+  EXPECT_FALSE(RpqiEquivalent(t.Compile("p^-"), t.Compile("p")));
+}
+
+TEST(RpqiContainmentTest, StarOfInverses) {
+  TestAlphabet t;
+  EXPECT_TRUE(RpqiContained(t.Compile("(p^-)* "), t.Compile("(p | p^-)*")));
+  EXPECT_FALSE(RpqiContained(t.Compile("(p | p^-)*"), t.Compile("(p^-)*")));
+}
+
+TEST(InverseWordTest, ReversesAndFlips) {
+  EXPECT_EQ(InverseWord({kP, kQInv, kP}),
+            (std::vector<int>{kPInv, kQ, kPInv}));
+  EXPECT_EQ(InverseWord({}), (std::vector<int>{}));
+}
+
+TEST(InverseAutomatonTest, AcceptsExactlyInverseWords) {
+  TestAlphabet t;
+  Nfa nfa = t.Compile("p q^- (p | q)");
+  Nfa inverse = InverseAutomaton(nfa);
+  std::mt19937_64 rng(41);
+  for (int i = 0; i < 80; ++i) {
+    std::vector<int> word = RandomWord(rng, 4, i % 5);
+    EXPECT_EQ(Accepts(inverse, word), Accepts(nfa, InverseWord(word)));
+  }
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/lazy.h"
+#include "automata/nfa.h"
+#include "automata/ops.h"
+#include "automata/pair_complement.h"
+#include "automata/random.h"
+#include "automata/table_dfa.h"
+#include "automata/two_way.h"
+
+namespace rpqi {
+namespace {
+
+/// A handwritten two-way automaton over {0,1} that accepts words whose first
+/// and last symbols agree. It guesses the last cell: walk right remembering
+/// the first symbol, nondeterministically compare-and-step-right into a state
+/// with no transitions — that state survives only past the true end. To make
+/// the automaton genuinely two-way, the comparison re-checks the first symbol
+/// by walking all the way back left and forth again.
+TwoWayNfa FirstEqualsLastAutomaton() {
+  TwoWayNfa automaton(2);
+  const int start = automaton.AddState();    // records the first symbol
+  const int scan0 = automaton.AddState();    // first symbol was 0
+  const int scan1 = automaton.AddState();    // first symbol was 1
+  const int back0 = automaton.AddState();    // re-verify: rewind to cell 0
+  const int fwd0 = automaton.AddState();     // re-verified; scan right again
+  const int accept = automaton.AddState();   // stuck unless past the end
+  automaton.SetInitial(start);
+  automaton.SetAccepting(accept);
+
+  automaton.AddTransition(start, 0, scan0, Move::kStay);
+  automaton.AddTransition(start, 1, scan1, Move::kStay);
+  for (int symbol = 0; symbol < 2; ++symbol) {
+    automaton.AddTransition(scan0, symbol, scan0, Move::kRight);
+    automaton.AddTransition(scan1, symbol, scan1, Move::kRight);
+    // scan0 may detour: rewind to the first cell and re-check it is a 0
+    // (exercises left moves; semantically a no-op).
+    automaton.AddTransition(scan0, symbol, back0, Move::kLeft);
+    automaton.AddTransition(back0, symbol, back0, Move::kLeft);
+    automaton.AddTransition(fwd0, symbol, fwd0, Move::kRight);
+    automaton.AddTransition(fwd0, symbol, scan0, Move::kStay);
+  }
+  automaton.AddTransition(back0, 0, fwd0, Move::kStay);
+  // Guess "this is the last cell": compare with the remembered first symbol.
+  automaton.AddTransition(scan0, 0, accept, Move::kRight);
+  automaton.AddTransition(scan1, 1, accept, Move::kRight);
+  return automaton;
+}
+
+TEST(TwoWaySimulateTest, FirstEqualsLast) {
+  TwoWayNfa automaton = FirstEqualsLastAutomaton();
+  EXPECT_TRUE(SimulateTwoWay(automaton, {0}));
+  EXPECT_TRUE(SimulateTwoWay(automaton, {1, 0, 1}));
+  EXPECT_TRUE(SimulateTwoWay(automaton, {0, 1, 1, 0}));
+  EXPECT_FALSE(SimulateTwoWay(automaton, {0, 1}));
+  EXPECT_FALSE(SimulateTwoWay(automaton, {1, 1, 0}));
+  EXPECT_FALSE(SimulateTwoWay(automaton, {}));
+}
+
+/// One-way automata embed into two-way automata: every NFA transition becomes
+/// a right move.
+TwoWayNfa EmbedOneWay(const Nfa& input) {
+  Nfa nfa = RemoveEpsilon(input);
+  TwoWayNfa automaton(nfa.num_symbols());
+  for (int s = 0; s < nfa.NumStates(); ++s) automaton.AddState();
+  for (int s = 0; s < nfa.NumStates(); ++s) {
+    automaton.SetInitial(s, nfa.IsInitial(s));
+    automaton.SetAccepting(s, nfa.IsAccepting(s));
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      automaton.AddTransition(s, t.symbol, t.to, Move::kRight);
+    }
+  }
+  return automaton;
+}
+
+TEST(TwoWaySimulateTest, AgreesWithOneWayEmbedding) {
+  std::mt19937_64 rng(5);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  for (int trial = 0; trial < 40; ++trial) {
+    Nfa nfa = RandomNfa(rng, options);
+    TwoWayNfa embedded = EmbedOneWay(nfa);
+    for (int i = 0; i < 25; ++i) {
+      std::vector<int> word = RandomWord(rng, 2, i % 7);
+      EXPECT_EQ(SimulateTwoWay(embedded, word), Accepts(nfa, word));
+    }
+  }
+}
+
+bool TableDfaAccepts(LazyTableDfa& dfa, const std::vector<int>& word) {
+  int state = dfa.StartState();
+  for (int symbol : word) state = dfa.Step(state, symbol);
+  return dfa.IsAccepting(state);
+}
+
+TEST(TableDfaTest, MatchesSimulationOnHandwrittenAutomaton) {
+  TwoWayNfa automaton = FirstEqualsLastAutomaton();
+  LazyTableDfa table(automaton);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int> word = RandomWord(rng, 2, i % 9);
+    EXPECT_EQ(TableDfaAccepts(table, word), SimulateTwoWay(automaton, word));
+  }
+}
+
+TEST(TableDfaTest, MatchesSimulationOnRandomAutomata) {
+  std::mt19937_64 rng(13);
+  RandomAutomatonOptions options;
+  options.num_states = 4;
+  options.num_symbols = 2;
+  options.transition_density = 1.2;
+  for (int trial = 0; trial < 60; ++trial) {
+    TwoWayNfa automaton = RandomTwoWayNfa(rng, options);
+    LazyTableDfa table(automaton);
+    for (int i = 0; i < 30; ++i) {
+      std::vector<int> word = RandomWord(rng, 2, i % 8);
+      EXPECT_EQ(TableDfaAccepts(table, word), SimulateTwoWay(automaton, word))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(TableDfaTest, ComplementFlipsEveryWord) {
+  std::mt19937_64 rng(17);
+  RandomAutomatonOptions options;
+  options.num_states = 4;
+  options.num_symbols = 2;
+  for (int trial = 0; trial < 20; ++trial) {
+    TwoWayNfa automaton = RandomTwoWayNfa(rng, options);
+    LazyTableDfa accept(automaton, /*complement=*/false);
+    LazyTableDfa reject(automaton, /*complement=*/true);
+    for (int i = 0; i < 20; ++i) {
+      std::vector<int> word = RandomWord(rng, 2, i % 6);
+      EXPECT_NE(TableDfaAccepts(accept, word), TableDfaAccepts(reject, word));
+    }
+  }
+}
+
+TEST(VardiComplementTest, MatchesTableComplementOnRandomAutomata) {
+  std::mt19937_64 rng(29);
+  RandomAutomatonOptions options;
+  options.num_states = 3;
+  options.num_symbols = 2;
+  options.transition_density = 1.0;
+  for (int trial = 0; trial < 25; ++trial) {
+    TwoWayNfa automaton = RandomTwoWayNfa(rng, options);
+    StatusOr<Nfa> complement = VardiComplement(automaton, 1 << 18);
+    ASSERT_TRUE(complement.ok()) << complement.status().ToString();
+    for (int i = 0; i < 25; ++i) {
+      std::vector<int> word = RandomWord(rng, 2, i % 6);
+      EXPECT_EQ(Accepts(*complement, word), !SimulateTwoWay(automaton, word))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(VardiComplementTest, HandwrittenAutomaton) {
+  TwoWayNfa automaton = FirstEqualsLastAutomaton();
+  StatusOr<Nfa> complement = VardiComplement(automaton, 1 << 20);
+  ASSERT_TRUE(complement.ok());
+  EXPECT_FALSE(Accepts(*complement, {0, 1, 0}));
+  EXPECT_TRUE(Accepts(*complement, {0, 1}));
+  EXPECT_TRUE(Accepts(*complement, {}));
+}
+
+TEST(TwoWayBasicsTest, EmptyWordAcceptance) {
+  TwoWayNfa automaton(1);
+  int s = automaton.AddState();
+  automaton.SetInitial(s);
+  EXPECT_FALSE(SimulateTwoWay(automaton, {}));
+  automaton.SetAccepting(s);
+  EXPECT_TRUE(SimulateTwoWay(automaton, {}));
+  LazyTableDfa table(automaton);
+  EXPECT_TRUE(table.IsAccepting(table.StartState()));
+}
+
+TEST(TwoWayBasicsTest, FallingOffLeftEndIsUnavailable) {
+  // One state that always moves left: can never get past the first cell, so
+  // it never reaches the end and never accepts a nonempty word.
+  TwoWayNfa automaton(1);
+  int s = automaton.AddState();
+  automaton.SetInitial(s);
+  automaton.SetAccepting(s);
+  automaton.AddTransition(s, 0, s, Move::kLeft);
+  EXPECT_TRUE(SimulateTwoWay(automaton, {}));
+  EXPECT_FALSE(SimulateTwoWay(automaton, {0}));
+  EXPECT_FALSE(SimulateTwoWay(automaton, {0, 0}));
+}
+
+}  // namespace
+}  // namespace rpqi

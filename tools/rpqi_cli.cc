@@ -1,0 +1,340 @@
+// rpqi — command-line front end to the library.
+//
+// Subcommands:
+//   eval        evaluate an RPQI over a graph database
+//   rewrite     compute the maximal rewriting of a query w.r.t. views
+//   satisfies   decide word satisfaction (Theorem 2)
+//   contains    decide RPQI containment
+//   answer      certain answers from view extensions (CDA or ODA)
+//
+// Graph databases use the text format of graphdb/io.h (one `from rel to` per
+// line). View definitions are `name=expression` arguments; extensions are
+// `name:obj1,obj2` pair arguments. Run with no arguments for usage.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "answer/cda.h"
+#include "answer/oda.h"
+#include "graphdb/eval.h"
+#include "graphdb/io.h"
+#include "graphdb/views.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+#include "rewrite/eval.h"
+#include "rewrite/exactness.h"
+#include "rewrite/rewriter.h"
+#include "rpq/compile.h"
+#include "rpq/containment.h"
+#include "rpq/satisfaction.h"
+
+namespace rpqi {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"USAGE(usage:
+  rpqi eval --db FILE --query EXPR
+  rpqi rewrite --query EXPR --view NAME=EXPR [--view NAME=EXPR ...]
+               [--db FILE]           evaluate the rewriting over materialized views
+  rpqi satisfies --query EXPR --word "r1 r2^- ..."
+  rpqi contains --query EXPR --in EXPR
+  rpqi answer --mode cda|oda --objects N --query EXPR
+              --view 'NAME=EXPR;sound|complete|exact;a,b a,b ...'
+              [--pair c,d]           all pairs when omitted
+
+expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
+^- (inverse), %%eps, %%empty. Example: "(hasSubmodule^-)* (containsVar | hasSubmodule)"
+)USAGE");
+  return 2;
+}
+
+std::map<std::string, std::vector<std::string>> ParseFlags(int argc,
+                                                           char** argv,
+                                                           int first) {
+  std::map<std::string, std::vector<std::string>> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags[arg.substr(2)].push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::string Single(const std::map<std::string, std::vector<std::string>>& flags,
+                   const std::string& name) {
+  auto it = flags.find(name);
+  if (it == flags.end() || it->second.size() != 1) {
+    std::fprintf(stderr, "missing or repeated --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return it->second[0];
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+RegexPtr ParseOrDie(const std::string& text) {
+  StatusOr<RegexPtr> parsed = ParseRegex(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return parsed.value();
+}
+
+int CmdEval(const std::map<std::string, std::vector<std::string>>& flags) {
+  SignedAlphabet alphabet;
+  StatusOr<GraphDb> db = LoadGraphText(ReadFileOrDie(Single(flags, "db")),
+                                       &alphabet);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  RegexPtr expr = ParseOrDie(Single(flags, "query"));
+  RegisterRelations({expr}, &alphabet);
+  StatusOr<Nfa> query = CompileRegex(expr, alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  // The database was loaded before the query may have added relations; the
+  // graph only stores relation ids, which remain valid under widening.
+  for (const auto& [x, y] : EvalRpqiAllPairs(*db, *query)) {
+    std::printf("%s\t%s\n", db->NodeName(x).c_str(), db->NodeName(y).c_str());
+  }
+  return 0;
+}
+
+int CmdRewrite(const std::map<std::string, std::vector<std::string>>& flags) {
+  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+  std::vector<std::string> view_names;
+  std::vector<RegexPtr> view_exprs;
+  auto it = flags.find("view");
+  if (it == flags.end() || it->second.empty()) return Usage();
+  for (const std::string& spec : it->second) {
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos) return Usage();
+    view_names.push_back(spec.substr(0, eq));
+    view_exprs.push_back(ParseOrDie(spec.substr(eq + 1)));
+  }
+
+  SignedAlphabet alphabet;
+  RegisterRelations({query_expr}, &alphabet);
+  RegisterRelations(view_exprs, &alphabet);
+  Nfa query = MustCompileRegex(query_expr, alphabet);
+  std::vector<Nfa> views;
+  for (const RegexPtr& expr : view_exprs) {
+    views.push_back(MustCompileRegex(expr, alphabet));
+  }
+
+  StatusOr<MaximalRewriting> rewriting = ComputeMaximalRewriting(query, views);
+  if (!rewriting.ok()) {
+    std::fprintf(stderr, "%s\n", rewriting.status().ToString().c_str());
+    return 1;
+  }
+  if (rewriting->empty) {
+    std::printf("rewriting: %%empty\n");
+  } else {
+    std::printf("rewriting: %s\n",
+                RewritingToString(rewriting->dfa, view_names).c_str());
+    std::printf("exact: %s\n",
+                IsExactRewriting(query, views, rewriting->dfa) ? "yes" : "no");
+  }
+  std::printf("stats: |A1|=%d |A3|=%d A2-discovered=%lld |A2xA3|=%d |A4|=%d "
+              "|R|=%d\n",
+              rewriting->stats.a1_states, rewriting->stats.a3_states,
+              static_cast<long long>(rewriting->stats.a2_states_discovered),
+              rewriting->stats.product_states, rewriting->stats.a4_states,
+              rewriting->stats.rewriting_states);
+
+  if (flags.count("db")) {
+    SignedAlphabet db_alphabet = alphabet;
+    StatusOr<GraphDb> db =
+        LoadGraphText(ReadFileOrDie(Single(flags, "db")), &db_alphabet);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<std::pair<int, int>>> extensions;
+    for (const Nfa& view : views) {
+      extensions.push_back(MaterializeView(*db, view));
+    }
+    std::printf("answers from views:\n");
+    for (const auto& [x, y] :
+         EvaluateRewriting(rewriting->dfa, db->NumNodes(), extensions)) {
+      std::printf("%s\t%s\n", db->NodeName(x).c_str(),
+                  db->NodeName(y).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdSatisfies(const std::map<std::string, std::vector<std::string>>& flags) {
+  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+  SignedAlphabet alphabet;
+  RegisterRelations({query_expr}, &alphabet);
+
+  // Parse the word: whitespace-separated atoms, each `name` or `name^-`.
+  std::vector<int> word;
+  std::istringstream stream(Single(flags, "word"));
+  std::string token;
+  while (stream >> token) {
+    bool inverse = false;
+    if (token.size() > 2 && token.substr(token.size() - 2) == "^-") {
+      inverse = true;
+      token = token.substr(0, token.size() - 2);
+    }
+    alphabet.AddRelation(token);
+    word.push_back(alphabet.SymbolId(token, inverse));
+  }
+  Nfa query = MustCompileRegex(query_expr, alphabet);
+  bool satisfied = WordSatisfies(query, word);
+  std::printf("%s\n", satisfied ? "satisfies" : "does not satisfy");
+  return satisfied ? 0 : 1;
+}
+
+int CmdContains(const std::map<std::string, std::vector<std::string>>& flags) {
+  RegexPtr q1 = ParseOrDie(Single(flags, "query"));
+  RegexPtr q2 = ParseOrDie(Single(flags, "in"));
+  SignedAlphabet alphabet;
+  RegisterRelations({q1, q2}, &alphabet);
+  bool contained = RpqiContained(MustCompileRegex(q1, alphabet),
+                                 MustCompileRegex(q2, alphabet));
+  std::printf("%s\n", contained ? "contained" : "not contained");
+  return contained ? 0 : 1;
+}
+
+int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
+  std::string mode = Single(flags, "mode");
+  int num_objects = std::atoi(Single(flags, "objects").c_str());
+  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+
+  struct ViewSpec {
+    std::string name;
+    RegexPtr expr;
+    ViewAssumption assumption;
+    std::vector<std::pair<int, int>> extension;
+  };
+  std::vector<ViewSpec> specs;
+  auto it = flags.find("view");
+  if (it == flags.end()) return Usage();
+  for (const std::string& raw : it->second) {
+    // NAME=EXPR;assumption;a,b a,b ...
+    ViewSpec spec;
+    size_t eq = raw.find('=');
+    size_t semi1 = raw.find(';');
+    size_t semi2 = raw.find(';', semi1 + 1);
+    if (eq == std::string::npos || semi1 == std::string::npos ||
+        semi2 == std::string::npos || eq > semi1) {
+      return Usage();
+    }
+    spec.name = raw.substr(0, eq);
+    spec.expr = ParseOrDie(raw.substr(eq + 1, semi1 - eq - 1));
+    std::string assumption = raw.substr(semi1 + 1, semi2 - semi1 - 1);
+    if (assumption == "sound") {
+      spec.assumption = ViewAssumption::kSound;
+    } else if (assumption == "complete") {
+      spec.assumption = ViewAssumption::kComplete;
+    } else if (assumption == "exact") {
+      spec.assumption = ViewAssumption::kExact;
+    } else {
+      return Usage();
+    }
+    std::istringstream pairs(raw.substr(semi2 + 1));
+    std::string pair_text;
+    while (pairs >> pair_text) {
+      size_t comma = pair_text.find(',');
+      if (comma == std::string::npos) return Usage();
+      spec.extension.push_back(
+          {std::atoi(pair_text.substr(0, comma).c_str()),
+           std::atoi(pair_text.substr(comma + 1).c_str())});
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  SignedAlphabet alphabet;
+  RegisterRelations({query_expr}, &alphabet);
+  for (const ViewSpec& spec : specs) RegisterRelations({spec.expr}, &alphabet);
+
+  AnsweringInstance instance;
+  instance.num_objects = num_objects;
+  instance.query = MustCompileRegex(query_expr, alphabet);
+  for (const ViewSpec& spec : specs) {
+    View view;
+    view.definition = MustCompileRegex(spec.expr, alphabet);
+    view.extension = spec.extension;
+    view.assumption = spec.assumption;
+    instance.views.push_back(std::move(view));
+  }
+
+  std::vector<std::pair<int, int>> probes;
+  if (flags.count("pair")) {
+    for (const std::string& pair_text : flags.at("pair")) {
+      size_t comma = pair_text.find(',');
+      if (comma == std::string::npos) return Usage();
+      probes.push_back({std::atoi(pair_text.substr(0, comma).c_str()),
+                        std::atoi(pair_text.substr(comma + 1).c_str())});
+    }
+  } else {
+    for (int c = 0; c < num_objects; ++c) {
+      for (int d = 0; d < num_objects; ++d) probes.push_back({c, d});
+    }
+  }
+
+  for (const auto& [c, d] : probes) {
+    bool certain = false;
+    if (mode == "cda") {
+      StatusOr<CdaResult> result = CertainAnswerCda(instance, c, d);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      certain = result->certain;
+    } else if (mode == "oda") {
+      StatusOr<OdaResult> result = CertainAnswerOda(instance, c, d);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      certain = result->certain;
+    } else {
+      return Usage();
+    }
+    std::printf("(%d,%d): %s\n", c, d, certain ? "certain" : "not certain");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "rewrite") return CmdRewrite(flags);
+  if (command == "satisfies") return CmdSatisfies(flags);
+  if (command == "contains") return CmdContains(flags);
+  if (command == "answer") return CmdAnswer(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rpqi
+
+int main(int argc, char** argv) { return rpqi::Main(argc, argv); }
