@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_onthefly.dir/bench_ablation_onthefly.cc.o"
+  "CMakeFiles/bench_ablation_onthefly.dir/bench_ablation_onthefly.cc.o.d"
+  "bench_ablation_onthefly"
+  "bench_ablation_onthefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

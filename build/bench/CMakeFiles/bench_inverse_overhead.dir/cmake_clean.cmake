@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverse_overhead.dir/bench_inverse_overhead.cc.o"
+  "CMakeFiles/bench_inverse_overhead.dir/bench_inverse_overhead.cc.o.d"
+  "bench_inverse_overhead"
+  "bench_inverse_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverse_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

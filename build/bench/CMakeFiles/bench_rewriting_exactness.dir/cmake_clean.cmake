@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriting_exactness.dir/bench_rewriting_exactness.cc.o"
+  "CMakeFiles/bench_rewriting_exactness.dir/bench_rewriting_exactness.cc.o.d"
+  "bench_rewriting_exactness"
+  "bench_rewriting_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriting_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriting_growth.dir/bench_rewriting_growth.cc.o"
+  "CMakeFiles/bench_rewriting_growth.dir/bench_rewriting_growth.cc.o.d"
+  "bench_rewriting_growth"
+  "bench_rewriting_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriting_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriting_nonemptiness.dir/bench_rewriting_nonemptiness.cc.o"
+  "CMakeFiles/bench_rewriting_nonemptiness.dir/bench_rewriting_nonemptiness.cc.o.d"
+  "bench_rewriting_nonemptiness"
+  "bench_rewriting_nonemptiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriting_nonemptiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpqi_eval.dir/bench_rpqi_eval.cc.o"
+  "CMakeFiles/bench_rpqi_eval.dir/bench_rpqi_eval.cc.o.d"
+  "bench_rpqi_eval"
+  "bench_rpqi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpqi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_combined.dir/bench_table1_combined.cc.o"
+  "CMakeFiles/bench_table1_combined.dir/bench_table1_combined.cc.o.d"
+  "bench_table1_combined"
+  "bench_table1_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_expression.dir/bench_table1_expression.cc.o"
+  "CMakeFiles/bench_table1_expression.dir/bench_table1_expression.cc.o.d"
+  "bench_table1_expression"
+  "bench_table1_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_visibility.dir/module_visibility.cpp.o"
+  "CMakeFiles/module_visibility.dir/module_visibility.cpp.o.d"
+  "module_visibility"
+  "module_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

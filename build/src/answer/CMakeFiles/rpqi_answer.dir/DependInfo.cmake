@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/answer/cda.cc" "src/answer/CMakeFiles/rpqi_answer.dir/cda.cc.o" "gcc" "src/answer/CMakeFiles/rpqi_answer.dir/cda.cc.o.d"
+  "/root/repo/src/answer/certificates.cc" "src/answer/CMakeFiles/rpqi_answer.dir/certificates.cc.o" "gcc" "src/answer/CMakeFiles/rpqi_answer.dir/certificates.cc.o.d"
+  "/root/repo/src/answer/linearize.cc" "src/answer/CMakeFiles/rpqi_answer.dir/linearize.cc.o" "gcc" "src/answer/CMakeFiles/rpqi_answer.dir/linearize.cc.o.d"
+  "/root/repo/src/answer/oda.cc" "src/answer/CMakeFiles/rpqi_answer.dir/oda.cc.o" "gcc" "src/answer/CMakeFiles/rpqi_answer.dir/oda.cc.o.d"
+  "/root/repo/src/answer/views.cc" "src/answer/CMakeFiles/rpqi_answer.dir/views.cc.o" "gcc" "src/answer/CMakeFiles/rpqi_answer.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphdb/CMakeFiles/rpqi_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqi_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rpqi_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_answer.dir/cda.cc.o"
+  "CMakeFiles/rpqi_answer.dir/cda.cc.o.d"
+  "CMakeFiles/rpqi_answer.dir/certificates.cc.o"
+  "CMakeFiles/rpqi_answer.dir/certificates.cc.o.d"
+  "CMakeFiles/rpqi_answer.dir/linearize.cc.o"
+  "CMakeFiles/rpqi_answer.dir/linearize.cc.o.d"
+  "CMakeFiles/rpqi_answer.dir/oda.cc.o"
+  "CMakeFiles/rpqi_answer.dir/oda.cc.o.d"
+  "CMakeFiles/rpqi_answer.dir/views.cc.o"
+  "CMakeFiles/rpqi_answer.dir/views.cc.o.d"
+  "librpqi_answer.a"
+  "librpqi_answer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_answer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

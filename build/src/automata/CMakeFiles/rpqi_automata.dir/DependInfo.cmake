@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/dfa.cc" "src/automata/CMakeFiles/rpqi_automata.dir/dfa.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/dfa.cc.o.d"
+  "/root/repo/src/automata/dot.cc" "src/automata/CMakeFiles/rpqi_automata.dir/dot.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/dot.cc.o.d"
+  "/root/repo/src/automata/lazy.cc" "src/automata/CMakeFiles/rpqi_automata.dir/lazy.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/lazy.cc.o.d"
+  "/root/repo/src/automata/ops.cc" "src/automata/CMakeFiles/rpqi_automata.dir/ops.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/ops.cc.o.d"
+  "/root/repo/src/automata/pair_complement.cc" "src/automata/CMakeFiles/rpqi_automata.dir/pair_complement.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/pair_complement.cc.o.d"
+  "/root/repo/src/automata/random.cc" "src/automata/CMakeFiles/rpqi_automata.dir/random.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/random.cc.o.d"
+  "/root/repo/src/automata/state_elim.cc" "src/automata/CMakeFiles/rpqi_automata.dir/state_elim.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/state_elim.cc.o.d"
+  "/root/repo/src/automata/table_dfa.cc" "src/automata/CMakeFiles/rpqi_automata.dir/table_dfa.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/table_dfa.cc.o.d"
+  "/root/repo/src/automata/two_way.cc" "src/automata/CMakeFiles/rpqi_automata.dir/two_way.cc.o" "gcc" "src/automata/CMakeFiles/rpqi_automata.dir/two_way.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

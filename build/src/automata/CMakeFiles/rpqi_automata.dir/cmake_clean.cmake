@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_automata.dir/dfa.cc.o"
+  "CMakeFiles/rpqi_automata.dir/dfa.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/dot.cc.o"
+  "CMakeFiles/rpqi_automata.dir/dot.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/lazy.cc.o"
+  "CMakeFiles/rpqi_automata.dir/lazy.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/ops.cc.o"
+  "CMakeFiles/rpqi_automata.dir/ops.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/pair_complement.cc.o"
+  "CMakeFiles/rpqi_automata.dir/pair_complement.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/random.cc.o"
+  "CMakeFiles/rpqi_automata.dir/random.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/state_elim.cc.o"
+  "CMakeFiles/rpqi_automata.dir/state_elim.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/table_dfa.cc.o"
+  "CMakeFiles/rpqi_automata.dir/table_dfa.cc.o.d"
+  "CMakeFiles/rpqi_automata.dir/two_way.cc.o"
+  "CMakeFiles/rpqi_automata.dir/two_way.cc.o.d"
+  "librpqi_automata.a"
+  "librpqi_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_base.dir/strings.cc.o"
+  "CMakeFiles/rpqi_base.dir/strings.cc.o.d"
+  "librpqi_base.a"
+  "librpqi_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_crpq.dir/crpq.cc.o"
+  "CMakeFiles/rpqi_crpq.dir/crpq.cc.o.d"
+  "librpqi_crpq.a"
+  "librpqi_crpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_crpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

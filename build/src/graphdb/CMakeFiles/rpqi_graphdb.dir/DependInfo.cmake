@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphdb/eval.cc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/eval.cc.o" "gcc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/eval.cc.o.d"
+  "/root/repo/src/graphdb/io.cc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/io.cc.o" "gcc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/io.cc.o.d"
+  "/root/repo/src/graphdb/views.cc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/views.cc.o" "gcc" "src/graphdb/CMakeFiles/rpqi_graphdb.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpq/CMakeFiles/rpqi_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rpqi_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

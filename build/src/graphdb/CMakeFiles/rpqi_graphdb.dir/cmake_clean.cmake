@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_graphdb.dir/eval.cc.o"
+  "CMakeFiles/rpqi_graphdb.dir/eval.cc.o.d"
+  "CMakeFiles/rpqi_graphdb.dir/io.cc.o"
+  "CMakeFiles/rpqi_graphdb.dir/io.cc.o.d"
+  "CMakeFiles/rpqi_graphdb.dir/views.cc.o"
+  "CMakeFiles/rpqi_graphdb.dir/views.cc.o.d"
+  "librpqi_graphdb.a"
+  "librpqi_graphdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_graphdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_regex.dir/ast.cc.o"
+  "CMakeFiles/rpqi_regex.dir/ast.cc.o.d"
+  "CMakeFiles/rpqi_regex.dir/parser.cc.o"
+  "CMakeFiles/rpqi_regex.dir/parser.cc.o.d"
+  "CMakeFiles/rpqi_regex.dir/printer.cc.o"
+  "CMakeFiles/rpqi_regex.dir/printer.cc.o.d"
+  "librpqi_regex.a"
+  "librpqi_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/baseline_rpq.cc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/baseline_rpq.cc.o" "gcc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/baseline_rpq.cc.o.d"
+  "/root/repo/src/rewrite/eval.cc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/eval.cc.o" "gcc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/eval.cc.o.d"
+  "/root/repo/src/rewrite/exactness.cc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/exactness.cc.o" "gcc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/exactness.cc.o.d"
+  "/root/repo/src/rewrite/expansion.cc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/expansion.cc.o" "gcc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/expansion.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/rpqi_rewrite.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpq/CMakeFiles/rpqi_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/rpqi_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rpqi_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

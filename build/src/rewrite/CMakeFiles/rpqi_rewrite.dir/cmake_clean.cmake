@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_rewrite.dir/baseline_rpq.cc.o"
+  "CMakeFiles/rpqi_rewrite.dir/baseline_rpq.cc.o.d"
+  "CMakeFiles/rpqi_rewrite.dir/eval.cc.o"
+  "CMakeFiles/rpqi_rewrite.dir/eval.cc.o.d"
+  "CMakeFiles/rpqi_rewrite.dir/exactness.cc.o"
+  "CMakeFiles/rpqi_rewrite.dir/exactness.cc.o.d"
+  "CMakeFiles/rpqi_rewrite.dir/expansion.cc.o"
+  "CMakeFiles/rpqi_rewrite.dir/expansion.cc.o.d"
+  "CMakeFiles/rpqi_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/rpqi_rewrite.dir/rewriter.cc.o.d"
+  "librpqi_rewrite.a"
+  "librpqi_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

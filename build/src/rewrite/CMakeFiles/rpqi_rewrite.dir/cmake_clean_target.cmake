@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpqi_rewrite.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpq/compile.cc" "src/rpq/CMakeFiles/rpqi_rpq.dir/compile.cc.o" "gcc" "src/rpq/CMakeFiles/rpqi_rpq.dir/compile.cc.o.d"
+  "/root/repo/src/rpq/containment.cc" "src/rpq/CMakeFiles/rpqi_rpq.dir/containment.cc.o" "gcc" "src/rpq/CMakeFiles/rpqi_rpq.dir/containment.cc.o.d"
+  "/root/repo/src/rpq/satisfaction.cc" "src/rpq/CMakeFiles/rpqi_rpq.dir/satisfaction.cc.o" "gcc" "src/rpq/CMakeFiles/rpqi_rpq.dir/satisfaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/rpqi_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

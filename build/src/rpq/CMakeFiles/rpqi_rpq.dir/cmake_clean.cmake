@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_rpq.dir/compile.cc.o"
+  "CMakeFiles/rpqi_rpq.dir/compile.cc.o.d"
+  "CMakeFiles/rpqi_rpq.dir/containment.cc.o"
+  "CMakeFiles/rpqi_rpq.dir/containment.cc.o.d"
+  "CMakeFiles/rpqi_rpq.dir/satisfaction.cc.o"
+  "CMakeFiles/rpqi_rpq.dir/satisfaction.cc.o.d"
+  "librpqi_rpq.a"
+  "librpqi_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

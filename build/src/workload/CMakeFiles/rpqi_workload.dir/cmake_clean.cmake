@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/rpqi_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/rpqi_workload.dir/regex_gen.cc.o"
+  "CMakeFiles/rpqi_workload.dir/regex_gen.cc.o.d"
+  "CMakeFiles/rpqi_workload.dir/scenario.cc.o"
+  "CMakeFiles/rpqi_workload.dir/scenario.cc.o.d"
+  "librpqi_workload.a"
+  "librpqi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

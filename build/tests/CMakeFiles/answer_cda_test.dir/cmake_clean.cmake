@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answer_cda_test.dir/answer_cda_test.cc.o"
+  "CMakeFiles/answer_cda_test.dir/answer_cda_test.cc.o.d"
+  "answer_cda_test"
+  "answer_cda_test.pdb"
+  "answer_cda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answer_cda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answer_oda_test.dir/answer_oda_test.cc.o"
+  "CMakeFiles/answer_oda_test.dir/answer_oda_test.cc.o.d"
+  "answer_oda_test"
+  "answer_oda_test.pdb"
+  "answer_oda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answer_oda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

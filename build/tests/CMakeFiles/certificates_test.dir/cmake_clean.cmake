@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificates_test.dir/certificates_test.cc.o"
+  "CMakeFiles/certificates_test.dir/certificates_test.cc.o.d"
+  "certificates_test"
+  "certificates_test.pdb"
+  "certificates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rpqi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/rpqi_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/answer/CMakeFiles/rpqi_answer.dir/DependInfo.cmake"
+  "/root/repo/build/src/crpq/CMakeFiles/rpqi_crpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/rpqi_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpq/CMakeFiles/rpqi_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/rpqi_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/rpqi_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rpqi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

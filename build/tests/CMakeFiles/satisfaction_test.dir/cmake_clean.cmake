@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satisfaction_test.dir/satisfaction_test.cc.o"
+  "CMakeFiles/satisfaction_test.dir/satisfaction_test.cc.o.d"
+  "satisfaction_test"
+  "satisfaction_test.pdb"
+  "satisfaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satisfaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

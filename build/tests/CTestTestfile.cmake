@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/two_way_test[1]_include.cmake")
+include("/root/repo/build/tests/satisfaction_test[1]_include.cmake")
+include("/root/repo/build/tests/graphdb_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/answer_cda_test[1]_include.cmake")
+include("/root/repo/build/tests/answer_oda_test[1]_include.cmake")
+include("/root/repo/build/tests/certificates_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/crpq_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")

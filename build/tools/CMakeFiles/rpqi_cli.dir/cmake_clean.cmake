@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpqi_cli.dir/rpqi_cli.cc.o"
+  "CMakeFiles/rpqi_cli.dir/rpqi_cli.cc.o.d"
+  "rpqi"
+  "rpqi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpqi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
