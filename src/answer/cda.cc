@@ -89,12 +89,13 @@ bool ConsistentWithViews(const AnsweringInstance& instance, const GraphDb& db) {
 class CdaSolver {
  public:
   CdaSolver(const AnsweringInstance& instance, int c, int d,
-            bool want_query_pair, int64_t max_nodes)
+            bool want_query_pair, int64_t max_nodes, Budget* budget)
       : instance_(instance),
         c_(c),
         d_(d),
         want_query_pair_(want_query_pair),
-        max_nodes_(max_nodes) {
+        max_nodes_(max_nodes),
+        budget_(budget) {
     space_.num_objects = instance.num_objects;
     space_.num_relations = instance.query.num_symbols() / 2;
     eps_free_views_.reserve(instance.views.size());
@@ -123,6 +124,7 @@ class CdaSolver {
     if (++nodes_visited_ > max_nodes_) {
       return Status::ResourceExhausted("CDA search exceeded node budget");
     }
+    RPQI_RETURN_IF_ERROR(BudgetCharge(budget_, 1));
     GraphDb lower = BuildGraph(space_, edge_state, /*include_unknown=*/false);
     GraphDb upper = BuildGraph(space_, edge_state, /*include_unknown=*/true);
 
@@ -212,6 +214,7 @@ class CdaSolver {
   int d_;
   bool want_query_pair_;
   int64_t max_nodes_;
+  Budget* budget_;
   CandidateEdges space_;
   std::vector<Nfa> eps_free_views_;
   Nfa eps_free_query_{0};
@@ -224,7 +227,7 @@ StatusOr<CdaResult> CertainAnswerCda(const AnsweringInstance& instance, int c,
                                      int d, const CdaOptions& options) {
   CheckInstance(instance);
   CdaSolver solver(instance, c, d, /*want_query_pair=*/false,
-                   options.max_nodes);
+                   options.max_nodes, options.budget);
   StatusOr<CdaResult> result = solver.Solve();
   if (!result.ok()) return result;
   // (c,d) is certain iff no consistent counterexample database exists.
@@ -236,7 +239,7 @@ StatusOr<CdaResult> PossibleAnswerCda(const AnsweringInstance& instance, int c,
                                       int d, const CdaOptions& options) {
   CheckInstance(instance);
   CdaSolver solver(instance, c, d, /*want_query_pair=*/true,
-                   options.max_nodes);
+                   options.max_nodes, options.budget);
   StatusOr<CdaResult> result = solver.Solve();
   if (!result.ok()) return result;
   result->certain = result->witness.has_value();  // here: "possible"

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "answer/views.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "graphdb/graph.h"
 
@@ -12,9 +13,12 @@ namespace rpqi {
 
 /// Options for the CDA solver. The search is worst-case exponential in the
 /// number of candidate edges (the problem is co-NP-complete, Theorem 11);
-/// `max_nodes` bounds the number of visited search nodes.
+/// `max_nodes` bounds the number of visited search nodes, and `budget`
+/// (optional, borrowed) adds wall-clock deadline / cancellation enforcement
+/// checked at every search node.
 struct CdaOptions {
   int64_t max_nodes = int64_t{1} << 22;
+  Budget* budget = nullptr;
 };
 
 /// Result of a certain/possible-answer check, with the witnessing database

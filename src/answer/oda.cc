@@ -222,9 +222,16 @@ struct OdaSolver::Impl {
       quick_parts.push_back(&query_lazy);
       LazyProductDfa quick_product(quick_parts);
       int64_t quick_budget = std::min<int64_t>(options.max_states, 50000);
-      EmptinessResult quick = FindAcceptedWord(&quick_product, quick_budget);
+      EmptinessResult quick =
+          FindAcceptedWord(&quick_product, quick_budget, options.budget);
       if (quick.outcome != EmptinessResult::Outcome::kLimitExceeded) {
         return Finish(c, d, complement_query, std::move(quick));
+      }
+      // A deadline/cancellation is terminal; only a state-cap overflow falls
+      // through to the exact phase.
+      if (quick.status.code() == Status::Code::kDeadlineExceeded ||
+          quick.status.code() == Status::Code::kCancelled) {
+        return quick.status;
       }
     }
 
@@ -234,8 +241,8 @@ struct OdaSolver::Impl {
     std::vector<LazyDfa*> product_parts;
     std::unique_ptr<LazyDfaFromDfa> context_lazy;
     if (view_context.has_value() && options.part_materialize_budget > 0) {
-      StatusOr<Dfa> query_dfa =
-          MaterializeLazyDfa(&query_lazy, options.part_materialize_budget);
+      StatusOr<Dfa> query_dfa = MaterializeLazyDfa(
+          &query_lazy, options.part_materialize_budget, options.budget);
       if (query_dfa.ok()) {
         Dfa minimized = Minimize(*query_dfa);
         StatusOr<Dfa> folded =
@@ -270,8 +277,13 @@ struct OdaSolver::Impl {
       }
       for (LazyDfa* leftover : leftovers) product_parts.push_back(leftover);
       LazyProductDfa product(product_parts);
-      emptiness = FindAcceptedWord(&product, options.max_states);
+      emptiness = FindAcceptedWord(&product, options.max_states,
+                                   options.budget);
       if (emptiness.outcome == EmptinessResult::Outcome::kLimitExceeded) {
+        if (!emptiness.status.ok() &&
+            emptiness.status.code() != Status::Code::kResourceExhausted) {
+          return emptiness.status;
+        }
         return Status::ResourceExhausted("A_ODA emptiness exceeded " +
                                          std::to_string(options.max_states) +
                                          " states");

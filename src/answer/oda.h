@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "answer/views.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "graphdb/graph.h"
 
@@ -17,6 +18,9 @@ namespace rpqi {
 /// state space is capped).
 struct OdaOptions {
   int64_t max_states = int64_t{1} << 22;
+  /// Optional execution budget (borrowed): deadline / cancellation / state
+  /// quota, enforced during both context construction and every probe.
+  Budget* budget = nullptr;
   /// Re-verify any counterexample against the independent graphdb evaluator
   /// (defense in depth; cheap relative to the search).
   bool verify_witness = true;

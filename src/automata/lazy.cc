@@ -210,7 +210,8 @@ bool LazyImageSubsetDfa::IsAccepting(int state) {
 // ---------------------------------------------------------------------------
 // Emptiness / materialization
 
-EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states) {
+EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
+                                 Budget* budget) {
   EmptinessResult result;
   const int num_symbols = dfa->NumSymbols();
 
@@ -228,6 +229,12 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states) {
   queue.push_back({start, 0});
 
   while (!queue.empty()) {
+    if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
+      result.outcome = EmptinessResult::Outcome::kLimitExceeded;
+      result.states_explored = static_cast<int64_t>(discovered.size());
+      result.status = std::move(budget_status);
+      return result;
+    }
     auto [state, index] = queue.front();
     queue.pop_front();
     if (dfa->IsAccepting(state)) {
@@ -248,9 +255,16 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states) {
       if (inserted) {
         info.push_back({index, a});
         queue.push_back({to, it->second});
-        if (static_cast<int64_t>(discovered.size()) > max_states) {
+        Status charge_status = BudgetCharge(budget, 1);
+        if (static_cast<int64_t>(discovered.size()) > max_states ||
+            !charge_status.ok()) {
           result.outcome = EmptinessResult::Outcome::kLimitExceeded;
           result.states_explored = static_cast<int64_t>(discovered.size());
+          result.status = charge_status.ok()
+                              ? Status::ResourceExhausted(
+                                    "emptiness search exceeded " +
+                                    std::to_string(max_states) + " states")
+                              : std::move(charge_status);
           return result;
         }
       }
@@ -263,7 +277,7 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states) {
 
 EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
                                         const std::vector<LazyDfa*>& parts,
-                                        int64_t max_states) {
+                                        int64_t max_states, Budget* budget) {
   const Nfa nfa = RemoveEpsilon(input);
   for (LazyDfa* part : parts) {
     RPQI_CHECK_EQ(part->NumSymbols(), nfa.num_symbols());
@@ -308,6 +322,12 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   };
 
   while (!queue.empty()) {
+    if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
+      result.outcome = EmptinessResult::Outcome::kLimitExceeded;
+      result.states_explored = interner.size();
+      result.status = std::move(budget_status);
+      return result;
+    }
     auto [id, index] = queue.front();
     queue.pop_front();
     if (accepts(id)) {
@@ -334,9 +354,15 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
       if (to == static_cast<int>(info.size())) {
         info.push_back({index, t.symbol});
         queue.push_back({to, to});
-        if (interner.size() > max_states) {
+        Status charge_status = BudgetCharge(budget, 1);
+        if (interner.size() > max_states || !charge_status.ok()) {
           result.outcome = EmptinessResult::Outcome::kLimitExceeded;
           result.states_explored = interner.size();
+          result.status = charge_status.ok()
+                              ? Status::ResourceExhausted(
+                                    "emptiness search exceeded " +
+                                    std::to_string(max_states) + " states")
+                              : std::move(charge_status);
           return result;
         }
       }
@@ -347,7 +373,8 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   return result;
 }
 
-StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states) {
+StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states,
+                                 Budget* budget) {
   const int num_symbols = dfa->NumSymbols();
   std::unordered_map<int, int> dense;  // lazy state id -> dense id
   std::vector<int> lazy_id_of;         // dense id -> lazy state id
@@ -358,6 +385,7 @@ StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states) {
   lazy_id_of.push_back(start);
 
   for (size_t i = 0; i < lazy_id_of.size(); ++i) {
+    RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
     rows.emplace_back(num_symbols, -1);
     for (int a = 0; a < num_symbols; ++a) {
       int to = dfa->Step(lazy_id_of[i], a);
@@ -369,6 +397,7 @@ StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states) {
               "lazy DFA materialization exceeded " +
               std::to_string(max_states) + " states");
         }
+        RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
         lazy_id_of.push_back(to);
       }
       rows[i][a] = it->second;

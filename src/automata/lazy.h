@@ -9,6 +9,7 @@
 #include "automata/dfa.h"
 #include "automata/nfa.h"
 #include "base/bitset.h"
+#include "base/budget.h"
 #include "base/interner.h"
 #include "base/status.h"
 
@@ -132,11 +133,17 @@ struct EmptinessResult {
   Outcome outcome;
   std::vector<int> witness;  // a shortest accepted word when kFoundWord
   int64_t states_explored = 0;
+  /// On kLimitExceeded: the precise limit that was hit — ResourceExhausted
+  /// (state cap), DeadlineExceeded, or Cancelled. Ok otherwise.
+  Status status;
 };
 
 /// BFS over the lazy automaton, stopping at the first accepting state (which
-/// yields a shortest witness) or after `max_states` distinct states.
-EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states);
+/// yields a shortest witness) or after `max_states` distinct states. `budget`
+/// (optional) adds deadline/cancellation enforcement and state accounting;
+/// budget exhaustion surfaces as kLimitExceeded with the code in `status`.
+EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
+                                 Budget* budget = nullptr);
 
 /// Emptiness of L(nfa) ∩ ⋂ L(parts) without determinizing the NFA: BFS over
 /// (NFA state, part states) tuples. Use when one intersection component is a
@@ -144,11 +151,14 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states);
 /// up (e.g. the certificate NFAs of Theorem 17).
 EmptinessResult FindAcceptedWordWithNfa(const Nfa& nfa,
                                         const std::vector<LazyDfa*>& parts,
-                                        int64_t max_states);
+                                        int64_t max_states,
+                                        Budget* budget = nullptr);
 
 /// Materializes the reachable fragment into an explicit DFA; fails with
-/// ResourceExhausted beyond `max_states`.
-StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states);
+/// ResourceExhausted beyond `max_states` (or the budget's deadline /
+/// cancellation / quota status).
+StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states,
+                                 Budget* budget = nullptr);
 
 }  // namespace rpqi
 

@@ -146,7 +146,8 @@ Nfa Trim(const Nfa& nfa) {
   return result;
 }
 
-StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states) {
+StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
+                                   Budget* budget) {
   const Nfa nfa = RemoveEpsilon(input);
   WordVectorInterner interner;
   std::vector<Bitset> subset_of;   // interned id -> subset
@@ -159,6 +160,7 @@ StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states) {
 
   std::vector<std::vector<int>> next_rows;
   for (int id = 0; id < interner.size(); ++id) {
+    RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
     next_rows.emplace_back(nfa.num_symbols(), -1);
     for (int a = 0; a < nfa.num_symbols(); ++a) {
       Bitset next = SubsetStep(nfa, subset_of[id], a);
@@ -169,6 +171,7 @@ StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states) {
               "subset construction exceeded " + std::to_string(max_states) +
               " states");
         }
+        RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
         subset_of.push_back(next);
         accepting.push_back(SubsetAccepts(nfa, next));
       }
@@ -384,7 +387,8 @@ std::optional<std::vector<int>> ShortestAcceptedWord(const Nfa& nfa) {
   return word;
 }
 
-bool IsContained(const Nfa& a_input, const Nfa& b_input) {
+StatusOr<bool> IsContainedWithBudget(const Nfa& a_input, const Nfa& b_input,
+                                     Budget* budget) {
   // L(a) ⊆ L(b) iff L(a) ∩ complement(L(b)) = ∅. Run the product of `a`
   // with the lazily determinized complement of `b` without materializing it.
   const Nfa a = RemoveEpsilon(Trim(a_input));
@@ -423,6 +427,7 @@ bool IsContained(const Nfa& a_input, const Nfa& b_input) {
   };
 
   while (!stack.empty()) {
+    RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
     auto [sa, subset_id] = stack.back();
     stack.pop_back();
     if (a.IsAccepting(sa) && !SubsetAccepts(b, subsets[subset_id])) {
@@ -433,6 +438,12 @@ bool IsContained(const Nfa& a_input, const Nfa& b_input) {
     }
   }
   return true;
+}
+
+bool IsContained(const Nfa& a, const Nfa& b) {
+  StatusOr<bool> result = IsContainedWithBudget(a, b, /*budget=*/nullptr);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
 }
 
 bool AreEquivalent(const Nfa& a, const Nfa& b) {

@@ -7,6 +7,7 @@
 
 #include "automata/dfa.h"
 #include "automata/nfa.h"
+#include "base/budget.h"
 #include "base/status.h"
 
 namespace rpqi {
@@ -19,8 +20,10 @@ Nfa RemoveEpsilon(const Nfa& nfa);
 Nfa Trim(const Nfa& nfa);
 
 /// Subset construction. Fails with ResourceExhausted if more than `max_states`
-/// subset states are discovered.
-StatusOr<Dfa> DeterminizeWithLimit(const Nfa& nfa, int64_t max_states);
+/// subset states are discovered; `budget` (optional) additionally enforces a
+/// wall-clock deadline and cooperative cancellation.
+StatusOr<Dfa> DeterminizeWithLimit(const Nfa& nfa, int64_t max_states,
+                                   Budget* budget = nullptr);
 
 /// Subset construction with a generous default limit; aborts on blowup beyond
 /// it (use DeterminizeWithLimit when the input is adversarial).
@@ -58,6 +61,11 @@ std::optional<std::vector<int>> ShortestAcceptedWord(const Nfa& nfa);
 /// True if L(a) ⊆ L(b). Runs an on-the-fly product of `a` with the lazily
 /// determinized complement of `b`; never materializes the full subset DFA.
 bool IsContained(const Nfa& a, const Nfa& b);
+
+/// Budgeted containment: like IsContained but every discovered product state
+/// is charged against `budget`, and deadline/cancellation are honored.
+StatusOr<bool> IsContainedWithBudget(const Nfa& a, const Nfa& b,
+                                     Budget* budget);
 
 /// True if L(a) = L(b).
 bool AreEquivalent(const Nfa& a, const Nfa& b);

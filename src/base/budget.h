@@ -1,0 +1,137 @@
+#ifndef RPQI_BASE_BUDGET_H_
+#define RPQI_BASE_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Cooperative execution budget for the provably expensive constructions
+/// (rewriting generation is 2EXPTIME, Theorem 7; answering is co-NP/PSPACE,
+/// Table 1). A Budget carries
+///   * a wall-clock deadline (steady clock),
+///   * an external cancellation flag (e.g. flipped by a server's RPC layer
+///     from another thread),
+///   * a state/node quota shared by every pipeline stage that charges it.
+/// Enforcement is cooperative: the exponential loops call Check() or
+/// ChargeStates() and propagate the returned Status. Check() is cheap — the
+/// cancellation flag is one relaxed atomic load, and the clock is consulted
+/// only every kStride calls. A null `Budget*` means "unlimited" throughout
+/// the library; use the BudgetCheck/BudgetCharge helpers for null-safety.
+///
+/// Budgets are not thread-safe (each worker owns one); only the cancellation
+/// flag may be touched concurrently.
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Budget() : start_(Clock::now()) {}
+
+  static Budget Unlimited() { return Budget(); }
+  static Budget WithDeadline(std::chrono::milliseconds timeout) {
+    Budget budget;
+    budget.set_deadline(budget.start_ + timeout);
+    return budget;
+  }
+
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// The flag is borrowed; it must outlive the budget. Setting it to true
+  /// makes the next Check() fail with kCancelled.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  void set_max_states(int64_t max_states) { max_states_ = max_states; }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point start_time() const { return start_; }
+  int64_t max_states() const { return max_states_; }
+  int64_t states_charged() const { return states_charged_; }
+  int64_t RemainingStates() const {
+    return states_charged_ >= max_states_ ? 0 : max_states_ - states_charged_;
+  }
+
+  /// Deadline/cancellation check; sticky once failed. Call from the inner
+  /// loops of every potentially-exponential construction.
+  Status Check() {
+    if (!sticky_.ok()) return sticky_;
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      sticky_ = Status::Cancelled("execution cancelled by caller");
+      return sticky_;
+    }
+    if (has_deadline_ && --check_countdown_ < 0) {
+      check_countdown_ = kStride;
+      if (Clock::now() > deadline_) {
+        sticky_ = Status::DeadlineExceeded(
+            "wall-clock deadline of " +
+            std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline_ - start_)
+                               .count()) +
+            " ms exceeded");
+        return sticky_;
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Accounts `n` newly discovered states/nodes against the shared quota and
+  /// performs a Check().
+  Status ChargeStates(int64_t n) {
+    states_charged_ += n;
+    if (states_charged_ > max_states_) {
+      sticky_ = Status::ResourceExhausted(
+          "state quota of " + std::to_string(max_states_) + " exceeded");
+      return sticky_;
+    }
+    return Check();
+  }
+
+  /// A fresh budget for graceful-degradation work after this one expired:
+  /// same cancellation flag, deadline extended to `factor` times the
+  /// originally granted wall-clock window (so a caller that asked for T ms
+  /// gets an overall bound of ~factor·T), and a reset state quota.
+  Budget GraceBudget(double factor) const {
+    Budget grace;
+    grace.start_ = start_;
+    grace.cancel_flag_ = cancel_flag_;
+    grace.max_states_ = max_states_;
+    if (has_deadline_) {
+      auto window = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline_ - start_);
+      grace.set_deadline(start_ +
+                         std::chrono::nanoseconds(static_cast<int64_t>(
+                             static_cast<double>(window.count()) * factor)));
+    }
+    return grace;
+  }
+
+ private:
+  static constexpr int kStride = 256;
+
+  Clock::time_point start_;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  int64_t max_states_ = std::numeric_limits<int64_t>::max();
+  int64_t states_charged_ = 0;
+  int check_countdown_ = 0;  // first Check() with a deadline consults the clock
+  Status sticky_;
+};
+
+/// Null-safe wrappers: a null budget is unlimited.
+inline Status BudgetCheck(Budget* budget) {
+  return budget == nullptr ? Status::Ok() : budget->Check();
+}
+inline Status BudgetCharge(Budget* budget, int64_t n) {
+  return budget == nullptr ? Status::Ok() : budget->ChargeStates(n);
+}
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_BUDGET_H_

@@ -11,11 +11,20 @@ namespace rpqi {
 
 /// Lightweight error-status type in the style of database engines (RocksDB,
 /// Arrow): operations that can fail return a Status or a StatusOr<T> instead
-/// of throwing. Only two codes are needed in this library: parse/validation
-/// errors and resource-limit errors (a construction exceeded its state budget).
+/// of throwing. Codes:
+///   kInvalidArgument   parse/validation errors;
+///   kResourceExhausted a construction exceeded its state/memory budget;
+///   kDeadlineExceeded  a wall-clock deadline (Budget) expired;
+///   kCancelled         a cooperative cancellation flag was observed set.
 class Status {
  public:
-  enum class Code { kOk, kInvalidArgument, kResourceExhausted };
+  enum class Code {
+    kOk,
+    kInvalidArgument,
+    kResourceExhausted,
+    kDeadlineExceeded,
+    kCancelled,
+  };
 
   Status() : code_(Code::kOk) {}
 
@@ -25,6 +34,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(Code::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(Code::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -39,6 +54,10 @@ class Status {
         return "InvalidArgument: " + message_;
       case Code::kResourceExhausted:
         return "ResourceExhausted: " + message_;
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded: " + message_;
+      case Code::kCancelled:
+        return "Cancelled: " + message_;
     }
     return "Unknown";
   }
@@ -92,5 +111,26 @@ class StatusOr {
 };
 
 }  // namespace rpqi
+
+/// Propagates a non-OK Status out of the enclosing function:
+///   RPQI_RETURN_IF_ERROR(budget->Check());
+#define RPQI_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::rpqi::Status _rpqi_status_ = (expr);         \
+    if (!_rpqi_status_.ok()) return _rpqi_status_; \
+  } while (0)
+
+/// Unwraps a StatusOr<T> into `lhs`, propagating the error status:
+///   RPQI_ASSIGN_OR_RETURN(Dfa dfa, DeterminizeWithLimit(nfa, limit));
+#define RPQI_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RPQI_ASSIGN_OR_RETURN_IMPL_(           \
+      RPQI_STATUS_CONCAT_(_rpqi_statusor_, __LINE__), lhs, rexpr)
+
+#define RPQI_STATUS_CONCAT_INNER_(a, b) a##b
+#define RPQI_STATUS_CONCAT_(a, b) RPQI_STATUS_CONCAT_INNER_(a, b)
+#define RPQI_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
 
 #endif  // RPQI_BASE_STATUS_H_

@@ -11,22 +11,30 @@ namespace {
 
 /// Shared BFS core: reachable (state, node) configurations from `start_node`
 /// in all initial states. Returns visited flags indexed [node * states + s].
-std::vector<char> ReachableConfigurations(const GraphDb& db, const Nfa& query,
-                                          int start_node) {
+/// Charges one budget unit per discovered configuration and checks the budget
+/// on every expansion; a null budget is unlimited.
+StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
+                                                    const Nfa& query,
+                                                    int start_node,
+                                                    Budget* budget) {
   const int num_states = query.NumStates();
   std::vector<char> visited(static_cast<size_t>(db.NumNodes()) * num_states,
                             0);
   std::vector<std::pair<int, int>> stack;  // (state, node)
+  Status charge_status = Status::Ok();
   auto visit = [&](int state, int node) {
     size_t index = static_cast<size_t>(node) * num_states + state;
     if (!visited[index]) {
       visited[index] = 1;
+      if (charge_status.ok()) charge_status = BudgetCharge(budget, 1);
       stack.push_back({state, node});
     }
   };
   for (int s : query.InitialStates()) visit(s, start_node);
 
   while (!stack.empty()) {
+    RPQI_RETURN_IF_ERROR(charge_status);
+    RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
     auto [state, node] = stack.back();
     stack.pop_back();
     for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
@@ -43,17 +51,21 @@ std::vector<char> ReachableConfigurations(const GraphDb& db, const Nfa& query,
       }
     }
   }
+  RPQI_RETURN_IF_ERROR(charge_status);
   return visited;
 }
 
 }  // namespace
 
-Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query_input,
-                    int start_node) {
+StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db,
+                                        const Nfa& query_input, int start_node,
+                                        Budget* budget) {
   RPQI_CHECK(0 <= start_node && start_node < db.NumNodes());
   const Nfa query = RemoveEpsilon(query_input);
   const int num_states = query.NumStates();
-  std::vector<char> visited = ReachableConfigurations(db, query, start_node);
+  RPQI_ASSIGN_OR_RETURN(
+      std::vector<char> visited,
+      ReachableConfigurations(db, query, start_node, budget));
 
   Bitset answer(db.NumNodes());
   for (int node = 0; node < db.NumNodes(); ++node) {
@@ -68,12 +80,13 @@ Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query_input,
   return answer;
 }
 
-std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
-                                                  const Nfa& query_input) {
+StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
+    const GraphDb& db, const Nfa& query_input, Budget* budget) {
   const Nfa query = RemoveEpsilon(query_input);
   std::vector<std::pair<int, int>> answer;
   for (int x = 0; x < db.NumNodes(); ++x) {
-    Bitset reachable = EvalRpqiFrom(db, query, x);
+    RPQI_ASSIGN_OR_RETURN(Bitset reachable,
+                          EvalRpqiFromWithBudget(db, query, x, budget));
     for (int y = reachable.NextSetBit(0); y >= 0;
          y = reachable.NextSetBit(y + 1)) {
       answer.push_back({x, y});
@@ -83,9 +96,33 @@ std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
   return answer;
 }
 
-bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to) {
+StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const Nfa& query,
+                                      int from, int to, Budget* budget) {
   RPQI_CHECK(0 <= to && to < db.NumNodes());
-  return EvalRpqiFrom(db, query, from).Test(to);
+  RPQI_ASSIGN_OR_RETURN(Bitset reachable,
+                        EvalRpqiFromWithBudget(db, query, from, budget));
+  return reachable.Test(to);
+}
+
+Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query, int start_node) {
+  StatusOr<Bitset> result =
+      EvalRpqiFromWithBudget(db, query, start_node, nullptr);
+  RPQI_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
+                                                  const Nfa& query) {
+  StatusOr<std::vector<std::pair<int, int>>> result =
+      EvalRpqiAllPairsWithBudget(db, query, nullptr);
+  RPQI_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to) {
+  StatusOr<bool> result = EvalRpqiPairWithBudget(db, query, from, to, nullptr);
+  RPQI_CHECK(result.ok());
+  return *result;
 }
 
 }  // namespace rpqi

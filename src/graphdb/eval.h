@@ -6,6 +6,8 @@
 
 #include "automata/nfa.h"
 #include "base/bitset.h"
+#include "base/budget.h"
+#include "base/status.h"
 #include "graphdb/graph.h"
 
 namespace rpqi {
@@ -22,6 +24,16 @@ std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
 
 /// Membership of one pair in ans(query, db).
 bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to);
+
+/// Budgeted variants: identical semantics, but the product-graph BFS charges
+/// one budget unit per discovered (state, node) configuration and honors the
+/// budget's deadline / cancellation / state quota. A null budget is unlimited.
+StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db, const Nfa& query,
+                                        int start_node, Budget* budget);
+StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
+    const GraphDb& db, const Nfa& query, Budget* budget);
+StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const Nfa& query,
+                                      int from, int to, Budget* budget);
 
 }  // namespace rpqi
 

@@ -4,11 +4,34 @@
 
 namespace rpqi {
 
-StatusOr<GraphDb> LoadGraphText(std::string_view text,
-                                SignedAlphabet* alphabet) {
+namespace {
+
+std::string LinePrefix(int line_number) {
+  return "line " + std::to_string(line_number) + ": ";
+}
+
+/// Truncates adversarially long lines before they end up inside an error
+/// message (the message itself must stay one readable line).
+std::string Excerpt(std::string_view line) {
+  constexpr size_t kMaxExcerpt = 80;
+  if (line.size() <= kMaxExcerpt) return std::string(line);
+  return std::string(line.substr(0, kMaxExcerpt)) + "...";
+}
+
+}  // namespace
+
+StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
+                                const GraphTextLimits& limits) {
   GraphDb db;
   int line_number = 0;
-  for (const std::string& raw_line : StrSplit(text, '\n')) {
+  int64_t num_edges = 0;
+  // Split lines by hand (StrSplit drops empty pieces, which would make the
+  // reported line numbers drift past any blank line).
+  for (size_t start = 0; start <= text.size();) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw_line = text.substr(start, end - start);
+    start = end + 1;
     ++line_number;
     std::string_view line = StripWhitespace(raw_line);
     if (line.empty() || line[0] == '#') continue;
@@ -16,13 +39,31 @@ StatusOr<GraphDb> LoadGraphText(std::string_view text,
     // Tolerate repeated separators by dropping empties (StrSplit already does).
     if (fields.size() != 3) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line_number) +
-          ": expected '<from> <relation> <to>', got '" + std::string(line) +
-          "'");
+          LinePrefix(line_number) + "expected '<from> <relation> <to>', got '" +
+          Excerpt(line) + "'");
+    }
+    for (const std::string& field : fields) {
+      if (field.size() > limits.max_name_length) {
+        return Status::InvalidArgument(
+            LinePrefix(line_number) + "name '" + Excerpt(field) + "' exceeds " +
+            std::to_string(limits.max_name_length) + " characters");
+      }
+    }
+    if (++num_edges > limits.max_edges) {
+      return Status::InvalidArgument(LinePrefix(line_number) +
+                                     "graph exceeds " +
+                                     std::to_string(limits.max_edges) +
+                                     " edges");
     }
     int from = db.AddNode(fields[0]);
     int relation = alphabet->AddRelation(fields[1]);
     int to = db.AddNode(fields[2]);
+    if (db.NumNodes() > limits.max_nodes) {
+      return Status::InvalidArgument(LinePrefix(line_number) +
+                                     "graph exceeds " +
+                                     std::to_string(limits.max_nodes) +
+                                     " nodes");
+    }
     db.AddEdge(from, relation, to);
   }
   return db;

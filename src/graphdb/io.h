@@ -10,13 +10,23 @@
 
 namespace rpqi {
 
+/// Resource limits for graph parsing: malformed or adversarial input (huge
+/// node populations, unbounded token lengths) is rejected with an
+/// InvalidArgument naming the offending line instead of exhausting memory.
+struct GraphTextLimits {
+  int max_nodes = 1 << 22;
+  int64_t max_edges = int64_t{1} << 26;
+  size_t max_name_length = 4096;
+};
+
 /// Parses the whitespace text format, one edge per line:
 ///   <from-node> <relation> <to-node>
 /// Blank lines and lines starting with '#' are skipped. Relations are
 /// registered into `alphabet` (so relation ids stay coordinated with query
-/// compilation); nodes are interned into the returned database.
-StatusOr<GraphDb> LoadGraphText(std::string_view text,
-                                SignedAlphabet* alphabet);
+/// compilation); nodes are interned into the returned database. Every error
+/// reports the 1-based line number and the offending input.
+StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
+                                const GraphTextLimits& limits = {});
 
 /// Serializes back to the text format (stable node/relation names).
 std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet);

@@ -113,7 +113,9 @@ StatusOr<MaximalRewriting> ComputeBaselineRpqRewriting(
   }
   stats.rewriting_states = rewriting.NumStates();
 
-  MaximalRewriting result{std::move(rewriting), false, stats};
+  MaximalRewriting result;
+  result.dfa = std::move(rewriting);
+  result.stats = stats;
   result.empty = !ShortestAcceptedWord(DfaToNfa(result.dfa)).has_value();
   return result;
 }

@@ -1,10 +1,14 @@
 #ifndef RPQI_REWRITE_EVAL_H_
 #define RPQI_REWRITE_EVAL_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "base/budget.h"
+#include "base/status.h"
 #include "graphdb/graph.h"
 
 namespace rpqi {
@@ -16,6 +20,36 @@ namespace rpqi {
 std::vector<std::pair<int, int>> EvaluateRewriting(
     const Dfa& rewriting, int num_objects,
     const std::vector<std::vector<std::pair<int, int>>>& extensions);
+
+/// Options for DirectViewAnswers (the degraded answering path).
+struct DirectViewAnswersOptions {
+  int max_word_length = 3;
+  int64_t max_words = 2048;
+  int64_t max_states_per_check = int64_t{1} << 22;
+  Budget* budget = nullptr;  // borrowed, may be null
+};
+
+struct DirectViewAnswersResult {
+  std::vector<std::pair<int, int>> answers;  // sorted, unique
+  /// True if every view word of length ≤ max_word_length realized in the
+  /// view graph was checked; false if a cap or the budget cut the sweep
+  /// short (the answers reported so far remain sound).
+  bool exhaustive_to_length = true;
+  int64_t words_checked = 0;
+};
+
+/// Degraded answering path used when the materialized maximal rewriting is
+/// unavailable (budget exhaustion): enumerates the view words of bounded
+/// length that actually label semipaths in the view graph, certifies each
+/// with the on-the-fly IsWordInMaximalRewriting check, and reports the object
+/// pairs connected by certified words. Every reported pair is a certain
+/// answer (sound under-approximation of the full rewriting evaluation).
+/// Only cancellation aborts with a status; any other budget exhaustion
+/// returns the (sound) answers accumulated so far.
+StatusOr<DirectViewAnswersResult> DirectViewAnswers(
+    const Nfa& query, const std::vector<Nfa>& views, int num_objects,
+    const std::vector<std::vector<std::pair<int, int>>>& extensions,
+    const DirectViewAnswersOptions& options = {});
 
 }  // namespace rpqi
 

@@ -1,5 +1,6 @@
 #include "rewrite/rewriter.h"
 
+#include <chrono>
 #include <utility>
 
 #include "automata/lazy.h"
@@ -13,6 +14,24 @@
 namespace rpqi {
 
 namespace {
+
+/// Accumulates the enclosing scope's wall-clock time into a stats field.
+class StageTimer {
+ public:
+  explicit StageTimer(int64_t* out_us)
+      : out_us_(out_us), start_(Budget::Clock::now()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    *out_us_ += std::chrono::duration_cast<std::chrono::microseconds>(
+                    Budget::Clock::now() - start_)
+                    .count();
+  }
+
+ private:
+  int64_t* out_us_;
+  Budget::Clock::time_point start_;
+};
 
 RewritingAlphabet MakeAlphabet(const Nfa& query, const std::vector<Nfa>& views) {
   RewritingAlphabet alphabet;
@@ -85,6 +104,150 @@ std::vector<int> ProjectionMapping(const RewritingAlphabet& alphabet) {
   return mapping;
 }
 
+/// The exact Theorem 7 pipeline. `stats` is an out-parameter so a failed run
+/// still reports the sizes/timings of the stages it completed.
+StatusOr<MaximalRewriting> ComputeExactRewriting(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const RewritingOptions& options, const RewritingAlphabet& alphabet,
+    RewritingStats* stats) {
+  RPQI_RETURN_IF_ERROR(BudgetCheck(options.budget));
+
+  TwoWayNfa a1(0);
+  Nfa a3(0);
+  {
+    StageTimer timer(&stats->a1_build_us);
+    a1 = BuildA1(query, alphabet);
+    a3 = BuildA3(views, alphabet);
+  }
+  stats->a1_states = a1.NumStates();
+  stats->a3_states = a3.NumStates();
+
+  // A2 ∩ A3 materialized lazily: A2 is the complement of A1 obtained by
+  // flipping the deterministic table translation.
+  LazyTableDfa a2(a1, /*complement=*/true);
+  LazySubsetDfa a3_dfa(a3);
+  LazyProductDfa product({&a2, &a3_dfa});
+  StatusOr<Dfa> product_dfa = [&] {
+    StageTimer timer(&stats->product_us);
+    return MaterializeLazyDfa(&product, options.max_product_states,
+                              options.budget);
+  }();
+  stats->a2_states_discovered = a2.NumDiscoveredStates();
+  if (!product_dfa.ok()) return product_dfa.status();
+  stats->product_states = product_dfa->NumStates();
+
+  // A4: project onto Σ_E±, so it accepts exactly the *bad* view words.
+  Nfa a4(0);
+  {
+    StageTimer timer(&stats->projection_us);
+    a4 = Trim(Project(DfaToNfa(*product_dfa), ProjectionMapping(alphabet),
+                      2 * alphabet.num_views));
+  }
+  stats->a4_states = a4.NumStates();
+
+  // R = complement of A4.
+  StageTimer timer(&stats->complement_us);
+  StatusOr<Dfa> a4_dfa =
+      DeterminizeWithLimit(a4, options.max_subset_states, options.budget);
+  if (!a4_dfa.ok()) return a4_dfa.status();
+  RPQI_RETURN_IF_ERROR(BudgetCheck(options.budget));
+  Dfa rewriting = ComplementDfa(*a4_dfa);
+  if (options.minimize_result) rewriting = Minimize(rewriting);
+  stats->rewriting_states = rewriting.NumStates();
+
+  MaximalRewriting result;
+  result.dfa = std::move(rewriting);
+  result.stats = *stats;
+  result.empty = !ShortestAcceptedWord(DfaToNfa(result.dfa)).has_value();
+  return result;
+}
+
+/// Graceful degradation (motivated by the approximate-rewriting line of work):
+/// certify view words one at a time with the on-the-fly membership check and
+/// return a DFA accepting exactly the certified words. Sound by construction —
+/// every accepted word passed IsWordInMaximalRewriting — merely incomplete.
+StatusOr<MaximalRewriting> ComputePartialRewriting(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const RewritingOptions& options, const RewritingAlphabet& alphabet,
+    Status cause, RewritingStats stats) {
+  StageTimer timer(&stats.partial_us);
+  // The fallback runs on a grace budget: the same cancellation flag, a reset
+  // state quota, and a deadline of 2x the originally granted window — so a
+  // caller that asked for T ms observes a hard bound of ~2T overall.
+  Budget grace_storage;
+  Budget* grace = nullptr;
+  if (options.budget != nullptr) {
+    grace_storage = options.budget->GraceBudget(2.0);
+    grace = &grace_storage;
+  }
+
+  const int num_view_symbols = 2 * alphabet.num_views;
+  std::vector<std::vector<int>> certified;
+  std::vector<std::vector<int>> frontier = {{}};  // words of current length
+  int completed_length = -1;
+  bool truncated = false;
+  for (int length = 0; length <= options.partial_max_word_length && !truncated;
+       ++length) {
+    for (const std::vector<int>& word : frontier) {
+      if (stats.partial_words_checked >= options.partial_max_words) {
+        truncated = true;
+        break;
+      }
+      ++stats.partial_words_checked;
+      StatusOr<bool> in_rewriting = IsWordInMaximalRewritingWithBudget(
+          query, views, word, options.max_subset_states, grace);
+      if (!in_rewriting.ok()) {
+        // Cancellation always aborts; any other exhaustion keeps the words
+        // certified so far (still a sound under-approximation).
+        if (in_rewriting.status().code() == Status::Code::kCancelled) {
+          return in_rewriting.status();
+        }
+        truncated = true;
+        break;
+      }
+      if (*in_rewriting) certified.push_back(word);
+    }
+    if (truncated) break;
+    completed_length = length;
+    if (length == options.partial_max_word_length) break;
+    std::vector<std::vector<int>> next;
+    next.reserve(frontier.size() * num_view_symbols);
+    for (const std::vector<int>& word : frontier) {
+      for (int symbol = 0; symbol < num_view_symbols; ++symbol) {
+        std::vector<int> extended = word;
+        extended.push_back(symbol);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Assemble the finite certified language as a DFA over Σ_E±.
+  Nfa language(num_view_symbols);
+  if (certified.empty()) {
+    int state = language.AddState();
+    language.SetInitial(state);
+  }
+  for (const std::vector<int>& word : certified) {
+    language = UnionNfa(language, SingleWordNfa(num_view_symbols, word));
+  }
+  // A finite language of ≤ partial_max_words short words determinizes in
+  // O(total length) states; no limit needed.
+  StatusOr<Dfa> dfa =
+      DeterminizeWithLimit(language, int64_t{1} << 24, /*budget=*/nullptr);
+  if (!dfa.ok()) return dfa.status();
+
+  MaximalRewriting result;
+  result.dfa = Minimize(*dfa);
+  result.empty = certified.empty();
+  result.exhaustive = false;
+  result.partial_word_length = completed_length < 0 ? 0 : completed_length;
+  result.degradation_cause = std::move(cause);
+  stats.rewriting_states = result.dfa.NumStates();
+  result.stats = stats;
+  return result;
+}
+
 }  // namespace
 
 StatusOr<MaximalRewriting> ComputeMaximalRewriting(
@@ -92,43 +255,24 @@ StatusOr<MaximalRewriting> ComputeMaximalRewriting(
     const RewritingOptions& options) {
   RewritingAlphabet alphabet = MakeAlphabet(query, views);
   RewritingStats stats;
-
-  TwoWayNfa a1 = BuildA1(query, alphabet);
-  stats.a1_states = a1.NumStates();
-
-  Nfa a3 = BuildA3(views, alphabet);
-  stats.a3_states = a3.NumStates();
-
-  // A2 ∩ A3 materialized lazily: A2 is the complement of A1 obtained by
-  // flipping the deterministic table translation.
-  LazyTableDfa a2(a1, /*complement=*/true);
-  LazySubsetDfa a3_dfa(a3);
-  LazyProductDfa product({&a2, &a3_dfa});
-  StatusOr<Dfa> product_dfa =
-      MaterializeLazyDfa(&product, options.max_product_states);
-  if (!product_dfa.ok()) return product_dfa.status();
-  stats.a2_states_discovered = a2.NumDiscoveredStates();
-  stats.product_states = product_dfa->NumStates();
-
-  // A4: project onto Σ_E±, so it accepts exactly the *bad* view words.
-  Nfa a4 = Trim(Project(DfaToNfa(*product_dfa), ProjectionMapping(alphabet),
-                        2 * alphabet.num_views));
-  stats.a4_states = a4.NumStates();
-
-  // R = complement of A4.
-  StatusOr<Dfa> a4_dfa = DeterminizeWithLimit(a4, options.max_subset_states);
-  if (!a4_dfa.ok()) return a4_dfa.status();
-  Dfa rewriting = ComplementDfa(*a4_dfa);
-  if (options.minimize_result) rewriting = Minimize(rewriting);
-  stats.rewriting_states = rewriting.NumStates();
-
-  MaximalRewriting result{std::move(rewriting), false, stats};
-  result.empty = !ShortestAcceptedWord(DfaToNfa(result.dfa)).has_value();
-  return result;
+  StatusOr<MaximalRewriting> exact =
+      ComputeExactRewriting(query, views, options, alphabet, &stats);
+  if (exact.ok()) return exact;
+  const Status& cause = exact.status();
+  // Degrade only on resource/deadline exhaustion: cancellation means the
+  // caller no longer wants an answer, and invalid input has no partial form.
+  if (!options.allow_partial ||
+      cause.code() == Status::Code::kCancelled ||
+      cause.code() == Status::Code::kInvalidArgument) {
+    return exact;
+  }
+  return ComputePartialRewriting(query, views, options, alphabet, cause,
+                                 stats);
 }
 
-bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
-                              const std::vector<int>& view_word) {
+StatusOr<bool> IsWordInMaximalRewritingWithBudget(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const std::vector<int>& view_word, int64_t max_states, Budget* budget) {
   RewritingAlphabet alphabet = MakeAlphabet(query, views);
   const int total = alphabet.TotalSymbols();
   const int dollar = alphabet.DollarSymbol();
@@ -150,10 +294,19 @@ bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
   LazySubsetDfa w_dfa(w);
   LazyTableDfa not_a1(a1, /*complement=*/true);
   LazyProductDfa product({&w_dfa, &not_a1});
-  EmptinessResult result =
-      FindAcceptedWord(&product, /*max_states=*/int64_t{1} << 24);
-  RPQI_CHECK(result.outcome != EmptinessResult::Outcome::kLimitExceeded);
+  EmptinessResult result = FindAcceptedWord(&product, max_states, budget);
+  if (result.outcome == EmptinessResult::Outcome::kLimitExceeded) {
+    return result.status;
+  }
   return result.outcome == EmptinessResult::Outcome::kEmpty;
+}
+
+bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
+                              const std::vector<int>& view_word) {
+  StatusOr<bool> result = IsWordInMaximalRewritingWithBudget(
+      query, views, view_word, /*max_states=*/int64_t{1} << 24);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
 }
 
 StatusOr<bool> MaximalRewritingNonEmpty(const Nfa& query,
@@ -171,10 +324,10 @@ StatusOr<bool> MaximalRewritingNonEmpty(const Nfa& query,
   LazyImageSubsetDfa not_a4(&product, ProjectionMapping(alphabet),
                             2 * alphabet.num_views, /*complement=*/true);
 
-  EmptinessResult result = FindAcceptedWord(&not_a4, options.max_subset_states);
+  EmptinessResult result =
+      FindAcceptedWord(&not_a4, options.max_subset_states, options.budget);
   if (result.outcome == EmptinessResult::Outcome::kLimitExceeded) {
-    return Status::ResourceExhausted(
-        "nonemptiness search exceeded its state budget");
+    return result.status;
   }
   return result.outcome == EmptinessResult::Outcome::kFoundWord;
 }

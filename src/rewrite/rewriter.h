@@ -7,6 +7,7 @@
 
 #include "automata/dfa.h"
 #include "automata/nfa.h"
+#include "base/budget.h"
 #include "base/status.h"
 
 namespace rpqi {
@@ -33,14 +34,29 @@ struct RewritingAlphabet {
 
 /// Resource limits for the (provably worst-case doubly exponential)
 /// constructions. Exceeding a limit yields Status::ResourceExhausted rather
-/// than unbounded memory use.
+/// than unbounded memory use; a Budget additionally enforces a wall-clock
+/// deadline and cooperative cancellation across every pipeline stage.
 struct RewritingOptions {
   int64_t max_product_states = int64_t{1} << 20;
   int64_t max_subset_states = int64_t{1} << 20;
   bool minimize_result = true;
+  /// Optional execution budget (borrowed, may be null). Shared by all stages:
+  /// deadline/cancellation are checked in every exponential loop and
+  /// discovered states are charged against its quota.
+  Budget* budget = nullptr;
+  /// Graceful degradation: when the exact pipeline exhausts its budget (state
+  /// cap or deadline — not cancellation), fall back to a *certified
+  /// under-approximation* instead of failing dry: every view word of length
+  /// ≤ partial_max_word_length is validated with the on-the-fly
+  /// IsWordInMaximalRewriting check, and the returned DFA accepts exactly the
+  /// certified words (flagged `exhaustive = false`).
+  bool allow_partial = true;
+  int partial_max_word_length = 3;
+  int64_t partial_max_words = 2048;
 };
 
-/// Size accounting for every stage of the pipeline (Theorem 7's objects).
+/// Size and per-stage wall-clock accounting for the pipeline (Theorem 7's
+/// objects). Stage timings are in microseconds.
 struct RewritingStats {
   int a1_states = 0;                 // two-way automaton A1
   int a3_states = 0;                 // structure/conformance NFA A3
@@ -48,14 +64,28 @@ struct RewritingStats {
   int product_states = 0;            // materialized A2 ∩ A3
   int a4_states = 0;                 // after projection onto Σ_E±
   int rewriting_states = 0;          // final DFA for the maximal rewriting
+  int64_t a1_build_us = 0;           // A1/A3 construction
+  int64_t product_us = 0;            // A2 ∩ A3 lazy materialization
+  int64_t projection_us = 0;         // A4 projection + trim
+  int64_t complement_us = 0;         // determinize + complement + minimize
+  int64_t partial_us = 0;            // certified-partial fallback, if taken
+  int64_t partial_words_checked = 0;  // words probed by the fallback
 };
 
 /// The maximal rewriting R_{E,E0} of Theorem 6: a DFA over Σ_E± (2k symbols,
 /// view i forward = 2i, inverse = 2i+1) accepting exactly the view words all
 /// of whose expansions satisfy the query.
 struct MaximalRewriting {
-  Dfa dfa;
+  Dfa dfa{0, 1};
   bool empty = false;  // true iff the rewriting language is empty
+  /// False when the budget ran out and `dfa` is only a certified
+  /// under-approximation: L(dfa) ⊆ L(maximal rewriting), with every accepted
+  /// word individually validated by IsWordInMaximalRewriting. All words up to
+  /// `partial_word_length` letters were examined (longer words are absent).
+  bool exhaustive = true;
+  int partial_word_length = 0;
+  /// Why the exact pipeline stopped (Ok when exhaustive).
+  Status degradation_cause;
   RewritingStats stats;
 };
 
@@ -78,6 +108,14 @@ StatusOr<MaximalRewriting> ComputeMaximalRewriting(
 /// the on-the-fly ablation.
 bool IsWordInMaximalRewriting(const Nfa& query, const std::vector<Nfa>& views,
                               const std::vector<int>& view_word);
+
+/// Budgeted form of the on-the-fly membership check: returns the budget's
+/// status (DeadlineExceeded/Cancelled/ResourceExhausted) instead of aborting
+/// when the lazily explored product outgrows `max_states` or the budget.
+StatusOr<bool> IsWordInMaximalRewritingWithBudget(
+    const Nfa& query, const std::vector<Nfa>& views,
+    const std::vector<int>& view_word, int64_t max_states,
+    Budget* budget = nullptr);
 
 /// Theorem 8 check, fully on the fly: is the maximal rewriting nonempty?
 /// Searches for a view word rejected by A4 through a lazy subset construction

@@ -7,7 +7,8 @@
 
 namespace rpqi {
 
-bool RpqiContained(const Nfa& q1, const Nfa& q2) {
+StatusOr<bool> RpqiContainedWithBudget(const Nfa& q1, const Nfa& q2,
+                                       Budget* budget) {
   RPQI_CHECK_EQ(q1.num_symbols(), q2.num_symbols());
   const int total_symbols = q1.num_symbols() + 1;
   const int dollar = q1.num_symbols();
@@ -26,10 +27,18 @@ bool RpqiContained(const Nfa& q1, const Nfa& q2) {
   LazyProductDfa product({&left_dfa, &not_satisfies});
 
   EmptinessResult result =
-      FindAcceptedWord(&product, /*max_states=*/int64_t{1} << 24);
-  RPQI_CHECK(result.outcome != EmptinessResult::Outcome::kLimitExceeded)
-      << "containment check exceeded its state budget";
+      FindAcceptedWord(&product, /*max_states=*/int64_t{1} << 24, budget);
+  if (result.outcome == EmptinessResult::Outcome::kLimitExceeded) {
+    if (!result.status.ok()) return result.status;
+    return Status::ResourceExhausted("containment check exceeded its state budget");
+  }
   return result.outcome == EmptinessResult::Outcome::kEmpty;
+}
+
+bool RpqiContained(const Nfa& q1, const Nfa& q2) {
+  StatusOr<bool> result = RpqiContainedWithBudget(q1, q2, nullptr);
+  RPQI_CHECK(result.ok()) << result.status().ToString();
+  return *result;
 }
 
 bool RpqiEquivalent(const Nfa& q1, const Nfa& q2) {

@@ -2,6 +2,8 @@
 #define RPQI_RPQ_CONTAINMENT_H_
 
 #include "automata/nfa.h"
+#include "base/budget.h"
+#include "base/status.h"
 
 namespace rpqi {
 
@@ -13,6 +15,12 @@ namespace rpqi {
 ///
 /// Both queries must be over the same signed alphabet Σ±.
 bool RpqiContained(const Nfa& q1, const Nfa& q2);
+
+/// Budgeted variant: honors the (borrowed, nullable) budget's deadline /
+/// cancellation / state quota during the emptiness search and returns the
+/// typed error on exhaustion instead of aborting.
+StatusOr<bool> RpqiContainedWithBudget(const Nfa& q1, const Nfa& q2,
+                                       Budget* budget);
 
 /// ans-equality on every database.
 bool RpqiEquivalent(const Nfa& q1, const Nfa& q2);

@@ -159,6 +159,7 @@ TEST(EdgeCaseTest, RewritingOptionsZeroBudgetFailsCleanly) {
   std::vector<Nfa> views = {f.Compile("p")};
   RewritingOptions options;
   options.max_product_states = 1;
+  options.allow_partial = false;
   StatusOr<MaximalRewriting> rewriting =
       ComputeMaximalRewriting(query, views, options);
   EXPECT_FALSE(rewriting.ok());

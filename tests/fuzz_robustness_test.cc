@@ -1,0 +1,171 @@
+// Fuzz-style robustness tests (deterministic, seeded): hammer the regex
+// parser and the graph-text reader with random and mutated inputs and assert
+// that every failure is a typed Status — never a crash, CHECK-abort, or
+// runaway allocation. Runs under ctest like any other test.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graphdb/io.h"
+#include "regex/parser.h"
+#include "rpq/alphabet.h"
+#include "rpq/compile.h"
+#include "rpq/satisfaction.h"
+
+namespace rpqi {
+namespace {
+
+constexpr uint64_t kSeed = 0x5eed5eed2026;
+
+/// Characters the regex grammar cares about, plus plain identifier letters.
+std::string RandomRegexText(std::mt19937_64& rng, int max_length) {
+  static const std::string kCharset = "abpq ()|*+?^-%$#0123456789\t\\\"";
+  std::uniform_int_distribution<int> length_dist(0, max_length);
+  std::uniform_int_distribution<size_t> char_dist(0, kCharset.size() - 1);
+  std::string text;
+  int length = length_dist(rng);
+  for (int i = 0; i < length; ++i) text += kCharset[char_dist(rng)];
+  return text;
+}
+
+/// Mutates a valid expression: random byte flips, deletions, duplications.
+std::string Mutate(std::mt19937_64& rng, std::string text) {
+  static const std::string kCharset = "abpq ()|*+?^-%$";
+  std::uniform_int_distribution<int> count_dist(1, 4);
+  int mutations = count_dist(rng);
+  for (int i = 0; i < mutations && !text.empty(); ++i) {
+    std::uniform_int_distribution<size_t> pos_dist(0, text.size() - 1);
+    size_t pos = pos_dist(rng);
+    switch (rng() % 3) {
+      case 0:
+        text[pos] = kCharset[rng() % kCharset.size()];
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, kCharset[rng() % kCharset.size()]);
+        break;
+    }
+  }
+  return text;
+}
+
+void ExpectParseIsWellBehaved(const std::string& text) {
+  StatusOr<RegexPtr> parsed = ParseRegex(text);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), Status::Code::kInvalidArgument)
+        << "input: " << text;
+    EXPECT_FALSE(parsed.status().message().empty());
+    return;
+  }
+  // Accepted expressions must survive the whole front end: registration,
+  // compilation, and a satisfaction probe on the empty word.
+  SignedAlphabet alphabet;
+  RegisterRelations({*parsed}, &alphabet);
+  StatusOr<Nfa> compiled = CompileRegex(*parsed, alphabet);
+  ASSERT_TRUE(compiled.ok()) << "parsed but failed to compile: " << text;
+  WordSatisfies(*compiled, {});
+}
+
+TEST(FuzzRobustnessTest, RandomRegexInputsNeverCrash) {
+  std::mt19937_64 rng(kSeed);
+  for (int i = 0; i < 800; ++i) {
+    ExpectParseIsWellBehaved(RandomRegexText(rng, 40));
+  }
+}
+
+TEST(FuzzRobustnessTest, MutatedValidExpressionsNeverCrash) {
+  std::mt19937_64 rng(kSeed + 1);
+  const std::vector<std::string> seeds = {
+      "p (q^- p)*",
+      "(a | b)* a (a | b)",
+      "p q | q p^-",
+      "%eps | p+ q?",
+      "%empty",
+      "((a))",
+  };
+  for (int i = 0; i < 600; ++i) {
+    ExpectParseIsWellBehaved(Mutate(rng, seeds[i % seeds.size()]));
+  }
+}
+
+std::string RandomGraphText(std::mt19937_64& rng, int max_lines) {
+  static const std::string kCharset = "abn012 #\t_-";
+  std::uniform_int_distribution<int> lines_dist(0, max_lines);
+  std::uniform_int_distribution<int> length_dist(0, 30);
+  std::uniform_int_distribution<size_t> char_dist(0, kCharset.size() - 1);
+  std::string text;
+  int lines = lines_dist(rng);
+  for (int i = 0; i < lines; ++i) {
+    int length = length_dist(rng);
+    for (int j = 0; j < length; ++j) text += kCharset[char_dist(rng)];
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(FuzzRobustnessTest, RandomGraphTextNeverCrashes) {
+  std::mt19937_64 rng(kSeed + 2);
+  for (int i = 0; i < 500; ++i) {
+    SignedAlphabet alphabet;
+    StatusOr<GraphDb> db = LoadGraphText(RandomGraphText(rng, 12), &alphabet);
+    if (!db.ok()) {
+      EXPECT_EQ(db.status().code(), Status::Code::kInvalidArgument);
+      // Every reader error names the offending line.
+      EXPECT_NE(db.status().message().find("line "), std::string::npos);
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, GraphReaderEnforcesLimits) {
+  SignedAlphabet alphabet;
+
+  // Missing field.
+  StatusOr<GraphDb> missing = LoadGraphText("n0 r\n", &alphabet);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(missing.status().message().find("line 1"), std::string::npos);
+
+  // Error reports the right line past comments and blanks.
+  StatusOr<GraphDb> later =
+      LoadGraphText("# header\n\nn0 r n1\nbroken line here now\n", &alphabet);
+  ASSERT_FALSE(later.ok());
+  EXPECT_NE(later.status().message().find("line 4"), std::string::npos);
+
+  // Oversized node name.
+  GraphTextLimits tight;
+  tight.max_name_length = 8;
+  StatusOr<GraphDb> long_name = LoadGraphText(
+      "averyveryverylongnodename r n1\n", &alphabet, tight);
+  ASSERT_FALSE(long_name.ok());
+  EXPECT_EQ(long_name.status().code(), Status::Code::kInvalidArgument);
+
+  // Node population cap ("huge node ids" in interned form).
+  GraphTextLimits two_nodes;
+  two_nodes.max_nodes = 2;
+  StatusOr<GraphDb> too_many =
+      LoadGraphText("n0 r n1\nn2 r n3\n", &alphabet, two_nodes);
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(too_many.status().message().find("line 2"), std::string::npos);
+
+  // Edge cap.
+  GraphTextLimits one_edge;
+  one_edge.max_edges = 1;
+  StatusOr<GraphDb> too_dense =
+      LoadGraphText("n0 r n1\nn0 r n1\n", &alphabet, one_edge);
+  ASSERT_FALSE(too_dense.ok());
+  EXPECT_EQ(too_dense.status().code(), Status::Code::kInvalidArgument);
+
+  // A well-formed graph still loads with the default limits.
+  StatusOr<GraphDb> good = LoadGraphText("n0 r n1\nn1 s n2\n", &alphabet);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->NumNodes(), 3);
+}
+
+}  // namespace
+}  // namespace rpqi

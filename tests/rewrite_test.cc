@@ -324,10 +324,21 @@ TEST(RewriterTest, ResourceLimitsAreEnforced) {
   std::vector<Nfa> views = {s.Compile("p"), s.Compile("q")};
   RewritingOptions options;
   options.max_product_states = 3;
+  options.allow_partial = false;
   StatusOr<MaximalRewriting> rewriting =
       ComputeMaximalRewriting(query, views, options);
   EXPECT_FALSE(rewriting.ok());
   EXPECT_EQ(rewriting.status().code(), Status::Code::kResourceExhausted);
+
+  // With graceful degradation (the default) the same limit yields a certified
+  // partial rewriting instead of a dry failure.
+  options.allow_partial = true;
+  StatusOr<MaximalRewriting> partial =
+      ComputeMaximalRewriting(query, views, options);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_FALSE(partial->exhaustive);
+  EXPECT_EQ(partial->degradation_cause.code(),
+            Status::Code::kResourceExhausted);
 }
 
 TEST(RewritingToStringTest, ProducesViewNames) {

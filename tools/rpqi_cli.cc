@@ -10,17 +10,29 @@
 // Graph databases use the text format of graphdb/io.h (one `from rel to` per
 // line). View definitions are `name=expression` arguments; extensions are
 // `name:obj1,obj2` pair arguments. Run with no arguments for usage.
+//
+// Exit codes:
+//   0  success (positive decision for satisfies/contains)
+//   1  negative decision (does not satisfy / not contained)
+//   2  invalid input or usage
+//   3  resource limit (state quota) exhausted
+//   4  wall-clock deadline exceeded or execution cancelled
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "answer/cda.h"
 #include "answer/oda.h"
+#include "base/budget.h"
 #include "graphdb/eval.h"
 #include "graphdb/io.h"
 #include "graphdb/views.h"
@@ -36,6 +48,27 @@
 namespace rpqi {
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitNegative = 1;
+constexpr int kExitInvalidInput = 2;
+constexpr int kExitResourceExhausted = 3;
+constexpr int kExitDeadline = 4;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return kExitOk;
+    case Status::Code::kInvalidArgument:
+      return kExitInvalidInput;
+    case Status::Code::kResourceExhausted:
+      return kExitResourceExhausted;
+    case Status::Code::kDeadlineExceeded:
+    case Status::Code::kCancelled:
+      return kExitDeadline;
+  }
+  return kExitInvalidInput;
+}
+
 int Usage() {
   std::fprintf(stderr, R"USAGE(usage:
   rpqi eval --db FILE --query EXPR
@@ -47,92 +80,155 @@ int Usage() {
               --view 'NAME=EXPR;sound|complete|exact;a,b a,b ...'
               [--pair c,d]           all pairs when omitted
 
+global flags (any subcommand):
+  --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
+                      partial rewriting, other commands fail with exit code 4
+  --max-states N      state/node quota shared by all pipeline stages (exit 3)
+
 expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
 ^- (inverse), %%eps, %%empty. Example: "(hasSubmodule^-)* (containsVar | hasSubmodule)"
 )USAGE");
-  return 2;
+  return kExitInvalidInput;
 }
 
-std::map<std::string, std::vector<std::string>> ParseFlags(int argc,
-                                                           char** argv,
-                                                           int first) {
-  std::map<std::string, std::vector<std::string>> flags;
+using FlagMap = std::map<std::string, std::vector<std::string>>;
+
+StatusOr<FlagMap> ParseFlags(int argc, char** argv, int first) {
+  FlagMap flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       flags[arg.substr(2)].push_back(argv[++i]);
     } else {
-      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
-      std::exit(2);
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
     }
   }
   return flags;
 }
 
-std::string Single(const std::map<std::string, std::vector<std::string>>& flags,
-                   const std::string& name) {
+StatusOr<std::string> SingleFlag(const FlagMap& flags,
+                                 const std::string& name) {
   auto it = flags.find(name);
   if (it == flags.end() || it->second.size() != 1) {
-    std::fprintf(stderr, "missing or repeated --%s\n", name.c_str());
-    std::exit(2);
+    return Status::InvalidArgument("missing or repeated --" + name);
   }
   return it->second[0];
 }
 
-std::string ReadFileOrDie(const std::string& path) {
+StatusOr<int64_t> ParseInt64(const std::string& text, const std::string& what,
+                             int64_t min, int64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(what + ": '" + text +
+                                   "' is not an integer");
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(what + ": " + text + " out of range [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
-    std::exit(1);
+    return Status::InvalidArgument("cannot open '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
 }
 
-RegexPtr ParseOrDie(const std::string& text) {
+StatusOr<RegexPtr> ParseExpr(const std::string& text) {
   StatusOr<RegexPtr> parsed = ParseRegex(text);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
-    std::exit(1);
+    return Status::InvalidArgument("in expression '" + text +
+                                   "': " + parsed.status().message());
   }
-  return parsed.value();
+  return parsed;
 }
 
-int CmdEval(const std::map<std::string, std::vector<std::string>>& flags) {
+/// The optional execution budget built from --timeout-ms / --max-states.
+/// Owns the Budget so `get()` stays valid for the command's lifetime.
+struct RunBudget {
+  std::optional<Budget> budget;
+  Budget* get() { return budget.has_value() ? &budget.value() : nullptr; }
+};
+
+StatusOr<RunBudget> BudgetFromFlags(const FlagMap& flags) {
+  RunBudget run;
+  if (!flags.count("timeout-ms") && !flags.count("max-states")) return run;
+  Budget budget;
+  if (flags.count("timeout-ms")) {
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, "timeout-ms"));
+    RPQI_ASSIGN_OR_RETURN(
+        int64_t ms, ParseInt64(text, "--timeout-ms", 1, int64_t{1} << 40));
+    budget.set_deadline(budget.start_time() + std::chrono::milliseconds(ms));
+  }
+  if (flags.count("max-states")) {
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, "max-states"));
+    RPQI_ASSIGN_OR_RETURN(
+        int64_t n, ParseInt64(text, "--max-states", 1, int64_t{1} << 50));
+    budget.set_max_states(n);
+  }
+  run.budget = budget;
+  return run;
+}
+
+StatusOr<std::pair<int, int>> ParsePair(const std::string& text) {
+  size_t comma = text.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("pair '" + text + "': expected 'a,b'");
+  }
+  RPQI_ASSIGN_OR_RETURN(
+      int64_t a, ParseInt64(text.substr(0, comma), "pair '" + text + "'", 0,
+                            int64_t{1} << 30));
+  RPQI_ASSIGN_OR_RETURN(
+      int64_t b, ParseInt64(text.substr(comma + 1), "pair '" + text + "'", 0,
+                            int64_t{1} << 30));
+  return std::pair<int, int>{static_cast<int>(a), static_cast<int>(b)};
+}
+
+StatusOr<int> CmdEval(const FlagMap& flags) {
+  RPQI_ASSIGN_OR_RETURN(RunBudget run, BudgetFromFlags(flags));
+  RPQI_ASSIGN_OR_RETURN(std::string db_path, SingleFlag(flags, "db"));
+  RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
   SignedAlphabet alphabet;
-  StatusOr<GraphDb> db = LoadGraphText(ReadFileOrDie(Single(flags, "db")),
-                                       &alphabet);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
-    return 1;
-  }
-  RegexPtr expr = ParseOrDie(Single(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &alphabet));
+  RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(query_text));
   RegisterRelations({expr}, &alphabet);
-  StatusOr<Nfa> query = CompileRegex(expr, alphabet);
-  if (!query.ok()) {
-    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
-    return 1;
-  }
+  RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
   // The database was loaded before the query may have added relations; the
   // graph only stores relation ids, which remain valid under widening.
-  for (const auto& [x, y] : EvalRpqiAllPairs(*db, *query)) {
-    std::printf("%s\t%s\n", db->NodeName(x).c_str(), db->NodeName(y).c_str());
+  RPQI_ASSIGN_OR_RETURN(auto pairs,
+                        EvalRpqiAllPairsWithBudget(db, query, run.get()));
+  for (const auto& [x, y] : pairs) {
+    std::printf("%s\t%s\n", db.NodeName(x).c_str(), db.NodeName(y).c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
-int CmdRewrite(const std::map<std::string, std::vector<std::string>>& flags) {
-  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+StatusOr<int> CmdRewrite(const FlagMap& flags) {
+  RPQI_ASSIGN_OR_RETURN(RunBudget run, BudgetFromFlags(flags));
+  RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
   std::vector<std::string> view_names;
   std::vector<RegexPtr> view_exprs;
   auto it = flags.find("view");
   if (it == flags.end() || it->second.empty()) return Usage();
   for (const std::string& spec : it->second) {
     size_t eq = spec.find('=');
-    if (eq == std::string::npos) return Usage();
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("view '" + spec +
+                                     "': expected NAME=EXPR");
+    }
     view_names.push_back(spec.substr(0, eq));
-    view_exprs.push_back(ParseOrDie(spec.substr(eq + 1)));
+    RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(spec.substr(eq + 1)));
+    view_exprs.push_back(std::move(expr));
   }
 
   SignedAlphabet alphabet;
@@ -144,56 +240,91 @@ int CmdRewrite(const std::map<std::string, std::vector<std::string>>& flags) {
     views.push_back(MustCompileRegex(expr, alphabet));
   }
 
-  StatusOr<MaximalRewriting> rewriting = ComputeMaximalRewriting(query, views);
-  if (!rewriting.ok()) {
-    std::fprintf(stderr, "%s\n", rewriting.status().ToString().c_str());
-    return 1;
+  RewritingOptions options;
+  options.budget = run.get();
+  if (run.budget.has_value()) {
+    options.max_subset_states = run.budget->max_states();
+    options.max_product_states = run.budget->max_states();
   }
-  if (rewriting->empty) {
+  RPQI_ASSIGN_OR_RETURN(MaximalRewriting rewriting,
+                        ComputeMaximalRewriting(query, views, options));
+  if (rewriting.empty) {
     std::printf("rewriting: %%empty\n");
   } else {
     std::printf("rewriting: %s\n",
-                RewritingToString(rewriting->dfa, view_names).c_str());
-    std::printf("exact: %s\n",
-                IsExactRewriting(query, views, rewriting->dfa) ? "yes" : "no");
+                RewritingToString(rewriting.dfa, view_names).c_str());
+    if (rewriting.exhaustive) {
+      std::printf("exact: %s\n",
+                  IsExactRewriting(query, views, rewriting.dfa) ? "yes" : "no");
+    }
+  }
+  if (!rewriting.exhaustive) {
+    std::printf(
+        "partial: certified under-approximation, all view words up to length "
+        "%d examined (%lld certified checks); cause: %s\n",
+        rewriting.partial_word_length,
+        static_cast<long long>(rewriting.stats.partial_words_checked),
+        rewriting.degradation_cause.ToString().c_str());
   }
   std::printf("stats: |A1|=%d |A3|=%d A2-discovered=%lld |A2xA3|=%d |A4|=%d "
               "|R|=%d\n",
-              rewriting->stats.a1_states, rewriting->stats.a3_states,
-              static_cast<long long>(rewriting->stats.a2_states_discovered),
-              rewriting->stats.product_states, rewriting->stats.a4_states,
-              rewriting->stats.rewriting_states);
+              rewriting.stats.a1_states, rewriting.stats.a3_states,
+              static_cast<long long>(rewriting.stats.a2_states_discovered),
+              rewriting.stats.product_states, rewriting.stats.a4_states,
+              rewriting.stats.rewriting_states);
 
   if (flags.count("db")) {
     SignedAlphabet db_alphabet = alphabet;
-    StatusOr<GraphDb> db =
-        LoadGraphText(ReadFileOrDie(Single(flags, "db")), &db_alphabet);
-    if (!db.ok()) {
-      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
-      return 1;
-    }
+    RPQI_ASSIGN_OR_RETURN(std::string db_path, SingleFlag(flags, "db"));
+    RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
+    RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &db_alphabet));
     std::vector<std::vector<std::pair<int, int>>> extensions;
     for (const Nfa& view : views) {
-      extensions.push_back(MaterializeView(*db, view));
+      extensions.push_back(MaterializeView(db, view));
     }
-    std::printf("answers from views:\n");
-    for (const auto& [x, y] :
-         EvaluateRewriting(rewriting->dfa, db->NumNodes(), extensions)) {
-      std::printf("%s\t%s\n", db->NodeName(x).c_str(),
-                  db->NodeName(y).c_str());
+    if (rewriting.exhaustive) {
+      std::printf("answers from views:\n");
+      for (const auto& [x, y] :
+           EvaluateRewriting(rewriting.dfa, db.NumNodes(), extensions)) {
+        std::printf("%s\t%s\n", db.NodeName(x).c_str(),
+                    db.NodeName(y).c_str());
+      }
+    } else {
+      // Degraded answering: the materialized rewriting is incomplete, so
+      // certify view words directly against the view graph instead. Runs
+      // under a grace budget so the overall wall clock stays within ~2x the
+      // requested deadline.
+      std::optional<Budget> grace;
+      DirectViewAnswersOptions direct_options;
+      if (run.budget.has_value()) {
+        grace = run.budget->GraceBudget(2.0);
+        direct_options.budget = &grace.value();
+      }
+      RPQI_ASSIGN_OR_RETURN(
+          DirectViewAnswersResult direct,
+          DirectViewAnswers(query, views, db.NumNodes(), extensions,
+                            direct_options));
+      std::printf("answers from views (direct certification%s):\n",
+                  direct.exhaustive_to_length ? "" : ", truncated");
+      for (const auto& [x, y] : direct.answers) {
+        std::printf("%s\t%s\n", db.NodeName(x).c_str(),
+                    db.NodeName(y).c_str());
+      }
     }
   }
-  return 0;
+  return kExitOk;
 }
 
-int CmdSatisfies(const std::map<std::string, std::vector<std::string>>& flags) {
-  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+StatusOr<int> CmdSatisfies(const FlagMap& flags) {
+  RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
   SignedAlphabet alphabet;
   RegisterRelations({query_expr}, &alphabet);
 
   // Parse the word: whitespace-separated atoms, each `name` or `name^-`.
   std::vector<int> word;
-  std::istringstream stream(Single(flags, "word"));
+  RPQI_ASSIGN_OR_RETURN(std::string word_text, SingleFlag(flags, "word"));
+  std::istringstream stream(word_text);
   std::string token;
   while (stream >> token) {
     bool inverse = false;
@@ -207,24 +338,39 @@ int CmdSatisfies(const std::map<std::string, std::vector<std::string>>& flags) {
   Nfa query = MustCompileRegex(query_expr, alphabet);
   bool satisfied = WordSatisfies(query, word);
   std::printf("%s\n", satisfied ? "satisfies" : "does not satisfy");
-  return satisfied ? 0 : 1;
+  return satisfied ? kExitOk : kExitNegative;
 }
 
-int CmdContains(const std::map<std::string, std::vector<std::string>>& flags) {
-  RegexPtr q1 = ParseOrDie(Single(flags, "query"));
-  RegexPtr q2 = ParseOrDie(Single(flags, "in"));
+StatusOr<int> CmdContains(const FlagMap& flags) {
+  RPQI_ASSIGN_OR_RETURN(RunBudget run, BudgetFromFlags(flags));
+  RPQI_ASSIGN_OR_RETURN(std::string q1_text, SingleFlag(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(std::string q2_text, SingleFlag(flags, "in"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr q1, ParseExpr(q1_text));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr q2, ParseExpr(q2_text));
   SignedAlphabet alphabet;
   RegisterRelations({q1, q2}, &alphabet);
-  bool contained = RpqiContained(MustCompileRegex(q1, alphabet),
-                                 MustCompileRegex(q2, alphabet));
+  RPQI_ASSIGN_OR_RETURN(
+      bool contained,
+      RpqiContainedWithBudget(MustCompileRegex(q1, alphabet),
+                              MustCompileRegex(q2, alphabet), run.get()));
   std::printf("%s\n", contained ? "contained" : "not contained");
-  return contained ? 0 : 1;
+  return contained ? kExitOk : kExitNegative;
 }
 
-int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
-  std::string mode = Single(flags, "mode");
-  int num_objects = std::atoi(Single(flags, "objects").c_str());
-  RegexPtr query_expr = ParseOrDie(Single(flags, "query"));
+StatusOr<int> CmdAnswer(const FlagMap& flags) {
+  RPQI_ASSIGN_OR_RETURN(RunBudget run, BudgetFromFlags(flags));
+  RPQI_ASSIGN_OR_RETURN(std::string mode, SingleFlag(flags, "mode"));
+  if (mode != "cda" && mode != "oda") {
+    return Status::InvalidArgument("--mode must be 'cda' or 'oda', got '" +
+                                   mode + "'");
+  }
+  RPQI_ASSIGN_OR_RETURN(std::string objects_text,
+                        SingleFlag(flags, "objects"));
+  RPQI_ASSIGN_OR_RETURN(int64_t num_objects_64,
+                        ParseInt64(objects_text, "--objects", 1, 1 << 20));
+  int num_objects = static_cast<int>(num_objects_64);
+  RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
 
   struct ViewSpec {
     std::string name;
@@ -243,10 +389,12 @@ int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
     size_t semi2 = raw.find(';', semi1 + 1);
     if (eq == std::string::npos || semi1 == std::string::npos ||
         semi2 == std::string::npos || eq > semi1) {
-      return Usage();
+      return Status::InvalidArgument(
+          "view '" + raw + "': expected 'NAME=EXPR;assumption;a,b ...'");
     }
     spec.name = raw.substr(0, eq);
-    spec.expr = ParseOrDie(raw.substr(eq + 1, semi1 - eq - 1));
+    RPQI_ASSIGN_OR_RETURN(spec.expr,
+                          ParseExpr(raw.substr(eq + 1, semi1 - eq - 1)));
     std::string assumption = raw.substr(semi1 + 1, semi2 - semi1 - 1);
     if (assumption == "sound") {
       spec.assumption = ViewAssumption::kSound;
@@ -255,16 +403,20 @@ int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
     } else if (assumption == "exact") {
       spec.assumption = ViewAssumption::kExact;
     } else {
-      return Usage();
+      return Status::InvalidArgument("view '" + raw +
+                                     "': unknown assumption '" + assumption +
+                                     "'");
     }
     std::istringstream pairs(raw.substr(semi2 + 1));
     std::string pair_text;
     while (pairs >> pair_text) {
-      size_t comma = pair_text.find(',');
-      if (comma == std::string::npos) return Usage();
-      spec.extension.push_back(
-          {std::atoi(pair_text.substr(0, comma).c_str()),
-           std::atoi(pair_text.substr(comma + 1).c_str())});
+      RPQI_ASSIGN_OR_RETURN(auto pair, ParsePair(pair_text));
+      if (pair.first >= num_objects || pair.second >= num_objects) {
+        return Status::InvalidArgument("view '" + spec.name + "': pair '" +
+                                       pair_text + "' names an object >= " +
+                                       std::to_string(num_objects));
+      }
+      spec.extension.push_back(pair);
     }
     specs.push_back(std::move(spec));
   }
@@ -287,10 +439,13 @@ int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
   std::vector<std::pair<int, int>> probes;
   if (flags.count("pair")) {
     for (const std::string& pair_text : flags.at("pair")) {
-      size_t comma = pair_text.find(',');
-      if (comma == std::string::npos) return Usage();
-      probes.push_back({std::atoi(pair_text.substr(0, comma).c_str()),
-                        std::atoi(pair_text.substr(comma + 1).c_str())});
+      RPQI_ASSIGN_OR_RETURN(auto pair, ParsePair(pair_text));
+      if (pair.first >= num_objects || pair.second >= num_objects) {
+        return Status::InvalidArgument("--pair '" + pair_text +
+                                       "' names an object >= " +
+                                       std::to_string(num_objects));
+      }
+      probes.push_back(pair);
     }
   } else {
     for (int c = 0; c < num_objects; ++c) {
@@ -301,37 +456,50 @@ int CmdAnswer(const std::map<std::string, std::vector<std::string>>& flags) {
   for (const auto& [c, d] : probes) {
     bool certain = false;
     if (mode == "cda") {
-      StatusOr<CdaResult> result = CertainAnswerCda(instance, c, d);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      certain = result->certain;
-    } else if (mode == "oda") {
-      StatusOr<OdaResult> result = CertainAnswerOda(instance, c, d);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      certain = result->certain;
+      CdaOptions options;
+      options.budget = run.get();
+      RPQI_ASSIGN_OR_RETURN(CdaResult result,
+                            CertainAnswerCda(instance, c, d, options));
+      certain = result.certain;
     } else {
-      return Usage();
+      OdaOptions options;
+      options.budget = run.get();
+      RPQI_ASSIGN_OR_RETURN(OdaResult result,
+                            CertainAnswerOda(instance, c, d, options));
+      certain = result.certain;
     }
     std::printf("(%d,%d): %s\n", c, d, certain ? "certain" : "not certain");
   }
-  return 0;
+  return kExitOk;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
-  auto flags = ParseFlags(argc, argv, 2);
-  if (command == "eval") return CmdEval(flags);
-  if (command == "rewrite") return CmdRewrite(flags);
-  if (command == "satisfies") return CmdSatisfies(flags);
-  if (command == "contains") return CmdContains(flags);
-  if (command == "answer") return CmdAnswer(flags);
-  return Usage();
+  StatusOr<FlagMap> flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return ExitCodeFor(flags.status());
+  }
+  StatusOr<int> code = Status::InvalidArgument("unknown command");
+  if (command == "eval") {
+    code = CmdEval(*flags);
+  } else if (command == "rewrite") {
+    code = CmdRewrite(*flags);
+  } else if (command == "satisfies") {
+    code = CmdSatisfies(*flags);
+  } else if (command == "contains") {
+    code = CmdContains(*flags);
+  } else if (command == "answer") {
+    code = CmdAnswer(*flags);
+  } else {
+    return Usage();
+  }
+  if (!code.ok()) {
+    std::fprintf(stderr, "error: %s\n", code.status().ToString().c_str());
+    return ExitCodeFor(code.status());
+  }
+  return *code;
 }
 
 }  // namespace
