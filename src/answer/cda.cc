@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/validate.h"
 #include "automata/ops.h"
 #include "graphdb/eval.h"
 
@@ -113,6 +114,12 @@ class CdaSolver {
     Status status = Search(edge_state, &result);
     if (!status.ok()) return status;
     result.nodes_visited = nodes_visited_;
+    if (result.witness.has_value()) {
+      // A witness database leaves the solver and is re-evaluated by callers:
+      // its edges must stay within the instance's relation alphabet.
+      RPQI_VALIDATE_STAGE(
+          ValidateGraphDb(*result.witness, space_.num_relations));
+    }
     return result;
   }
 
@@ -152,7 +159,7 @@ class CdaSolver {
     }
 
     // --- Early acceptance: L itself may already witness the goal.
-    if (LowerGraphWorks(lower, upper)) {
+    if (LowerGraphWorks(lower)) {
       result->witness = lower;
       return Status::Ok();
     }
@@ -190,7 +197,7 @@ class CdaSolver {
 
   /// True if the lower graph L is consistent and meets the query goal — an
   /// early accept that skips the remaining branching.
-  bool LowerGraphWorks(const GraphDb& lower, const GraphDb& upper) {
+  bool LowerGraphWorks(const GraphDb& lower) {
     if (!QueryGoalMet(lower)) return false;
     for (size_t i = 0; i < instance_.views.size(); ++i) {
       const View& view = instance_.views[i];
@@ -205,7 +212,6 @@ class CdaSolver {
         return false;
       }
     }
-    (void)upper;
     return true;
   }
 

@@ -18,6 +18,7 @@ Nfa BuildStructureAutomaton(const LinearAlphabet& alphabet) {
 
   // One state per object for "block opened with d": an immediately following
   // constant must be d itself (empty payloads may not identify two objects).
+  // lint: allow-unbudgeted linear in the instance's object count
   for (int object = 0; object < alphabet.num_objects; ++object) {
     int opened = nfa.AddState();
     int d = alphabet.ObjectSymbol(object);
@@ -67,6 +68,7 @@ TwoWayNfa BuildLinearizedEvalAutomaton(const Nfa& definition_input,
   //   scan_pre_anon               helper: previous cell was a Σ symbol
   //   anon_end_check              helper: peek left to confirm anonymous end
   //   final_state                 sweeps right and accepts past the end
+  // lint: allow-unbudgeted state count fixed by the layout above
   for (int s = 0; s < 2 * n + n * alphabet.num_objects; ++s) {
     automaton.AddState();
   }

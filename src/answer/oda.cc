@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/validate.h"
 #include "answer/linearize.h"
 #include "automata/lazy.h"
 #include "automata/ops.h"
@@ -20,6 +21,7 @@ namespace {
 TwoWayNfa UnionTwoWay(const std::vector<TwoWayNfa>& parts) {
   RPQI_CHECK(!parts.empty());
   TwoWayNfa result(parts[0].num_symbols());
+  // lint: allow-unbudgeted linear copy of the input parts
   for (const TwoWayNfa& part : parts) {
     RPQI_CHECK_EQ(part.num_symbols(), result.num_symbols());
     int offset = result.NumStates();
@@ -34,6 +36,7 @@ TwoWayNfa UnionTwoWay(const std::vector<TwoWayNfa>& parts) {
       }
     }
   }
+  RPQI_VALIDATE_STAGE(ValidateTwoWay(result));
   return result;
 }
 
@@ -44,10 +47,7 @@ TwoWayNfa BuildExcessAutomaton(const View& view,
   std::vector<TwoWayNfa> parts;
 
   std::vector<bool> is_first(alphabet.num_objects, false);
-  for (const auto& [a, b] : view.extension) {
-    (void)b;
-    is_first[a] = true;
-  }
+  for (const auto& pair : view.extension) is_first[pair.first] = true;
 
   // A_(Vi,a) per distinct first component: evaluate def from a; a violation is
   // an end at a constant b with (a,b) ∉ ext, or at an anonymous node.

@@ -1,20 +1,35 @@
 #include "answer/views.h"
 
+#include <utility>
+#include <vector>
+
+#include "analysis/validate.h"
 #include "automata/ops.h"
 #include "base/logging.h"
 
 namespace rpqi {
 
-void CheckInstance(const AnsweringInstance& instance) {
-  RPQI_CHECK_GE(instance.num_objects, 1);
-  for (const View& view : instance.views) {
-    RPQI_CHECK_EQ(view.definition.num_symbols(), instance.query.num_symbols())
-        << "views and query must share the signed alphabet";
-    for (const auto& [a, b] : view.extension) {
-      RPQI_CHECK(0 <= a && a < instance.num_objects);
-      RPQI_CHECK(0 <= b && b < instance.num_objects);
-    }
+Status ValidateInstance(const AnsweringInstance& instance) {
+  if (instance.num_objects < 1) {
+    return Status::InvalidArgument(
+        "answering instance: num_objects must be >= 1, got " +
+        std::to_string(instance.num_objects));
   }
+  std::vector<Nfa> definitions;
+  std::vector<std::vector<std::pair<int, int>>> extensions;
+  definitions.reserve(instance.views.size());
+  extensions.reserve(instance.views.size());
+  for (const View& view : instance.views) {
+    definitions.push_back(view.definition);
+    extensions.push_back(view.extension);
+  }
+  return ValidateViewExtensions(instance.query.num_symbols(), definitions,
+                                extensions, instance.num_objects);
+}
+
+void CheckInstance(const AnsweringInstance& instance) {
+  Status status = ValidateInstance(instance);
+  RPQI_CHECK(status.ok()) << status.ToString();
 }
 
 AnsweringInstance NormalizeCompleteViews(const AnsweringInstance& instance) {

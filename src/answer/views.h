@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "automata/nfa.h"
+#include "base/status.h"
 
 namespace rpqi {
 
@@ -39,7 +40,11 @@ inline int SigmaSymbols(const AnsweringInstance& instance) {
   return instance.query.num_symbols();
 }
 
-/// Validates id ranges and alphabet agreement; aborts on malformed input.
+/// Validates id ranges and alphabet agreement (via analysis/validate.h);
+/// returns a precise diagnostic naming the offending view / pair.
+Status ValidateInstance(const AnsweringInstance& instance);
+
+/// ValidateInstance for internal callers: aborts on malformed input.
 void CheckInstance(const AnsweringInstance& instance);
 
 /// Rewrites complete views into exact views (the reduction noted in Section 5

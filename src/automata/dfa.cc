@@ -160,6 +160,7 @@ Dfa Minimize(const Dfa& input) {
 }
 
 Nfa DfaToNfa(const Dfa& dfa) {
+  // lint: allow-unbudgeted linear copy of the input DFA
   Nfa nfa(dfa.num_symbols());
   for (int s = 0; s < dfa.NumStates(); ++s) nfa.AddState();
   nfa.SetInitial(dfa.initial());

@@ -162,9 +162,7 @@ int LazyImageSubsetDfa::CloseAndIntern(std::vector<int> states) {
     stack.pop_back();
     for (int symbol : erased_symbols_) {
       int to = inner_->Step(s, symbol);
-      auto [it, inserted] = seen.try_emplace(to, 1);
-      (void)it;
-      if (inserted) {
+      if (seen.try_emplace(to, 1).second) {
         states.push_back(to);
         stack.push_back(to);
       }

@@ -33,11 +33,9 @@ class Nfa {
   int num_symbols() const { return num_symbols_; }
   int NumStates() const { return static_cast<int>(transitions_.size()); }
 
-  int NumTransitions() const {
-    int total = 0;
-    for (const auto& out : transitions_) total += static_cast<int>(out.size());
-    return total;
-  }
+  /// O(1): maintained by AddTransition (this is called inside budget-charging
+  /// loops, where an O(states) recount would be quadratic overall).
+  int NumTransitions() const { return num_transitions_; }
 
   int AddState() {
     transitions_.emplace_back();
@@ -52,6 +50,7 @@ class Nfa {
     RPQI_CHECK(symbol == kEpsilon || (0 <= symbol && symbol < num_symbols_))
         << "symbol " << symbol << " outside alphabet of " << num_symbols_;
     transitions_[from].push_back({symbol, to});
+    ++num_transitions_;
   }
 
   void SetInitial(int state, bool value = true) {
@@ -94,6 +93,7 @@ class Nfa {
 
  private:
   int num_symbols_;
+  int num_transitions_ = 0;
   std::vector<std::vector<Transition>> transitions_;
   std::vector<bool> initial_;
   std::vector<bool> accepting_;

@@ -3,6 +3,7 @@
 namespace rpqi {
 
 Nfa RandomNfa(std::mt19937_64& rng, const RandomAutomatonOptions& options) {
+  // lint: allow-unbudgeted test generator bounded by options.num_states
   Nfa nfa(options.num_symbols);
   for (int s = 0; s < options.num_states; ++s) nfa.AddState();
   nfa.SetInitial(0);
@@ -32,6 +33,7 @@ Nfa RandomNfa(std::mt19937_64& rng, const RandomAutomatonOptions& options) {
 TwoWayNfa RandomTwoWayNfa(std::mt19937_64& rng,
                           const RandomAutomatonOptions& options) {
   TwoWayNfa automaton(options.num_symbols);
+  // lint: allow-unbudgeted test generator bounded by options.num_states
   for (int s = 0; s < options.num_states; ++s) automaton.AddState();
   automaton.SetInitial(0);
 

@@ -2,9 +2,15 @@
 
 #include <vector>
 
+#include "analysis/validate.h"
+
 namespace rpqi {
 
 bool SimulateTwoWay(const TwoWayNfa& automaton, const std::vector<int>& word) {
+  // The reference semantics every translation is validated against must
+  // itself run on a structurally sound automaton (AddTransition does not
+  // range-check the Move enum).
+  RPQI_VALIDATE_STAGE(ValidateTwoWay(automaton));
   const int n = static_cast<int>(word.size());
   const int num_states = automaton.NumStates();
 

@@ -31,12 +31,8 @@ class TwoWayNfa {
   int num_symbols() const { return num_symbols_; }
   int NumStates() const { return static_cast<int>(delta_.size()); }
 
-  int NumTransitions() const {
-    int total = 0;
-    for (const auto& by_symbol : delta_)
-      for (const auto& list : by_symbol) total += static_cast<int>(list.size());
-    return total;
-  }
+  /// O(1): maintained by AddTransition.
+  int NumTransitions() const { return num_transitions_; }
 
   int AddState() {
     delta_.emplace_back(num_symbols_);
@@ -50,6 +46,7 @@ class TwoWayNfa {
     RPQI_CHECK(0 <= to && to < NumStates());
     RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
     delta_[from][symbol].push_back({to, move});
+    ++num_transitions_;
   }
 
   void SetInitial(int state, bool value = true) {
@@ -79,6 +76,7 @@ class TwoWayNfa {
 
  private:
   int num_symbols_;
+  int num_transitions_ = 0;
   // delta_[state][symbol] -> possible (state, move) successors.
   std::vector<std::vector<std::vector<Transition>>> delta_;
   std::vector<bool> initial_;

@@ -16,7 +16,12 @@ namespace rpqi {
 ///   kResourceExhausted a construction exceeded its state/memory budget;
 ///   kDeadlineExceeded  a wall-clock deadline (Budget) expired;
 ///   kCancelled         a cooperative cancellation flag was observed set.
-class Status {
+///
+/// Both Status and StatusOr are [[nodiscard]]: silently dropping an error is
+/// the failure mode this type exists to prevent. A deliberate discard must be
+/// written as `(void)expr;  // lint: allow-discard <why>` so both the compiler
+/// and tools/rpqi_lint.py accept it.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk,
@@ -73,7 +78,7 @@ class Status {
 /// Holds either a value of type T or an error Status. Access via value() after
 /// checking ok(); value() on an error aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
   StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT

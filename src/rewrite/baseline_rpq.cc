@@ -77,6 +77,7 @@ StatusOr<MaximalRewriting> ComputeBaselineRpqRewriting(
   for (const Nfa& view : views) eps_free_views.push_back(RemoveEpsilon(view));
 
   Nfa a4(k);
+  // lint: allow-unbudgeted same state count as the complement
   for (int s = 0; s < complement.NumStates(); ++s) a4.AddState();
   a4.SetInitial(complement.initial());
   for (int s = 0; s < complement.NumStates(); ++s) {

@@ -12,6 +12,7 @@ Nfa ExpandRewriting(const Nfa& rewriting, const std::vector<Nfa>& views) {
   const int sigma_symbols = views[0].num_symbols();
 
   Nfa result(sigma_symbols);
+  // lint: allow-unbudgeted linear in the rewriting plus its view definitions
   // Host copies of the rewriting's states first.
   for (int s = 0; s < rewriting.NumStates(); ++s) result.AddState();
   for (int s = 0; s < rewriting.NumStates(); ++s) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "analysis/validate.h"
 #include "automata/lazy.h"
 #include "automata/ops.h"
 #include "automata/state_elim.h"
@@ -41,6 +42,9 @@ RewritingAlphabet MakeAlphabet(const Nfa& query, const std::vector<Nfa>& views) 
     RPQI_CHECK_EQ(view.num_symbols(), query.num_symbols())
         << "query and views must share the signed alphabet";
   }
+  RPQI_VALIDATE_STAGE(ValidateViewExtensions(query.num_symbols(), views,
+                                             /*extensions=*/{},
+                                             /*num_objects=*/0));
   return alphabet;
 }
 
@@ -73,6 +77,7 @@ Nfa BuildA3(const std::vector<Nfa>& views, const RewritingAlphabet& alphabet) {
           inverse ? InverseAutomaton(views[view]) : views[view];
       definition = RemoveEpsilon(definition);
       int offset = a3.NumStates();
+      // lint: allow-unbudgeted linear in the view definitions
       for (int s = 0; s < definition.NumStates(); ++s) a3.AddState();
       for (int s = 0; s < definition.NumStates(); ++s) {
         for (const Nfa::Transition& t : definition.TransitionsFrom(s)) {
@@ -121,6 +126,20 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   }
   stats->a1_states = a1.NumStates();
   stats->a3_states = a3.NumStates();
+  // A1 must keep its final state stuck (satisfaction.cc group 3) and A3 must
+  // be an ε-free conformance automaton over the combined alphabet; a violation
+  // here silently corrupts the complement/intersection stages downstream.
+  {
+    TwoWayValidateOptions a1_options;
+    a1_options.require_stuck_accepting = true;
+    a1_options.expected_num_symbols = alphabet.TotalSymbols();
+    RPQI_VALIDATE_STAGE(ValidateTwoWay(a1, a1_options));
+    NfaValidateOptions a3_options;
+    a3_options.require_epsilon_free = true;
+    a3_options.require_initial_state = true;
+    a3_options.expected_num_symbols = alphabet.TotalSymbols();
+    RPQI_VALIDATE_STAGE(ValidateNfa(a3, a3_options));
+  }
 
   // A2 ∩ A3 materialized lazily: A2 is the complement of A1 obtained by
   // flipping the deterministic table translation.
@@ -135,6 +154,11 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   stats->a2_states_discovered = a2.NumDiscoveredStates();
   if (!product_dfa.ok()) return product_dfa.status();
   stats->product_states = product_dfa->NumStates();
+  {
+    DfaValidateOptions product_options;
+    product_options.expected_num_symbols = alphabet.TotalSymbols();
+    RPQI_VALIDATE_STAGE(ValidateDfa(*product_dfa, product_options));
+  }
 
   // A4: project onto Σ_E±, so it accepts exactly the *bad* view words.
   Nfa a4(0);
@@ -144,6 +168,13 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
                       2 * alphabet.num_views));
   }
   stats->a4_states = a4.NumStates();
+  {
+    // A4 lives over Σ_E± (one forward/inverse symbol pair per view).
+    NfaValidateOptions a4_options;
+    a4_options.require_signed_alphabet = true;
+    a4_options.expected_num_symbols = 2 * alphabet.num_views;
+    RPQI_VALIDATE_STAGE(ValidateNfa(a4, a4_options));
+  }
 
   // R = complement of A4.
   StageTimer timer(&stats->complement_us);
@@ -154,6 +185,14 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   Dfa rewriting = ComplementDfa(*a4_dfa);
   if (options.minimize_result) rewriting = Minimize(rewriting);
   stats->rewriting_states = rewriting.NumStates();
+  {
+    // The rewriting must be a *complete* DFA over Σ_E±: complementation is
+    // only correct when no (state, symbol) edge is missing.
+    DfaValidateOptions rewriting_options;
+    rewriting_options.require_total = true;
+    rewriting_options.expected_num_symbols = 2 * alphabet.num_views;
+    RPQI_VALIDATE_STAGE(ValidateDfa(rewriting, rewriting_options));
+  }
 
   MaximalRewriting result;
   result.dfa = std::move(rewriting);

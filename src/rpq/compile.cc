@@ -112,6 +112,7 @@ std::vector<int> InverseWord(const std::vector<int>& word) {
 
 Nfa InverseAutomaton(const Nfa& a) {
   Nfa reversed = ReverseNfa(a);
+  // lint: allow-unbudgeted same state count as the input
   Nfa result(reversed.num_symbols());
   for (int s = 0; s < reversed.NumStates(); ++s) result.AddState();
   for (int s = 0; s < reversed.NumStates(); ++s) {

@@ -16,6 +16,7 @@ TwoWayNfa BuildSatisfactionAutomaton(const Nfa& query_input,
   for (int t : options.transparent) RPQI_CHECK_GE(t, query.num_symbols());
 
   TwoWayNfa automaton(options.total_symbols);
+  // lint: allow-unbudgeted 2n+1 states, fixed by the Section 3 layout
   // State layout: forward copies [0,n), backward copies [n,2n), final = 2n.
   for (int s = 0; s < 2 * n + 1; ++s) automaton.AddState();
   const int final_state = 2 * n;

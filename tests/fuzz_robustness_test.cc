@@ -2,9 +2,14 @@
 // parser and the graph-text reader with random and mutated inputs and assert
 // that every failure is a typed Status — never a crash, CHECK-abort, or
 // runaway allocation. Runs under ctest like any other test.
+//
+// The base seed defaults to kDefaultSeed and can be overridden through the
+// RPQI_FUZZ_SEED environment variable (decimal or 0x-hex) to reproduce a CI
+// failure or widen coverage; every failure message includes the seed in use.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <vector>
@@ -18,7 +23,30 @@
 namespace rpqi {
 namespace {
 
-constexpr uint64_t kSeed = 0x5eed5eed2026;
+constexpr uint64_t kDefaultSeed = 0x5eed5eed2026;
+
+uint64_t BaseSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("RPQI_FUZZ_SEED");
+    if (env == nullptr || *env == '\0') return kDefaultSeed;
+    char* end = nullptr;
+    uint64_t parsed = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0') {
+      ADD_FAILURE() << "RPQI_FUZZ_SEED='" << env
+                    << "' is not a number; using default seed";
+      return kDefaultSeed;
+    }
+    return parsed;
+  }();
+  return seed;
+}
+
+/// Scoped trace naming the effective seed, so any assertion failure inside a
+/// fuzz loop prints how to reproduce it.
+#define RPQI_FUZZ_SCOPE(offset)                                    \
+  SCOPED_TRACE(::testing::Message()                                \
+               << "reproduce with RPQI_FUZZ_SEED=" << BaseSeed()   \
+               << " (stream offset " << (offset) << ")")
 
 /// Characters the regex grammar cares about, plus plain identifier letters.
 std::string RandomRegexText(std::mt19937_64& rng, int max_length) {
@@ -72,14 +100,16 @@ void ExpectParseIsWellBehaved(const std::string& text) {
 }
 
 TEST(FuzzRobustnessTest, RandomRegexInputsNeverCrash) {
-  std::mt19937_64 rng(kSeed);
+  RPQI_FUZZ_SCOPE(0);
+  std::mt19937_64 rng(BaseSeed());
   for (int i = 0; i < 800; ++i) {
     ExpectParseIsWellBehaved(RandomRegexText(rng, 40));
   }
 }
 
 TEST(FuzzRobustnessTest, MutatedValidExpressionsNeverCrash) {
-  std::mt19937_64 rng(kSeed + 1);
+  RPQI_FUZZ_SCOPE(1);
+  std::mt19937_64 rng(BaseSeed() + 1);
   const std::vector<std::string> seeds = {
       "p (q^- p)*",
       "(a | b)* a (a | b)",
@@ -109,7 +139,8 @@ std::string RandomGraphText(std::mt19937_64& rng, int max_lines) {
 }
 
 TEST(FuzzRobustnessTest, RandomGraphTextNeverCrashes) {
-  std::mt19937_64 rng(kSeed + 2);
+  RPQI_FUZZ_SCOPE(2);
+  std::mt19937_64 rng(BaseSeed() + 2);
   for (int i = 0; i < 500; ++i) {
     SignedAlphabet alphabet;
     StatusOr<GraphDb> db = LoadGraphText(RandomGraphText(rng, 12), &alphabet);

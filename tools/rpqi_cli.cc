@@ -6,6 +6,7 @@
 //   satisfies   decide word satisfaction (Theorem 2)
 //   contains    decide RPQI containment
 //   answer      certain answers from view extensions (CDA or ODA)
+//   validate    structural validation of queries / views / databases
 //
 // Graph databases use the text format of graphdb/io.h (one `from rel to` per
 // line). View definitions are `name=expression` arguments; extensions are
@@ -30,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/validate.h"
 #include "answer/cda.h"
 #include "answer/oda.h"
 #include "base/budget.h"
@@ -79,6 +81,10 @@ int Usage() {
   rpqi answer --mode cda|oda --objects N --query EXPR
               --view 'NAME=EXPR;sound|complete|exact;a,b a,b ...'
               [--pair c,d]           all pairs when omitted
+  rpqi validate [--query EXPR] [--view NAME=EXPR ...] [--db FILE]
+              check each artifact against the structural invariants of
+              src/analysis; prints one `ok` line per artifact, exit 2 with a
+              diagnostic naming the offending id otherwise
 
 global flags (any subcommand):
   --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
@@ -473,6 +479,81 @@ StatusOr<int> CmdAnswer(const FlagMap& flags) {
   return kExitOk;
 }
 
+StatusOr<int> CmdValidate(const FlagMap& flags) {
+  if (!flags.count("query") && !flags.count("view") && !flags.count("db")) {
+    return Usage();
+  }
+  SignedAlphabet alphabet;
+
+  // Parse everything first so the shared Σ± covers all artifacts; relation
+  // ids registered later would otherwise make earlier automata look narrow.
+  RegexPtr query_expr;
+  if (flags.count("query")) {
+    RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
+    RPQI_ASSIGN_OR_RETURN(query_expr, ParseExpr(query_text));
+    RPQI_RETURN_IF_ERROR(ValidateRegexAst(query_expr));
+    RegisterRelations({query_expr}, &alphabet);
+  }
+  std::vector<std::string> view_names;
+  std::vector<RegexPtr> view_exprs;
+  if (flags.count("view")) {
+    for (const std::string& spec : flags.at("view")) {
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("view '" + spec +
+                                       "': expected NAME=EXPR");
+      }
+      view_names.push_back(spec.substr(0, eq));
+      RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(spec.substr(eq + 1)));
+      RPQI_RETURN_IF_ERROR(ValidateRegexAst(expr));
+      view_exprs.push_back(std::move(expr));
+    }
+    RPQI_RETURN_IF_ERROR(ValidateViewNames(view_names, view_names));
+    RegisterRelations(view_exprs, &alphabet);
+  }
+
+  NfaValidateOptions nfa_options;
+  nfa_options.require_initial_state = true;
+  nfa_options.require_signed_alphabet = true;
+  nfa_options.expected_num_symbols = alphabet.NumSymbols();
+
+  if (query_expr != nullptr) {
+    RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(query_expr, alphabet));
+    RPQI_RETURN_IF_ERROR(ValidateNfa(query, nfa_options));
+    std::printf("query: ok (%d states, %d transitions, %d symbols)\n",
+                query.NumStates(), query.NumTransitions(),
+                query.num_symbols());
+  }
+  std::vector<Nfa> views;
+  for (size_t i = 0; i < view_exprs.size(); ++i) {
+    RPQI_ASSIGN_OR_RETURN(Nfa view, CompileRegex(view_exprs[i], alphabet));
+    Status status = ValidateNfa(view, nfa_options);
+    if (!status.ok()) {
+      return Status::InvalidArgument("view '" + view_names[i] +
+                                     "': " + status.message());
+    }
+    std::printf("view %s: ok (%d states, %d transitions, %d symbols)\n",
+                view_names[i].c_str(), view.NumStates(), view.NumTransitions(),
+                view.num_symbols());
+    views.push_back(std::move(view));
+  }
+  if (!views.empty()) {
+    RPQI_RETURN_IF_ERROR(
+        ValidateViewExtensions(alphabet.NumSymbols(), views, {}, 0));
+  }
+
+  if (flags.count("db")) {
+    RPQI_ASSIGN_OR_RETURN(std::string db_path, SingleFlag(flags, "db"));
+    RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
+    RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &alphabet));
+    RPQI_RETURN_IF_ERROR(ValidateGraphDb(db, alphabet.NumRelations()));
+    std::printf("db %s: ok (%d nodes, %d edges, %d relations)\n",
+                db_path.c_str(), db.NumNodes(), db.NumEdges(),
+                alphabet.NumRelations());
+  }
+  return kExitOk;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -492,6 +573,8 @@ int Main(int argc, char** argv) {
     code = CmdContains(*flags);
   } else if (command == "answer") {
     code = CmdAnswer(*flags);
+  } else if (command == "validate") {
+    code = CmdValidate(*flags);
   } else {
     return Usage();
   }

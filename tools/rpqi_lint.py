@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Project lint for the rpqi tree, run from CTest and CI.
+
+Checks that complement the compiler's own enforcement:
+
+  discard        Status/StatusOr are [[nodiscard]] (and -Werror=unused-result
+                 is on), so the *compiler* rejects silent drops. This rule
+                 polices the escape hatch: every `(void)` discard cast must
+                 carry a written justification on the same line:
+                     (void)expr;  // lint: allow-discard <why>
+                 and base/status.h must keep its [[nodiscard]] annotations.
+
+  no-terminate   Library code under src/ must not call abort/exit/_Exit/
+                 quick_exit or use a naked `new` — errors travel as Status,
+                 ownership as containers/smart pointers. The single allowed
+                 location is base/logging.h (RPQI_CHECK's sink).
+
+  include-guard  Every header under src/ uses the canonical guard
+                 RPQI_<DIR>_<FILE>_H_ derived from its path.
+
+  budget-loop    Any loop that grows an automaton (calls AddState or a
+                 Determinize variant) must live in a function that charges a
+                 Budget, or carry an explicit waiver:
+                     // lint: allow-unbudgeted <why>
+                 Unbounded construction loops are how the pipeline used to
+                 hang before execution budgets existed (see base/budget.h).
+
+Usage: tools/rpqi_lint.py [REPO_ROOT]
+Exit status: 0 clean, 1 findings (one `file:line: rule: message` per line).
+"""
+
+import os
+import re
+import sys
+
+LINT_SKIP_FILES = set()  # relative paths exempt from all rules
+
+DISCARD_RE = re.compile(r"\(void\)\s*[A-Za-z_(]")
+ALLOW_DISCARD_RE = re.compile(r"//\s*lint:\s*allow-discard\s+\S")
+ALLOW_UNBUDGETED_RE = re.compile(r"//\s*lint:\s*allow-unbudgeted\s+\S")
+TERMINATE_RE = re.compile(
+    r"(?<![\w.])(?:std::)?(abort|_Exit|quick_exit|exit)\s*\(")
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]")
+GROWTH_CALL_RE = re.compile(r"\b(AddState|Determinize\w*)\s*\(")
+LOOP_HEADER_RE = re.compile(r"(?<![\w.])(for|while)\s*\(")
+BUDGET_MENTION_RE = re.compile(r"[Bb]udget")
+
+
+def strip_code_line(line):
+    """Removes string/char literals and // comments from one line.
+
+    Good enough for lint purposes: the codebase has no multi-line raw strings
+    in library code (the CLI usage text lives in tools/, where only the
+    discard rule runs, keyed on `(void)` which the usage text never contains).
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def strip_block_comments(lines):
+    """Returns code-only lines with /* */ regions and literals removed."""
+    stripped = []
+    in_block = False
+    for line in lines:
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                stripped.append("")
+                continue
+            line = line[end + 2:]
+            in_block = False
+        code = strip_code_line(line)
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block = True
+                break
+            code = code[:start] + " " + code[end + 2:]
+        stripped.append(code)
+    return stripped
+
+
+def iter_source_files(root, subdirs, exts):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    if rel not in LINT_SKIP_FILES:
+                        yield rel
+
+
+def check_discards(rel, raw_lines, code_lines, findings):
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if DISCARD_RE.search(code) and not ALLOW_DISCARD_RE.search(raw):
+            findings.append(
+                (rel, lineno, "discard",
+                 "`(void)` discard without `// lint: allow-discard <why>`"))
+
+
+def check_nodiscard_annotations(root, findings):
+    rel = os.path.join("src", "base", "status.h")
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        text = f.read()
+    for cls in ("Status", "StatusOr"):
+        if not re.search(r"class \[\[nodiscard\]\] " + cls + r"\b", text):
+            findings.append(
+                (rel, 1, "discard",
+                 f"class {cls} lost its [[nodiscard]] annotation"))
+
+
+def check_terminate(rel, code_lines, findings):
+    if rel == os.path.join("src", "base", "logging.h"):
+        return
+    for lineno, code in enumerate(code_lines, 1):
+        m = TERMINATE_RE.search(code)
+        if m:
+            findings.append(
+                (rel, lineno, "no-terminate",
+                 f"call to {m.group(1)}() in library code "
+                 "(return a Status instead)"))
+        m = NAKED_NEW_RE.search(code)
+        if m:
+            findings.append(
+                (rel, lineno, "no-terminate",
+                 "naked `new` in library code "
+                 "(use containers or std::make_unique)"))
+
+
+def check_include_guard(rel, code_lines, findings):
+    stem = re.sub(r"[^A-Za-z0-9]", "_", os.path.relpath(rel, "src"))
+    guard = "RPQI_" + stem.upper() + "_"
+    text = "\n".join(code_lines)
+    if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+        findings.append(
+            (rel, 1, "include-guard",
+             f"expected include guard {guard} (#ifndef + #define)"))
+
+
+def enclosing_function_region(code_lines, index):
+    """Approximates the enclosing function of line `index` (0-based).
+
+    Functions in this codebase close with a `}` at column zero, so the region
+    runs from just after the previous such line to the next one.
+    """
+    start = 0
+    for i in range(index - 1, -1, -1):
+        if code_lines[i].startswith("}"):
+            start = i + 1
+            break
+    end = len(code_lines)
+    for i in range(index, len(code_lines)):
+        if code_lines[i].startswith("}"):
+            end = i + 1
+            break
+    return start, end
+
+
+def check_budget_loops(rel, raw_lines, code_lines, findings):
+    # Track which open braces belong to loop constructs; a growth call is
+    # "in a loop" when any enclosing brace is a loop brace. Brace-free
+    # single-statement loops are caught by the pending-header state.
+    loop_stack = []  # True for braces opened by a for/while header
+    pending_loop_header = False
+    for lineno, code in enumerate(code_lines, 1):
+        is_loop_line = bool(LOOP_HEADER_RE.search(code))
+        in_loop = (any(loop_stack) or pending_loop_header or is_loop_line)
+        m = GROWTH_CALL_RE.search(code)
+        if m and in_loop:
+            index = lineno - 1
+            start, end = enclosing_function_region(code_lines, index)
+            region_code = "\n".join(code_lines[start:end])
+            region_raw = "\n".join(raw_lines[start:end])
+            if not (BUDGET_MENTION_RE.search(region_code)
+                    or ALLOW_UNBUDGETED_RE.search(region_raw)):
+                findings.append(
+                    (rel, lineno, "budget-loop",
+                     f"loop calls {m.group(1)}() but the enclosing function "
+                     "neither charges a Budget nor carries "
+                     "`// lint: allow-unbudgeted <why>`"))
+        for c in code:
+            if c == "{":
+                loop_stack.append(is_loop_line or pending_loop_header)
+                pending_loop_header = False
+            elif c == "}" and loop_stack:
+                loop_stack.pop()
+        if is_loop_line and "{" not in code:
+            pending_loop_header = True
+        elif code.strip() and not is_loop_line:
+            pending_loop_header = False
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+
+    for rel in iter_source_files(root, ["src", "tools"], {".h", ".cc"}):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+        code_lines = strip_block_comments(raw_lines)
+        check_discards(rel, raw_lines, code_lines, findings)
+        if rel.startswith("src" + os.sep):
+            check_terminate(rel, code_lines, findings)
+            if rel.endswith(".h"):
+                check_include_guard(rel, code_lines, findings)
+            if rel.endswith(".cc"):
+                check_budget_loops(rel, raw_lines, code_lines, findings)
+
+    check_nodiscard_annotations(root, findings)
+
+    for rel, lineno, rule, message in sorted(findings):
+        print(f"{rel}:{lineno}: {rule}: {message}")
+    if findings:
+        print(f"rpqi_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("rpqi_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
