@@ -40,6 +40,7 @@ void BM_OdaStrategy(benchmark::State& state, bool fold_and_minimize) {
   // (0,1) is not certain (the p p path may bypass object 1): witness search.
   bool certain = true;
   int64_t states = 0;
+  int64_t pruned = 0;
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 1, options);
     if (!result.ok()) {
@@ -48,9 +49,11 @@ void BM_OdaStrategy(benchmark::State& state, bool fold_and_minimize) {
     }
     certain = result->certain;
     states = result->states_explored;
+    pruned = result->states_pruned;
   }
   state.counters["certain"] = certain;
   state.counters["states_explored"] = static_cast<double>(states);
+  state.counters["states_pruned"] = static_cast<double>(pruned);
 }
 
 void BM_OdaStrategyExhaustive(benchmark::State& state, bool fold_and_minimize) {
@@ -74,6 +77,7 @@ void BM_OdaStrategyExhaustive(benchmark::State& state, bool fold_and_minimize) {
   options.max_states = int64_t{1} << 23;
   bool certain = false;
   int64_t states = 0;
+  int64_t pruned = 0;
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 2, options);
     if (!result.ok()) {
@@ -82,9 +86,11 @@ void BM_OdaStrategyExhaustive(benchmark::State& state, bool fold_and_minimize) {
     }
     certain = result->certain;  // true: the chain exists in every model
     states = result->states_explored;
+    pruned = result->states_pruned;
   }
   state.counters["certain"] = certain;
   state.counters["states_explored"] = static_cast<double>(states);
+  state.counters["states_pruned"] = static_cast<double>(pruned);
 }
 
 void BM_RewritingMembership(benchmark::State& state, bool materialize) {

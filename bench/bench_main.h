@@ -1,0 +1,14 @@
+#ifndef RPQI_BENCH_BENCH_MAIN_H_
+#define RPQI_BENCH_BENCH_MAIN_H_
+
+namespace rpqi {
+
+/// True when the bench binary was invoked with --quick (the CI perf-smoke
+/// mode): the benchmark min time is dropped to a few iterations per series so
+/// the whole suite finishes in seconds. Timings from quick runs are noisy by
+/// design — bench_diff.py treats them as warn-only.
+bool BenchQuickMode();
+
+}  // namespace rpqi
+
+#endif  // RPQI_BENCH_BENCH_MAIN_H_

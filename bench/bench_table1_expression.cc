@@ -67,6 +67,8 @@ void BM_OdaExpression(benchmark::State& state, bool certain_variant,
       static_cast<int>(state.range(0)), certain_variant, &alphabet, assumption);
   bool certain = false;
   int64_t states = 0;
+  int64_t pruned = 0;
+  int64_t antichain = 0;
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 1);
     if (!result.ok()) {
@@ -75,10 +77,14 @@ void BM_OdaExpression(benchmark::State& state, bool certain_variant,
     }
     certain = result->certain;
     states = result->states_explored;
+    pruned = result->states_pruned;
+    antichain = result->antichain_size;
   }
   state.counters["k"] = static_cast<double>(state.range(0));
   state.counters["certain"] = certain;
   state.counters["states_explored"] = static_cast<double>(states);
+  state.counters["states_pruned"] = static_cast<double>(pruned);
+  state.counters["antichain_size"] = static_cast<double>(antichain);
 }
 
 BENCHMARK_CAPTURE(BM_CdaExpression, sound_certain, true,

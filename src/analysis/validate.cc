@@ -53,6 +53,8 @@ Status CheckAlphabetShape(const std::string& what, int num_symbols,
 Status ValidateNfa(const Nfa& nfa, const NfaValidateOptions& options) {
   RPQI_RETURN_IF_ERROR(CheckAlphabetShape("nfa", nfa.num_symbols(), options));
   bool has_initial = false;
+  int64_t transitions = 0;
+  int64_t epsilon_transitions = 0;
   for (int s = 0; s < nfa.NumStates(); ++s) {
     has_initial = has_initial || nfa.IsInitial(s);
     int index = 0;
@@ -62,12 +64,36 @@ Status ValidateNfa(const Nfa& nfa, const NfaValidateOptions& options) {
           nfa.num_symbols(), nfa.NumStates(),
           /*allow_epsilon=*/!options.require_epsilon_free));
       ++index;
+      ++transitions;
+      if (t.symbol == kEpsilon) ++epsilon_transitions;
     }
+  }
+  // Coherence of the O(1) cached counters against the transition lists (the
+  // hot paths branch on these instead of recounting; a stale cache silently
+  // skips ε-closure or mischarges budgets).
+  if (transitions != nfa.NumTransitions()) {
+    return Status::InvalidArgument(
+        "nfa: cached transition count " + Id(nfa.NumTransitions()) +
+        " != actual " + Id(static_cast<int>(transitions)));
+  }
+  if (epsilon_transitions != nfa.NumEpsilonTransitions()) {
+    return Status::InvalidArgument(
+        "nfa: cached ε-transition count " + Id(nfa.NumEpsilonTransitions()) +
+        " != actual " + Id(static_cast<int>(epsilon_transitions)));
   }
   if (options.require_initial_state && !has_initial) {
     return Status::InvalidArgument(
         "nfa: no initial state among " + Id(nfa.NumStates()) +
         " states (the automaton accepts nothing)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateBitsetHash(const Bitset& bits) {
+  if (!bits.CachedHashCoherent()) {
+    return Status::InvalidArgument(
+        "bitset: cached hash is stale (a mutation bypassed the "
+        "invalidation path)");
   }
   return Status::Ok();
 }

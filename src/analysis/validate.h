@@ -8,6 +8,7 @@
 #include "automata/dfa.h"
 #include "automata/nfa.h"
 #include "automata/two_way.h"
+#include "base/bitset.h"
 #include "base/status.h"
 #include "graphdb/graph.h"
 #include "regex/ast.h"
@@ -50,8 +51,14 @@ struct NfaValidateOptions {
 };
 
 /// Checks dense-range transitions (symbol within the alphabet or ε, target
-/// within [0, NumStates())) plus the options above.
+/// within [0, NumStates())) plus the options above, and that the O(1) cached
+/// transition / ε-transition counters agree with the transition lists (the
+/// subset-construction hot paths and budget charging trust these caches).
 Status ValidateNfa(const Nfa& nfa, const NfaValidateOptions& options = {});
+
+/// Checks that a Bitset's cached 64-bit hash (used by the interning hot
+/// paths) matches its words — i.e. no mutation bypassed the invalidation.
+Status ValidateBitsetHash(const Bitset& bits);
 
 /// Validates an NFA that is *claimed* deterministic (the edge-list view of a
 /// DFA): ε-free, exactly one initial state, and at most one transition per

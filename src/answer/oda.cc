@@ -116,7 +116,10 @@ struct OdaSolver::Impl {
   std::vector<TwoWayNfa> complemented_two_way;
   std::vector<std::unique_ptr<LazyDfa>> lazies;
   // Components that fit the materialization budget are folded into
-  // `view_context`; the rest stay lazy in `leftovers`.
+  // `view_context`; the rest stay lazy in `leftovers`. Built on demand by
+  // EnsureViewContext: probes decided by the antichain-pruned lazy search
+  // never pay for materializing the view side at all.
+  bool context_attempted = false;
   std::optional<Dfa> view_context;
   std::vector<LazyDfa*> leftovers;
   Status build_status;
@@ -161,8 +164,15 @@ struct OdaSolver::Impl {
       lazies.push_back(
           std::make_unique<LazyTableDfa>(automaton, /*complement=*/true));
     }
+  }
 
-    // Materialize + minimize what fits, fold into one context DFA.
+  /// Materializes + minimizes the view parts that fit the budget and folds
+  /// them into one context DFA. Runs at most once; the result is shared by
+  /// every later probe, so the cost amortizes exactly as before — it is just
+  /// no longer paid by solvers whose probes all resolve in the lazy phase.
+  void EnsureViewContext() {
+    if (context_attempted) return;
+    context_attempted = true;
     std::vector<Dfa> minimized;
     for (auto& lazy : lazies) {
       bool ok = false;
@@ -206,9 +216,14 @@ struct OdaSolver::Impl {
         BuildLinearizedEvalAutomaton(instance.query, alphabet, spec);
     LazyTableDfa query_lazy(query_automaton, complement_query);
 
-    // Phase 1: cheap bounded witness search on the flat lazy product. Most
+    // Phase 1: bounded witness search on the flat lazy product. Most
     // non-certain pairs have shallow counterexamples that surface within a
-    // small state budget, long before the query component is materialized.
+    // small state budget, long before the query component is materialized —
+    // and with antichain pruning the search often decides the certain
+    // direction outright. Before the view context exists, overflowing this
+    // phase triggers the expensive materialization, so the cap is more
+    // generous there; once the context is built, re-probing past a small cap
+    // is cheap and phase 2 is the better tool.
     {
       std::vector<LazyDfa*> quick_parts;
       std::unique_ptr<LazyDfaFromDfa> quick_context;
@@ -221,7 +236,8 @@ struct OdaSolver::Impl {
       for (LazyDfa* leftover : leftovers) quick_parts.push_back(leftover);
       quick_parts.push_back(&query_lazy);
       LazyProductDfa quick_product(quick_parts);
-      int64_t quick_budget = std::min<int64_t>(options.max_states, 50000);
+      int64_t quick_budget = std::min<int64_t>(
+          options.max_states, view_context.has_value() ? 50000 : 200000);
       EmptinessResult quick =
           FindAcceptedWord(&quick_product, quick_budget, options.budget);
       if (quick.outcome != EmptinessResult::Outcome::kLimitExceeded) {
@@ -237,6 +253,7 @@ struct OdaSolver::Impl {
 
     // Phase 2: fold the query component into the view context and decide
     // exactly (required for the certain/exhaustion direction).
+    EnsureViewContext();
     std::optional<Dfa> final_dfa;
     std::vector<LazyDfa*> product_parts;
     std::unique_ptr<LazyDfaFromDfa> context_lazy;
@@ -298,6 +315,8 @@ struct OdaSolver::Impl {
                              EmptinessResult emptiness) {
     OdaResult result;
     result.states_explored = emptiness.states_explored;
+    result.states_pruned = emptiness.states_pruned;
+    result.antichain_size = emptiness.antichain_size;
     if (emptiness.outcome == EmptinessResult::Outcome::kEmpty) {
       result.certain = complement_query;  // no witness against the claim
       return result;

@@ -39,6 +39,12 @@ struct OdaResult {
   std::optional<GraphDb> counterexample;
   std::optional<std::vector<int>> counterexample_word;
   int64_t states_explored = 0;
+  /// Antichain accounting from the deciding emptiness search (zero when the
+  /// probe was decided on a materialized DFA): frontier states discarded
+  /// because a queued state subsumed them, and live antichain members when
+  /// the search stopped.
+  int64_t states_pruned = 0;
+  int64_t antichain_size = 0;
 };
 
 /// Theorems 15/16 decision procedure, amortized over many probe pairs: the

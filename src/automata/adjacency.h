@@ -1,0 +1,58 @@
+#ifndef RPQI_AUTOMATA_ADJACENCY_H_
+#define RPQI_AUTOMATA_ADJACENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "base/logging.h"
+
+namespace rpqi {
+
+/// Per-(state, symbol) CSR index of an ε-free NFA's transitions. Subset steps
+/// need exactly the targets of one symbol at a time; scanning each state's
+/// full transition list instead costs a factor |Σ| more, which dominates once
+/// the combined alphabets of the Section 4/5 constructions (Σ± + Σ_E± + $)
+/// get wide.
+class SymbolAdjacency {
+ public:
+  explicit SymbolAdjacency(const Nfa& nfa) : num_symbols_(nfa.num_symbols()) {
+    const int n = nfa.NumStates();
+    offsets_.assign(static_cast<size_t>(n) * num_symbols_ + 1, 0);
+    for (int s = 0; s < n; ++s) {
+      for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+        RPQI_CHECK(t.symbol != kEpsilon)
+            << "SymbolAdjacency requires an ε-free NFA";
+        ++offsets_[Index(s, t.symbol) + 1];
+      }
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+    targets_.resize(offsets_.back());
+    std::vector<int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (int s = 0; s < n; ++s) {
+      for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+        targets_[cursor[Index(s, t.symbol)]++] = t.to;
+      }
+    }
+  }
+
+  const int32_t* begin(int state, int symbol) const {
+    return targets_.data() + offsets_[Index(state, symbol)];
+  }
+  const int32_t* end(int state, int symbol) const {
+    return targets_.data() + offsets_[Index(state, symbol) + 1];
+  }
+
+ private:
+  size_t Index(int state, int symbol) const {
+    return static_cast<size_t>(state) * num_symbols_ + symbol;
+  }
+
+  int num_symbols_;
+  std::vector<int32_t> offsets_;  // (state·|Σ| + symbol) -> targets_ begin
+  std::vector<int32_t> targets_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_AUTOMATA_ADJACENCY_H_

@@ -1,10 +1,12 @@
 #include "automata/lazy.h"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 #include <unordered_map>
 
 #include "automata/ops.h"
+#include "base/hash.h"
 
 namespace rpqi {
 
@@ -39,10 +41,13 @@ Bitset NfaInitialClosure(const Nfa& nfa) {
 }  // namespace
 
 LazySubsetDfa::LazySubsetDfa(const Nfa& nfa, bool complement)
-    : nfa_(RemoveEpsilon(nfa)), complement_(complement) {}
+    : nfa_(RemoveEpsilon(nfa)),
+      complement_(complement),
+      adjacency_(nfa_),
+      scratch_next_(nfa_.NumStates()) {}
 
 int LazySubsetDfa::Intern(const Bitset& subset) {
-  int id = interner_.Intern(subset.words());
+  int id = interner_.InternHashed(subset.words(), subset.Hash());
   if (id == static_cast<int>(subsets_.size())) {
     subsets_.push_back(subset);
     bool accepts = false;
@@ -61,29 +66,48 @@ int LazySubsetDfa::StartState() { return Intern(NfaInitialClosure(nfa_)); }
 
 int LazySubsetDfa::Step(int state, int symbol) {
   RPQI_CHECK(0 <= state && state < static_cast<int>(subsets_.size()));
-  if (state >= static_cast<int>(step_cache_.size())) {
-    step_cache_.resize(subsets_.size(),
-                       std::vector<int>(nfa_.num_symbols(), -1));
+  size_t index = static_cast<size_t>(state) * nfa_.num_symbols() + symbol;
+  if (index >= step_cache_.size()) {
+    step_cache_.resize(subsets_.size() * nfa_.num_symbols(), -1);
   }
-  int& cached = step_cache_[state][symbol];
+  int& cached = step_cache_[index];
   if (cached < 0) cached = ComputeStep(state, symbol);
   return cached;
 }
 
 int LazySubsetDfa::ComputeStep(int state, int symbol) {
-  Bitset next(nfa_.NumStates());
+  scratch_next_.Clear();
   const Bitset& current = subsets_[state];
   for (int s = current.NextSetBit(0); s >= 0; s = current.NextSetBit(s + 1)) {
-    for (const Nfa::Transition& t : nfa_.TransitionsFrom(s)) {
-      if (t.symbol == symbol) next.Set(t.to);
+    for (const int32_t* t = adjacency_.begin(s, symbol),
+                      * end = adjacency_.end(s, symbol);
+         t != end; ++t) {
+      scratch_next_.Set(*t);
     }
   }
-  return Intern(next);
+  return Intern(scratch_next_);
 }
 
 bool LazySubsetDfa::IsAccepting(int state) {
   RPQI_CHECK(0 <= state && state < static_cast<int>(accepting_.size()));
   return accepting_[state] != complement_;
+}
+
+bool LazySubsetDfa::Subsumes(int state, int other) {
+  const Bitset& fine = subsets_[state];
+  const Bitset& coarse = subsets_[other];
+  return complement_ ? fine.IsSubsetOf(coarse) : coarse.IsSubsetOf(fine);
+}
+
+SubsumptionSig LazySubsetDfa::SubsumptionSignature(int state) {
+  // Lane-fold of the subset words: subset inclusion implies fold inclusion.
+  // Complementing flips the subsumption direction, so the fold moves to the
+  // antitone (shrink) side — keeping the filter words sparse either way.
+  SubsumptionSig signature;
+  uint64_t* side = complement_ ? signature.shrink : signature.grow;
+  const std::vector<uint64_t>& words = subsets_[state].words();
+  for (size_t i = 0; i < words.size(); ++i) side[i & 1] |= words[i];
+  return signature;
 }
 
 // ---------------------------------------------------------------------------
@@ -95,7 +119,9 @@ LazyProductDfa::LazyProductDfa(std::vector<LazyDfa*> parts)
   num_symbols_ = parts_[0]->NumSymbols();
   for (LazyDfa* part : parts_) {
     RPQI_CHECK_EQ(part->NumSymbols(), num_symbols_);
+    if (part->HasSubsumption()) has_subsumption_ = true;
   }
+  scratch_key_.resize(parts_.size());
 }
 
 int LazyProductDfa::Intern(const std::vector<uint64_t>& key) {
@@ -103,21 +129,19 @@ int LazyProductDfa::Intern(const std::vector<uint64_t>& key) {
 }
 
 int LazyProductDfa::StartState() {
-  std::vector<uint64_t> key(parts_.size());
   for (size_t i = 0; i < parts_.size(); ++i) {
-    key[i] = static_cast<uint64_t>(parts_[i]->StartState());
+    scratch_key_[i] = static_cast<uint64_t>(parts_[i]->StartState());
   }
-  return Intern(key);
+  return Intern(scratch_key_);
 }
 
 int LazyProductDfa::Step(int state, int symbol) {
   const std::vector<uint64_t>& key = interner_.KeyOf(state);
-  std::vector<uint64_t> next(parts_.size());
   for (size_t i = 0; i < parts_.size(); ++i) {
-    next[i] = static_cast<uint64_t>(
+    scratch_key_[i] = static_cast<uint64_t>(
         parts_[i]->Step(static_cast<int>(key[i]), symbol));
   }
-  return Intern(next);
+  return Intern(scratch_key_);
 }
 
 bool LazyProductDfa::IsAccepting(int state) {
@@ -126,6 +150,47 @@ bool LazyProductDfa::IsAccepting(int state) {
     if (!parts_[i]->IsAccepting(static_cast<int>(key[i]))) return false;
   }
   return true;
+}
+
+uint64_t LazyProductDfa::SubsumptionPartition(int state) {
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  uint64_t h = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    h = HashCombine(h,
+                    parts_[i]->SubsumptionPartition(static_cast<int>(key[i])));
+  }
+  return h;
+}
+
+bool LazyProductDfa::Subsumes(int state, int other) {
+  const std::vector<uint64_t>& a = interner_.KeyOf(state);
+  const std::vector<uint64_t>& b = interner_.KeyOf(other);
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i]->Subsumes(static_cast<int>(a[i]), static_cast<int>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SubsumptionSig LazyProductDfa::SubsumptionSignature(int state) {
+  // The signature contract survives bitwise OR and any fixed per-part bit
+  // permutation, so each part's signature is rotated and lane-swapped by the
+  // part index before the union — decorrelating parts that would otherwise
+  // pile their bits onto the same positions and blunt the filter.
+  const std::vector<uint64_t>& key = interner_.KeyOf(state);
+  SubsumptionSig signature;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    SubsumptionSig part =
+        parts_[i]->SubsumptionSignature(static_cast<int>(key[i]));
+    const int r = static_cast<int>((i * 23) & 63);
+    const size_t lane = i & 1;
+    signature.grow[lane] |= std::rotl(part.grow[0], r);
+    signature.grow[lane ^ 1] |= std::rotl(part.grow[1], r);
+    signature.shrink[lane] |= std::rotl(part.shrink[0], r);
+    signature.shrink[lane ^ 1] |= std::rotl(part.shrink[1], r);
+  }
+  return signature;
 }
 
 // ---------------------------------------------------------------------------
@@ -205,13 +270,141 @@ bool LazyImageSubsetDfa::IsAccepting(int state) {
   return accepts != complement_;
 }
 
+bool LazyImageSubsetDfa::Subsumes(int state, int other) {
+  // Keys are sorted unique inner ids; inclusion by std::includes. Without
+  // complement bigger sets accept more, with complement smaller ones do.
+  const std::vector<uint64_t>& a = interner_.KeyOf(state);
+  const std::vector<uint64_t>& b = interner_.KeyOf(other);
+  const std::vector<uint64_t>& fine = complement_ ? a : b;
+  const std::vector<uint64_t>& coarse = complement_ ? b : a;
+  return std::includes(coarse.begin(), coarse.end(), fine.begin(), fine.end());
+}
+
+SubsumptionSig LazyImageSubsetDfa::SubsumptionSignature(int state) {
+  // Bloom filter over the inner ids: id-set inclusion implies bit inclusion,
+  // moved to the antitone side under complement like the order itself.
+  SubsumptionSig signature;
+  uint64_t* side = complement_ ? signature.shrink : signature.grow;
+  for (uint64_t raw : interner_.KeyOf(state)) {
+    const unsigned bit = static_cast<unsigned>(raw) & 127;
+    side[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  return signature;
+}
+
 // ---------------------------------------------------------------------------
 // Emptiness / materialization
+
+namespace {
+
+/// Antichain of queued states bucketed by subsumption partition. A candidate
+/// dominated by a member is discarded; otherwise it joins its bucket,
+/// superseding the members it dominates (those stay queued — only their
+/// future pruning power is taken over).
+///
+/// Two devices keep the per-discovery linear scan affordable even when a
+/// partition is coarse (e.g. the table/subset automata put every state in one
+/// bucket):
+///  - tier 1: the candidate's own partition bucket is scanned exhaustively.
+///    Partitions group the states most likely to dominate each other, so
+///    these buckets stay small and the scan stays cheap.
+///  - tier 2: a single bounded cross-partition pool (the first
+///    kGlobalMembers undominated states of the whole search) is scanned with
+///    a signature pre-filter — a member can only dominate the candidate if
+///    grow(candidate) ⊆ grow(member) and shrink(member) ⊆ shrink(candidate)
+///    lanewise, so most pairs are rejected with four AND-NOTs. The
+///    pool is bounded so each Blocks call costs O(bucket + kGlobalMembers);
+///    once full, later states are still checked against it (and can still be
+///    pruned) but stop contributing cross-partition pruning power, which
+///    affects neither soundness nor the shortest-witness guarantee.
+class SubsumptionAntichain {
+  struct Bucket {
+    std::vector<int> ids;
+    std::vector<SubsumptionSig> sigs;  // parallel to ids
+  };
+
+ public:
+  template <typename SubsumesFn>
+  bool Blocks(int candidate, uint64_t partition, SubsumptionSig signature,
+              SubsumesFn subsumes) {
+    Bucket& bucket = buckets_[partition];
+    for (size_t i = 0; i < bucket.sigs.size(); ++i) {
+      if (MayDominate(bucket.sigs[i], signature) &&
+          subsumes(bucket.ids[i], candidate)) {
+        return true;
+      }
+    }
+    for (size_t i = 0; i < global_ids_.size(); ++i) {
+      if (MayDominate(global_sigs_[i], signature) &&
+          subsumes(global_ids_[i], candidate)) {
+        return true;
+      }
+    }
+    Erase(bucket, candidate, signature, subsumes);
+    bucket.ids.push_back(candidate);
+    bucket.sigs.push_back(signature);
+    if (global_ids_.size() < kGlobalMembers) {
+      global_ids_.push_back(candidate);
+      global_sigs_.push_back(signature);
+    }
+    return false;
+  }
+
+  int64_t TotalSize() const {
+    int64_t total = 0;
+    for (const auto& [partition, bucket] : buckets_) {
+      total += static_cast<int64_t>(bucket.ids.size());
+    }
+    return total;
+  }
+
+ private:
+  /// Signature pre-filter: false proves `dominator` cannot subsume
+  /// `candidate`; true says nothing. One branch, four AND-NOTs per pair.
+  static bool MayDominate(const SubsumptionSig& dominator,
+                          const SubsumptionSig& candidate) {
+    return ((candidate.grow[0] & ~dominator.grow[0]) |
+            (candidate.grow[1] & ~dominator.grow[1]) |
+            (dominator.shrink[0] & ~candidate.shrink[0]) |
+            (dominator.shrink[1] & ~candidate.shrink[1])) == 0;
+  }
+
+  /// Drops the bucket members the candidate supersedes (they stay queued —
+  /// only their future pruning power is taken over). The global pool keeps
+  /// superseded members: redundant but sound, and eviction would only free
+  /// slots for weaker (later, more specific) states.
+  template <typename SubsumesFn>
+  void Erase(Bucket& bucket, int candidate, SubsumptionSig signature,
+             SubsumesFn subsumes) {
+    size_t kept = 0;
+    for (size_t i = 0; i < bucket.sigs.size(); ++i) {
+      if (MayDominate(signature, bucket.sigs[i]) &&
+          subsumes(candidate, bucket.ids[i])) {
+        continue;  // superseded by the candidate
+      }
+      bucket.ids[kept] = bucket.ids[i];
+      bucket.sigs[kept] = bucket.sigs[i];
+      ++kept;
+    }
+    bucket.ids.resize(kept);
+    bucket.sigs.resize(kept);
+  }
+
+  static constexpr size_t kGlobalMembers = 1 << 11;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+  // Tier-2 pool; sigs packed separately from ids so the hot scan streams
+  // 32-byte signature records and only touches ids on a filter hit.
+  std::vector<int> global_ids_;
+  std::vector<SubsumptionSig> global_sigs_;
+};
+
+}  // namespace
 
 EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
                                  Budget* budget) {
   EmptinessResult result;
   const int num_symbols = dfa->NumSymbols();
+  const bool use_antichain = dfa->HasSubsumption();
 
   struct NodeInfo {
     int parent;
@@ -220,16 +413,29 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
   std::vector<NodeInfo> info;            // indexed by BFS discovery order
   std::unordered_map<int, int> discovered;  // state id -> discovery index
   std::deque<std::pair<int, int>> queue;    // (state id, discovery index)
+  SubsumptionAntichain antichain;
+  auto subsumes = [&](int s, int t) { return dfa->Subsumes(s, t); };
+  auto blocks = [&](int state) {
+    return antichain.Blocks(state, dfa->SubsumptionPartition(state),
+                            dfa->SubsumptionSignature(state), subsumes);
+  };
+  int64_t queued_states = 0;
+  auto finalize_stats = [&] {
+    result.states_explored = queued_states;
+    result.antichain_size = use_antichain ? antichain.TotalSize() : 0;
+  };
 
   int start = dfa->StartState();
   discovered[start] = 0;
   info.push_back({-1, -1});
   queue.push_back({start, 0});
+  queued_states = 1;
+  if (use_antichain) blocks(start);
 
   while (!queue.empty()) {
     if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
       result.outcome = EmptinessResult::Outcome::kLimitExceeded;
-      result.states_explored = static_cast<int64_t>(discovered.size());
+      finalize_stats();
       result.status = std::move(budget_status);
       return result;
     }
@@ -243,33 +449,37 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
       std::reverse(word.begin(), word.end());
       result.outcome = EmptinessResult::Outcome::kFoundWord;
       result.witness = std::move(word);
-      result.states_explored = static_cast<int64_t>(discovered.size());
+      finalize_stats();
       return result;
     }
     for (int a = 0; a < num_symbols; ++a) {
       int to = dfa->Step(state, a);
-      auto [it, inserted] =
-          discovered.try_emplace(to, static_cast<int>(info.size()));
-      if (inserted) {
-        info.push_back({index, a});
-        queue.push_back({to, it->second});
-        Status charge_status = BudgetCharge(budget, 1);
-        if (static_cast<int64_t>(discovered.size()) > max_states ||
-            !charge_status.ok()) {
-          result.outcome = EmptinessResult::Outcome::kLimitExceeded;
-          result.states_explored = static_cast<int64_t>(discovered.size());
-          result.status = charge_status.ok()
-                              ? Status::ResourceExhausted(
-                                    "emptiness search exceeded " +
-                                    std::to_string(max_states) + " states")
-                              : std::move(charge_status);
-          return result;
-        }
+      auto [it, inserted] = discovered.try_emplace(to, -1);
+      if (!inserted) continue;
+      if (use_antichain && blocks(to)) {
+        // Leave the -1 marker: a dominated state is dominated forever.
+        ++result.states_pruned;
+        continue;
+      }
+      it->second = static_cast<int>(info.size());
+      info.push_back({index, a});
+      queue.push_back({to, it->second});
+      ++queued_states;
+      Status charge_status = BudgetCharge(budget, 1);
+      if (queued_states > max_states || !charge_status.ok()) {
+        result.outcome = EmptinessResult::Outcome::kLimitExceeded;
+        finalize_stats();
+        result.status = charge_status.ok()
+                            ? Status::ResourceExhausted(
+                                  "emptiness search exceeded " +
+                                  std::to_string(max_states) + " states")
+                            : std::move(charge_status);
+        return result;
       }
     }
   }
   result.outcome = EmptinessResult::Outcome::kEmpty;
-  result.states_explored = static_cast<int64_t>(discovered.size());
+  finalize_stats();
   return result;
 }
 
@@ -281,14 +491,25 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
     RPQI_CHECK_EQ(part->NumSymbols(), nfa.num_symbols());
   }
   EmptinessResult result;
+  bool use_antichain = false;
+  for (LazyDfa* part : parts) {
+    if (part->HasSubsumption()) use_antichain = true;
+  }
 
   struct NodeInfo {
     int parent;
     int symbol;
   };
-  std::vector<NodeInfo> info;
+  std::vector<NodeInfo> info;     // indexed by BFS discovery order
+  std::vector<int> index_of_id;   // interned id -> info index, -1 = pruned
   WordVectorInterner interner;
   std::deque<std::pair<int, int>> queue;  // (interned id, discovery index)
+  SubsumptionAntichain antichain;
+  int64_t queued_states = 0;
+  auto finalize_stats = [&] {
+    result.states_explored = queued_states;
+    result.antichain_size = use_antichain ? antichain.TotalSize() : 0;
+  };
 
   auto intern = [&](int nfa_state, const std::vector<uint64_t>& part_states) {
     std::vector<uint64_t> key;
@@ -297,6 +518,48 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
     key.insert(key.end(), part_states.begin(), part_states.end());
     return interner.Intern(key);
   };
+  // Tuple subsumption: the NFA component must match exactly; the parts are
+  // compared componentwise (parts without subsumption require equality).
+  auto partition = [&](int id) {
+    const std::vector<uint64_t>& key = interner.KeyOf(id);
+    uint64_t h = HashCombine(0, key[0]);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      h = HashCombine(
+          h, parts[i]->SubsumptionPartition(static_cast<int>(key[1 + i])));
+    }
+    return h;
+  };
+  auto subsumes = [&](int s, int t) {
+    const std::vector<uint64_t>& a = interner.KeyOf(s);
+    const std::vector<uint64_t>& b = interner.KeyOf(t);
+    if (a[0] != b[0]) return false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (!parts[i]->Subsumes(static_cast<int>(a[1 + i]),
+                              static_cast<int>(b[1 + i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto blocks = [&](int id) {
+    const std::vector<uint64_t>& key = interner.KeyOf(id);
+    // The NFA component requires equality, so its Bloom bit is monotone too.
+    SubsumptionSig signature;
+    const unsigned nfa_bit = static_cast<unsigned>(key[0]) & 127;
+    signature.grow[nfa_bit >> 6] |= uint64_t{1} << (nfa_bit & 63);
+    // Same per-part rotation/lane-swap decorrelation as the lazy product.
+    for (size_t i = 0; i < parts.size(); ++i) {
+      SubsumptionSig part =
+          parts[i]->SubsumptionSignature(static_cast<int>(key[1 + i]));
+      const int r = static_cast<int>((i * 23) & 63);
+      const size_t lane = i & 1;
+      signature.grow[lane] |= std::rotl(part.grow[0], r);
+      signature.grow[lane ^ 1] |= std::rotl(part.grow[1], r);
+      signature.shrink[lane] |= std::rotl(part.shrink[0], r);
+      signature.shrink[lane ^ 1] |= std::rotl(part.shrink[1], r);
+    }
+    return antichain.Blocks(id, partition(id), signature, subsumes);
+  };
 
   std::vector<uint64_t> start_parts(parts.size());
   for (size_t i = 0; i < parts.size(); ++i) {
@@ -304,9 +567,16 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   }
   for (int s : nfa.InitialStates()) {
     int id = intern(s, start_parts);
-    if (id == static_cast<int>(info.size())) {
+    if (id == static_cast<int>(index_of_id.size())) {
+      if (use_antichain && blocks(id)) {
+        index_of_id.push_back(-1);
+        ++result.states_pruned;
+        continue;
+      }
+      index_of_id.push_back(static_cast<int>(info.size()));
       info.push_back({-1, -1});
-      queue.push_back({id, id});
+      queue.push_back({id, index_of_id[id]});
+      ++queued_states;
     }
   }
 
@@ -322,7 +592,7 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   while (!queue.empty()) {
     if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
       result.outcome = EmptinessResult::Outcome::kLimitExceeded;
-      result.states_explored = interner.size();
+      finalize_stats();
       result.status = std::move(budget_status);
       return result;
     }
@@ -336,7 +606,7 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
       std::reverse(word.begin(), word.end());
       result.outcome = EmptinessResult::Outcome::kFoundWord;
       result.witness = std::move(word);
-      result.states_explored = interner.size();
+      finalize_stats();
       return result;
     }
     const std::vector<uint64_t> key = interner.KeyOf(id);
@@ -349,13 +619,20 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
             parts[i]->Step(static_cast<int>(key[1 + i]), t.symbol));
       }
       int to = intern(t.to, part_states);
-      if (to == static_cast<int>(info.size())) {
+      if (to == static_cast<int>(index_of_id.size())) {
+        if (use_antichain && blocks(to)) {
+          index_of_id.push_back(-1);
+          ++result.states_pruned;
+          continue;
+        }
+        index_of_id.push_back(static_cast<int>(info.size()));
         info.push_back({index, t.symbol});
-        queue.push_back({to, to});
+        queue.push_back({to, index_of_id[to]});
+        ++queued_states;
         Status charge_status = BudgetCharge(budget, 1);
-        if (interner.size() > max_states || !charge_status.ok()) {
+        if (queued_states > max_states || !charge_status.ok()) {
           result.outcome = EmptinessResult::Outcome::kLimitExceeded;
-          result.states_explored = interner.size();
+          finalize_stats();
           result.status = charge_status.ok()
                               ? Status::ResourceExhausted(
                                     "emptiness search exceeded " +
@@ -367,7 +644,7 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
     }
   }
   result.outcome = EmptinessResult::Outcome::kEmpty;
-  result.states_explored = interner.size();
+  finalize_stats();
   return result;
 }
 

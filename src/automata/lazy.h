@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "automata/adjacency.h"
 #include "automata/dfa.h"
 #include "automata/nfa.h"
 #include "base/bitset.h"
@@ -14,6 +15,22 @@
 #include "base/status.h"
 
 namespace rpqi {
+
+/// 128-bit-per-side Bloom-style summaries used by the emptiness searches to
+/// pre-filter Subsumes calls. Whenever Subsumes(a, b) holds, the signatures
+/// must satisfy grow(b) ⊆ grow(a) (monotone) and shrink(a) ⊆ shrink(b)
+/// (antitone), lanewise, where x ⊆ y means (x & ~y) == 0 per lane word.
+/// Both conditions compose under bitwise OR, and any fixed bit permutation
+/// (rotation, lane swap) preserves them — which is how product automata
+/// combine their parts' signatures without piling every part onto the same
+/// bits. Inclusion-ordered automata spread an OR-fold of their state words
+/// across the grow lanes (or the shrink lanes when complemented, where the
+/// subsumption direction flips); per-word rotations keep distinct key words
+/// from aliasing. The zero signature is trivially valid.
+struct SubsumptionSig {
+  uint64_t grow[2] = {0, 0};
+  uint64_t shrink[2] = {0, 0};
+};
 
 /// A deterministic automaton whose states are discovered on demand. This is
 /// the realization of Section 5.2's remark that A_ODA need not be constructed
@@ -32,6 +49,28 @@ class LazyDfa {
   virtual bool IsAccepting(int state) = 0;
   /// Number of states discovered so far (for stats/ablation benches).
   virtual int64_t NumDiscoveredStates() const = 0;
+
+  /// Antichain ("subsumption") support for the emptiness searches. When
+  /// HasSubsumption() is true, Subsumes(state, other) must imply
+  /// L(other) ⊆ L(state) — L(q) being the language accepted when starting
+  /// from q — and must be sound for ANY pair of discovered states.
+  /// SubsumptionPartition() is a performance hint: states likely to dominate
+  /// each other should share a partition, and the searches scan a state's
+  /// own partition exhaustively while comparing across partitions only
+  /// opportunistically — but they are free to call Subsumes on any pair.
+  /// FindAcceptedWord may then discard a newly discovered state as soon as an
+  /// already-queued state subsumes it: the dominator accepts every word the
+  /// discarded state would, and was discovered no later (BFS), so the verdict
+  /// and the shortest-witness length are both preserved. The defaults (each
+  /// state alone in its partition, reflexive subsumption) leave every search
+  /// exhaustive.
+  virtual bool HasSubsumption() const { return false; }
+  virtual uint64_t SubsumptionPartition(int state) {
+    return static_cast<uint64_t>(state);
+  }
+  virtual bool Subsumes(int state, int other) { return state == other; }
+  /// See SubsumptionSig for the contract; the default is trivially valid.
+  virtual SubsumptionSig SubsumptionSignature(int /*state*/) { return {}; }
 };
 
 /// Wraps an explicit DFA (completing it on the fly with a sink id).
@@ -62,16 +101,26 @@ class LazySubsetDfa : public LazyDfa {
   bool IsAccepting(int state) override;
   int64_t NumDiscoveredStates() const override { return interner_.size(); }
 
+  /// Subset languages are monotone in the subset, so all states are mutually
+  /// comparable: without complement bigger subsets accept more (keep
+  /// ⊆-maximal subsets), with complement smaller ones do (keep ⊆-minimal).
+  bool HasSubsumption() const override { return true; }
+  uint64_t SubsumptionPartition(int /*state*/) override { return 0; }
+  bool Subsumes(int state, int other) override;
+  SubsumptionSig SubsumptionSignature(int state) override;
+
  private:
   int Intern(const Bitset& subset);
   int ComputeStep(int state, int symbol);
 
   Nfa nfa_;  // ε-free copy
   bool complement_;
+  SymbolAdjacency adjacency_;
   WordVectorInterner interner_;
   std::vector<Bitset> subsets_;
   std::vector<bool> accepting_;
-  std::vector<std::vector<int>> step_cache_;  // [state][symbol], -1 = unknown
+  std::vector<int> step_cache_;  // state·|Σ| + symbol -> id, -1 = unknown
+  Bitset scratch_next_;          // reused across ComputeStep calls
 };
 
 /// Conjunctive product of lazy automata: accepts iff every part accepts.
@@ -86,12 +135,22 @@ class LazyProductDfa : public LazyDfa {
   bool IsAccepting(int state) override;
   int64_t NumDiscoveredStates() const override { return interner_.size(); }
 
+  /// Componentwise subsumption: a product state dominates another when every
+  /// part dominates the corresponding part (parts without native subsumption
+  /// contribute plain equality, which is trivially sound).
+  bool HasSubsumption() const override { return has_subsumption_; }
+  uint64_t SubsumptionPartition(int state) override;
+  bool Subsumes(int state, int other) override;
+  SubsumptionSig SubsumptionSignature(int state) override;
+
  private:
   int Intern(const std::vector<uint64_t>& key);
 
   std::vector<LazyDfa*> parts_;
   int num_symbols_;
+  bool has_subsumption_ = false;
   WordVectorInterner interner_;
+  std::vector<uint64_t> scratch_key_;  // reused across Step calls
 };
 
 /// Lazy determinization of the homomorphic image of a lazy automaton: given
@@ -113,6 +172,13 @@ class LazyImageSubsetDfa : public LazyDfa {
   bool IsAccepting(int state) override;
   int64_t NumDiscoveredStates() const override { return interner_.size(); }
 
+  /// Image-subset states are sorted inner-id sets, ordered by inclusion just
+  /// like plain subsets (complement flips the direction).
+  bool HasSubsumption() const override { return true; }
+  uint64_t SubsumptionPartition(int /*state*/) override { return 0; }
+  bool Subsumes(int state, int other) override;
+  SubsumptionSig SubsumptionSignature(int state) override;
+
  private:
   /// Closes `states` (sorted, unique inner ids) under erased-symbol steps and
   /// interns the result.
@@ -133,6 +199,11 @@ struct EmptinessResult {
   Outcome outcome;
   std::vector<int> witness;  // a shortest accepted word when kFoundWord
   int64_t states_explored = 0;
+  /// Antichain accounting (zero when the automaton has no subsumption):
+  /// frontier states discarded because a queued state subsumed them, and the
+  /// number of live antichain members when the search stopped.
+  int64_t states_pruned = 0;
+  int64_t antichain_size = 0;
   /// On kLimitExceeded: the precise limit that was hit — ResourceExhausted
   /// (state cap), DeadlineExceeded, or Cancelled. Ok otherwise.
   Status status;
@@ -142,6 +213,10 @@ struct EmptinessResult {
 /// yields a shortest witness) or after `max_states` distinct states. `budget`
 /// (optional) adds deadline/cancellation enforcement and state accounting;
 /// budget exhaustion surfaces as kLimitExceeded with the code in `status`.
+/// When the automaton advertises subsumption (see LazyDfa::HasSubsumption),
+/// dominated frontier states are pruned against an antichain of queued
+/// states, which usually decides universality/containment-style checks
+/// without materializing the determinized state space.
 EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
                                  Budget* budget = nullptr);
 

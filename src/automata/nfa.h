@@ -51,6 +51,7 @@ class Nfa {
         << "symbol " << symbol << " outside alphabet of " << num_symbols_;
     transitions_[from].push_back({symbol, to});
     ++num_transitions_;
+    if (symbol == kEpsilon) ++num_epsilon_transitions_;
   }
 
   void SetInitial(int state, bool value = true) {
@@ -84,16 +85,22 @@ class Nfa {
     return result;
   }
 
-  bool HasEpsilonTransitions() const {
-    for (const auto& out : transitions_)
-      for (const Transition& t : out)
-        if (t.symbol == kEpsilon) return true;
-    return false;
+  /// O(1): maintained by AddTransition. The subset-construction hot paths
+  /// branch on this per step to skip ε-closure for ε-free automata.
+  bool HasEpsilonTransitions() const { return num_epsilon_transitions_ > 0; }
+  int NumEpsilonTransitions() const { return num_epsilon_transitions_; }
+
+  /// Poisons the cached transition counters without touching the transition
+  /// lists. Only for exercising the coherence validators in tests.
+  void CorruptTransitionCountForTesting() {
+    num_transitions_ += 1;
+    num_epsilon_transitions_ += 1;
   }
 
  private:
   int num_symbols_;
   int num_transitions_ = 0;
+  int num_epsilon_transitions_ = 0;
   std::vector<std::vector<Transition>> transitions_;
   std::vector<bool> initial_;
   std::vector<bool> accepting_;

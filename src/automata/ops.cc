@@ -1,13 +1,17 @@
 #include "automata/ops.h"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <queue>
 #include <unordered_map>
 
 #include "analysis/validate.h"
+#include "automata/adjacency.h"
 #include "base/bitset.h"
+#include "base/hash.h"
 #include "base/interner.h"
+#include "base/thread_pool.h"
 
 namespace rpqi {
 
@@ -47,7 +51,22 @@ Bitset SubsetStep(const Nfa& nfa, const Bitset& states, int symbol) {
       if (t.symbol == symbol) next.Set(t.to);
     }
   }
+  if (!nfa.HasEpsilonTransitions()) return next;
   return EpsilonClosure(nfa, next);
+}
+
+/// Subset step of an ε-free NFA through its per-symbol CSR index, written
+/// into a caller-owned scratch bitset (no allocation on the hot path).
+void SubsetStepInto(const SymbolAdjacency& adjacency, const Bitset& states,
+                    int symbol, Bitset* next) {
+  next->Clear();
+  for (int s = states.NextSetBit(0); s >= 0; s = states.NextSetBit(s + 1)) {
+    for (const int32_t* t = adjacency.begin(s, symbol),
+                      * end = adjacency.end(s, symbol);
+         t != end; ++t) {
+      next->Set(*t);
+    }
+  }
 }
 
 bool SubsetAccepts(const Nfa& nfa, const Bitset& states) {
@@ -156,35 +175,95 @@ Nfa Trim(const Nfa& nfa) {
 }
 
 StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
-                                   Budget* budget) {
+                                   Budget* budget, int threads) {
+  if (threads <= 0) threads = GlobalThreadCount();
   const Nfa nfa = RemoveEpsilon(input);
+  const int num_symbols = nfa.num_symbols();
+  const SymbolAdjacency adjacency(nfa);
   WordVectorInterner interner;
   std::vector<Bitset> subset_of;   // interned id -> subset
   std::vector<bool> accepting;
 
   Bitset start = InitialClosure(nfa);
-  int start_id = interner.Intern(start.words());
+  int start_id = interner.InternHashed(start.words(), start.Hash());
   subset_of.push_back(start);
   accepting.push_back(SubsetAccepts(nfa, start));
 
   std::vector<std::vector<int>> next_rows;
-  for (int id = 0; id < interner.size(); ++id) {
-    RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
-    next_rows.emplace_back(nfa.num_symbols(), -1);
-    for (int a = 0; a < nfa.num_symbols(); ++a) {
-      Bitset next = SubsetStep(nfa, subset_of[id], a);
-      int next_id = interner.Intern(next.words());
-      if (next_id == static_cast<int>(subset_of.size())) {
-        if (interner.size() > max_states) {
-          return Status::ResourceExhausted(
-              "subset construction exceeded " + std::to_string(max_states) +
-              " states");
-        }
-        RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
-        subset_of.push_back(next);
-        accepting.push_back(SubsetAccepts(nfa, next));
+  // Interns a freshly computed subset, enforcing the state cap and charging
+  // the budget exactly once per new state (identical on both paths).
+  auto intern_step = [&](const Bitset& subset, uint64_t hash,
+                         bool subset_accepting) -> StatusOr<int> {
+    int next_id = interner.InternHashed(subset.words(), hash);
+    if (next_id == static_cast<int>(subset_of.size())) {
+      if (interner.size() > max_states) {
+        return Status::ResourceExhausted("subset construction exceeded " +
+                                         std::to_string(max_states) +
+                                         " states");
       }
-      next_rows[id][a] = next_id;
+      RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
+      subset_of.push_back(subset);
+      accepting.push_back(subset_accepting);
+    }
+    return next_id;
+  };
+
+  if (threads <= 1) {
+    Bitset scratch(nfa.NumStates());
+    for (int id = 0; id < interner.size(); ++id) {
+      RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
+      next_rows.emplace_back(num_symbols, -1);
+      for (int a = 0; a < num_symbols; ++a) {
+        SubsetStepInto(adjacency, subset_of[id], a, &scratch);
+        RPQI_ASSIGN_OR_RETURN(
+            int next_id,
+            intern_step(scratch, scratch.Hash(), SubsetAccepts(nfa, scratch)));
+        next_rows[id][a] = next_id;
+      }
+    }
+  } else {
+    // Level-synchronous parallel frontier: workers evaluate the subset step
+    // for every (frontier state, symbol) pair of a chunk; the merge then
+    // interns the results serially in (frontier order, symbol) order — the
+    // exact discovery order of the serial loop — so state numbering and the
+    // resulting DFA are bit-identical to threads == 1. Only the merge thread
+    // touches the interner and the budget.
+    constexpr int kFrontierChunk = 1024;
+    ThreadPool* pool = ThreadPool::Shared(threads);
+    struct StepResult {
+      Bitset subset;
+      uint64_t hash = 0;
+      bool accepting = false;
+    };
+    std::vector<StepResult> results;
+    int level_begin = 0;
+    while (level_begin < interner.size()) {
+      RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
+      int level_end =
+          std::min(interner.size(), level_begin + kFrontierChunk);
+      int level_size = level_end - level_begin;
+      results.assign(static_cast<size_t>(level_size) * num_symbols,
+                     StepResult{});
+      pool->ParallelFor(level_size, [&](int64_t i) {
+        int id = level_begin + static_cast<int>(i);
+        for (int a = 0; a < num_symbols; ++a) {
+          StepResult& r = results[i * num_symbols + a];
+          r.subset = Bitset(nfa.NumStates());
+          SubsetStepInto(adjacency, subset_of[id], a, &r.subset);
+          r.hash = r.subset.Hash();
+          r.accepting = SubsetAccepts(nfa, r.subset);
+        }
+      });
+      for (int i = 0; i < level_size; ++i) {
+        next_rows.emplace_back(num_symbols, -1);
+        for (int a = 0; a < num_symbols; ++a) {
+          StepResult& r = results[static_cast<size_t>(i) * num_symbols + a];
+          RPQI_ASSIGN_OR_RETURN(int next_id,
+                                intern_step(r.subset, r.hash, r.accepting));
+          next_rows[level_begin + i][a] = next_id;
+        }
+      }
+      level_begin = level_end;
     }
   }
 
@@ -213,17 +292,18 @@ Dfa Determinize(const Nfa& nfa) {
   return std::move(result).value();
 }
 
-Nfa Intersect(const Nfa& a_input, const Nfa& b_input) {
+Nfa Intersect(const Nfa& a_input, const Nfa& b_input, int threads) {
+  if (threads <= 0) threads = GlobalThreadCount();
   const Nfa a = RemoveEpsilon(a_input);
   const Nfa b = RemoveEpsilon(b_input);
   RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
   Nfa result(a.num_symbols());
 
   // Lazily discover reachable product states.
-  std::unordered_map<int64_t, int> ids;
+  std::unordered_map<uint64_t, int> ids;
   std::vector<std::pair<int, int>> pairs;
   auto intern = [&](int sa, int sb) {
-    int64_t key = static_cast<int64_t>(sa) * b.NumStates() + sb;
+    uint64_t key = PairKey(sa, sb);
     auto [it, inserted] = ids.try_emplace(key, result.NumStates());
     if (inserted) {
       int state = result.AddState();
@@ -239,15 +319,52 @@ Nfa Intersect(const Nfa& a_input, const Nfa& b_input) {
       result.SetInitial(intern(sa, sb));
     }
   }
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    auto [sa, sb] = pairs[i];
-    int from = static_cast<int>(i);
-    for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
-      for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
-        if (ta.symbol == tb.symbol) {
-          result.AddTransition(from, ta.symbol, intern(ta.to, tb.to));
+  if (threads <= 1) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      auto [sa, sb] = pairs[i];
+      int from = static_cast<int>(i);
+      for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
+        for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+          if (ta.symbol == tb.symbol) {
+            result.AddTransition(from, ta.symbol, intern(ta.to, tb.to));
+          }
         }
       }
+    }
+  } else {
+    // Level-synchronous frontier: workers enumerate each frontier pair's
+    // matching transitions into per-pair candidate lists; the serial merge
+    // interns targets in (pair order, candidate order) — exactly the serial
+    // discovery order — so state numbering and transitions are bit-identical
+    // to threads == 1.
+    struct Candidate {
+      int symbol;
+      int to_a;
+      int to_b;
+    };
+    ThreadPool* pool = ThreadPool::Shared(threads);
+    std::vector<std::vector<Candidate>> candidates;
+    size_t level_begin = 0;
+    while (level_begin < pairs.size()) {
+      size_t level_end = pairs.size();
+      size_t level_size = level_end - level_begin;
+      candidates.assign(level_size, {});
+      pool->ParallelFor(static_cast<int64_t>(level_size), [&](int64_t i) {
+        auto [sa, sb] = pairs[level_begin + i];
+        std::vector<Candidate>& out = candidates[i];
+        for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
+          for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+            if (ta.symbol == tb.symbol) out.push_back({ta.symbol, ta.to, tb.to});
+          }
+        }
+      });
+      for (size_t i = 0; i < level_size; ++i) {
+        int from = static_cast<int>(level_begin + i);
+        for (const Candidate& c : candidates[i]) {
+          result.AddTransition(from, c.symbol, intern(c.to_a, c.to_b));
+        }
+      }
+      level_begin = level_end;
     }
   }
   return result;
@@ -417,31 +534,50 @@ StatusOr<bool> IsContainedWithBudget(const Nfa& a_input, const Nfa& b_input,
   const Nfa b = RemoveEpsilon(b_input);
   RPQI_CHECK_EQ(a.num_symbols(), b.num_symbols());
 
+  const SymbolAdjacency b_adjacency(b);
   WordVectorInterner subset_interner;
   std::vector<Bitset> subsets;
   auto intern_subset = [&](const Bitset& subset) {
-    int id = subset_interner.Intern(subset.words());
+    int id = subset_interner.InternHashed(subset.words(), subset.Hash());
     if (id == static_cast<int>(subsets.size())) subsets.push_back(subset);
     return id;
   };
 
   int start_subset = intern_subset(InitialClosure(b));
-  // Product state: (a state, interned b-subset id).
-  std::unordered_map<int64_t, char> visited;
+  // Product state: (a state, interned b-subset id). For a fixed a-state the
+  // product language is antitone in the b-subset (a smaller subset rejects
+  // more words of L(b), so the complement side accepts more), so we keep only
+  // the ⊆-minimal discovered b-subsets per a-state and drop dominated
+  // arrivals. Members are only ever evicted by strict subsets, so domination
+  // is preserved transitively and each (a state, subset) pair is enqueued at
+  // most once — the antichain replaces the visited set outright.
+  std::unordered_map<int, std::vector<int>> minimal;
   std::vector<std::pair<int, int>> stack;
   auto visit = [&](int sa, int subset_id) {
-    int64_t key = static_cast<int64_t>(sa) * (int64_t{1} << 32) + subset_id;
-    if (visited.try_emplace(key, 1).second) stack.push_back({sa, subset_id});
+    std::vector<int>& chain = minimal[sa];
+    const Bitset& subset = subsets[subset_id];
+    for (int member : chain) {
+      if (subsets[member].IsSubsetOf(subset)) return;  // dominated
+    }
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](int member) {
+                                 return subset.IsSubsetOf(subsets[member]);
+                               }),
+                chain.end());
+    chain.push_back(subset_id);
+    stack.push_back({sa, subset_id});
   };
   for (int sa : a.InitialStates()) visit(sa, start_subset);
 
-  // Cache of subset transitions to avoid recomputing SubsetStep.
-  std::unordered_map<int64_t, int> subset_next;
+  // Cache of subset transitions to avoid recomputing the subset step.
+  Bitset scratch(b.NumStates());
+  std::unordered_map<uint64_t, int> subset_next;
   auto subset_step_cached = [&](int subset_id, int symbol) {
-    int64_t key = static_cast<int64_t>(subset_id) * a.num_symbols() + symbol;
+    uint64_t key = PairKey(subset_id, symbol);
     auto it = subset_next.find(key);
     if (it != subset_next.end()) return it->second;
-    int next_id = intern_subset(SubsetStep(b, subsets[subset_id], symbol));
+    SubsetStepInto(b_adjacency, subsets[subset_id], symbol, &scratch);
+    int next_id = intern_subset(scratch);
     subset_next.emplace(key, next_id);
     return next_id;
   };

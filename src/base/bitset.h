@@ -32,20 +32,24 @@ class Bitset {
   void Set(int i) {
     RPQI_CHECK(0 <= i && i < num_bits_) << "bit " << i << " of " << num_bits_;
     words_[i >> 6] |= uint64_t{1} << (i & 63);
+    hash_valid_ = false;
   }
 
   void Reset(int i) {
     RPQI_CHECK(0 <= i && i < num_bits_) << "bit " << i << " of " << num_bits_;
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    hash_valid_ = false;
   }
 
   void Clear() {
     for (auto& w : words_) w = 0;
+    hash_valid_ = false;
   }
 
   void SetAll() {
     for (auto& w : words_) w = ~uint64_t{0};
     TrimTail();
+    hash_valid_ = false;
   }
 
   bool Any() const {
@@ -81,18 +85,21 @@ class Bitset {
   Bitset& operator|=(const Bitset& other) {
     RPQI_CHECK_EQ(num_bits_, other.num_bits_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    hash_valid_ = false;
     return *this;
   }
 
   Bitset& operator&=(const Bitset& other) {
     RPQI_CHECK_EQ(num_bits_, other.num_bits_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    hash_valid_ = false;
     return *this;
   }
 
   Bitset& operator-=(const Bitset& other) {
     RPQI_CHECK_EQ(num_bits_, other.num_bits_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    hash_valid_ = false;
     return *this;
   }
 
@@ -119,7 +126,30 @@ class Bitset {
   /// Raw word storage; usable as an interning key fragment.
   const std::vector<uint64_t>& words() const { return words_; }
 
-  uint64_t Hash() const { return HashWords(words_); }
+  /// HashWords over the word storage, cached between mutations. Hot interning
+  /// paths hash the same bitset repeatedly (probe + insert), so every mutator
+  /// invalidates the cache instead of recomputing eagerly.
+  uint64_t Hash() const {
+    if (!hash_valid_) {
+      cached_hash_ = HashWords(words_);
+      hash_valid_ = true;
+    }
+    return cached_hash_;
+  }
+
+  /// True when the cached hash (if any) matches the stored words. Stale
+  /// caches indicate a mutation that bypassed the invalidation hooks; the
+  /// analysis validators check this.
+  bool CachedHashCoherent() const {
+    return !hash_valid_ || cached_hash_ == HashWords(words_);
+  }
+
+  /// Poisons the cached hash without touching the words. Only for exercising
+  /// the coherence validators in tests.
+  void CorruptCachedHashForTesting() {
+    cached_hash_ = Hash() ^ 0x5851f42d4c957f2dULL;
+    hash_valid_ = true;
+  }
 
   /// Renders as e.g. "{0,3,7}" for diagnostics.
   std::string ToString() const {
@@ -142,6 +172,8 @@ class Bitset {
 
   int num_bits_;
   std::vector<uint64_t> words_;
+  mutable uint64_t cached_hash_ = 0;
+  mutable bool hash_valid_ = false;
 };
 
 }  // namespace rpqi

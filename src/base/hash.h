@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "base/logging.h"
+
 namespace rpqi {
 
 /// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
@@ -19,10 +21,14 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
 
 /// Hashes a span of 64-bit words; used to intern lazily-constructed automaton
 /// states whose canonical encoding is a word vector.
-inline uint64_t HashWords(const std::vector<uint64_t>& words) {
+inline uint64_t HashWords(const uint64_t* words, size_t count) {
   uint64_t h = 0xcbf29ce484222325ULL;
-  for (uint64_t w : words) h = HashCombine(h, w);
+  for (size_t i = 0; i < count; ++i) h = HashCombine(h, words[i]);
   return h;
+}
+
+inline uint64_t HashWords(const std::vector<uint64_t>& words) {
+  return HashWords(words.data(), words.size());
 }
 
 struct WordVectorHash {
@@ -30,6 +36,22 @@ struct WordVectorHash {
     return static_cast<size_t>(HashWords(words));
   }
 };
+
+/// Collision-free packing of two non-negative ids (< 2^32 each) into one
+/// 64-bit map key. Use this instead of ad-hoc `a * N + b` packings, whose
+/// arithmetic silently collides once ids outgrow the chosen multiplier.
+inline uint64_t PairKey(int64_t a, int64_t b) {
+  RPQI_CHECK_GE(a, 0);
+  RPQI_CHECK_GE(b, 0);
+  RPQI_CHECK_LT(a, int64_t{1} << 32);
+  RPQI_CHECK_LT(b, int64_t{1} << 32);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+inline int PairKeyFirst(uint64_t key) { return static_cast<int>(key >> 32); }
+inline int PairKeySecond(uint64_t key) {
+  return static_cast<int>(key & 0xffffffffULL);
+}
 
 }  // namespace rpqi
 

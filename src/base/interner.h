@@ -24,27 +24,92 @@ class WordVectorInterner {
 
   /// Returns the dense id for `key`, creating one if never seen.
   int Intern(const std::vector<uint64_t>& key) {
-    auto [it, inserted] = ids_.try_emplace(key, static_cast<int>(keys_.size()));
-    if (inserted) keys_.push_back(&it->first);
-    return it->second;
+    return InternHashed(key, HashWords(key));
+  }
+
+  /// Like Intern, but with `HashWords(key)` precomputed by the caller (e.g. a
+  /// Bitset's cached hash), so the key bytes are scanned at most once. The
+  /// primary index is an open-addressed table mapping the full 64-bit hash to
+  /// one id (interning is the innermost operation of every lazy Step, so the
+  /// index must not pay a node allocation or pointer chase per probe);
+  /// distinct keys sharing a hash (vanishingly rare) spill into a by-key
+  /// overflow map.
+  int InternHashed(const std::vector<uint64_t>& key, uint64_t hash) {
+    if ((used_slots_ + 1) * 4 > capacity_ * 3) Grow();
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (slot_ids_[i] != -1) {
+      if (slot_hashes_[i] == hash) {
+        int id = slot_ids_[i];
+        if (keys_[id] == key) return id;
+        auto [it, inserted] = overflow_.try_emplace(key, size());
+        if (inserted) keys_.push_back(key);
+        return it->second;
+      }
+      i = (i + 1) & mask;
+    }
+    int id = size();
+    slot_ids_[i] = id;
+    slot_hashes_[i] = hash;
+    ++used_slots_;
+    keys_.push_back(key);
+    return id;
   }
 
   /// Id for `key` if already interned, else -1.
   int Find(const std::vector<uint64_t>& key) const {
-    auto it = ids_.find(key);
-    return it == ids_.end() ? -1 : it->second;
+    return FindHashed(key, HashWords(key));
+  }
+
+  int FindHashed(const std::vector<uint64_t>& key, uint64_t hash) const {
+    if (capacity_ == 0) return -1;
+    const size_t mask = capacity_ - 1;
+    for (size_t i = static_cast<size_t>(hash) & mask; slot_ids_[i] != -1;
+         i = (i + 1) & mask) {
+      if (slot_hashes_[i] != hash) continue;
+      int id = slot_ids_[i];
+      if (keys_[id] == key) return id;
+      auto overflow_it = overflow_.find(key);
+      return overflow_it == overflow_.end() ? -1 : overflow_it->second;
+    }
+    return -1;
   }
 
   const std::vector<uint64_t>& KeyOf(int id) const {
     RPQI_CHECK(0 <= id && id < static_cast<int>(keys_.size()));
-    return *keys_[id];
+    return keys_[id];
   }
 
   int size() const { return static_cast<int>(keys_.size()); }
 
  private:
-  std::unordered_map<std::vector<uint64_t>, int, WordVectorHash> ids_;
-  std::deque<const std::vector<uint64_t>*> keys_;
+  /// Doubles the open-addressed table (initially 64 slots) and re-inserts the
+  /// stored (hash, id) pairs; key bytes are never touched on rehash.
+  void Grow() {
+    size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
+    std::vector<int> new_ids(new_capacity, -1);
+    std::vector<uint64_t> new_hashes(new_capacity, 0);
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slot_ids_[i] == -1) continue;
+      size_t j = static_cast<size_t>(slot_hashes_[i]) & mask;
+      while (new_ids[j] != -1) j = (j + 1) & mask;
+      new_ids[j] = slot_ids_[i];
+      new_hashes[j] = slot_hashes_[i];
+    }
+    slot_ids_ = std::move(new_ids);
+    slot_hashes_ = std::move(new_hashes);
+    capacity_ = new_capacity;
+  }
+
+  // Open-addressed primary index: HashWords(key) -> id, linear probing over
+  // power-of-two capacity; slot_ids_[i] == -1 marks an empty slot.
+  std::vector<int> slot_ids_;
+  std::vector<uint64_t> slot_hashes_;
+  size_t capacity_ = 0;
+  size_t used_slots_ = 0;
+  std::unordered_map<std::vector<uint64_t>, int, WordVectorHash> overflow_;
+  std::deque<std::vector<uint64_t>> keys_;  // id -> key (stable addresses)
 };
 
 /// Interns strings (node names, relation names) to dense ids.

@@ -1,0 +1,92 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace rpqi {
+
+namespace {
+std::atomic<int> global_thread_count{1};
+}  // namespace
+
+int GlobalThreadCount() {
+  return global_thread_count.load(std::memory_order_relaxed);
+}
+
+void SetGlobalThreadCount(int threads) {
+  global_thread_count.store(std::max(1, threads), std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int background = std::max(0, num_threads - 1);
+  workers_.reserve(background);
+  for (int i = 0; i < background; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Drain() {
+  while (true) {
+    int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    (*body_)(i);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& body) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int64_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    busy_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  Drain();  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return busy_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    Drain();
+    lock.lock();
+    if (--busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+ThreadPool* ThreadPool::Shared(int num_threads) {
+  static std::mutex mu;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!pool || pool->num_threads() < num_threads) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  return pool.get();
+}
+
+}  // namespace rpqi

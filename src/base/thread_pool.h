@@ -1,0 +1,67 @@
+#ifndef RPQI_BASE_THREAD_POOL_H_
+#define RPQI_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpqi {
+
+/// Process-wide default worker count for the parallel frontier paths
+/// (DeterminizeWithLimit, Intersect). 1 means serial; set from the CLI's
+/// global --threads flag. Reads and writes are atomic.
+int GlobalThreadCount();
+void SetGlobalThreadCount(int threads);
+
+/// A small work-queue pool for data-parallel frontier expansion. The pool owns
+/// `num_threads - 1` background workers; the caller participates in every
+/// ParallelFor, so a pool of 1 degenerates to a plain loop with no threads.
+///
+/// Intended use is the level-synchronous pattern of the subset/product
+/// constructions: workers evaluate pure per-item step functions over a
+/// frontier slice, then the caller merges the results serially in frontier
+/// order so state numbering stays bit-identical to the serial algorithm.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, count), distributing iterations over the
+  /// workers plus the calling thread, and returns once all finished. `body`
+  /// must be safe to call concurrently and must not throw; iterations are
+  /// claimed from an atomic cursor, so no ordering is guaranteed.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
+
+  /// Lazily constructed process-wide pool, grown (never shrunk) to at least
+  /// `num_threads`. Do not call while another thread is inside ParallelFor on
+  /// the shared pool: growth replaces the pool object.
+  static ThreadPool* Shared(int num_threads);
+
+ private:
+  void WorkerLoop();
+  void Drain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  uint64_t epoch_ = 0;   // bumped per ParallelFor; wakes the workers
+  int busy_ = 0;         // workers still draining the current epoch
+  int64_t count_ = 0;
+  std::atomic<int64_t> cursor_{0};
+  const std::function<void(int64_t)>* body_ = nullptr;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_THREAD_POOL_H_

@@ -178,8 +178,8 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
 
   // R = complement of A4.
   StageTimer timer(&stats->complement_us);
-  StatusOr<Dfa> a4_dfa =
-      DeterminizeWithLimit(a4, options.max_subset_states, options.budget);
+  StatusOr<Dfa> a4_dfa = DeterminizeWithLimit(a4, options.max_subset_states,
+                                              options.budget, options.threads);
   if (!a4_dfa.ok()) return a4_dfa.status();
   RPQI_RETURN_IF_ERROR(BudgetCheck(options.budget));
   Dfa rewriting = ComplementDfa(*a4_dfa);

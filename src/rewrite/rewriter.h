@@ -53,6 +53,10 @@ struct RewritingOptions {
   bool allow_partial = true;
   int partial_max_word_length = 3;
   int64_t partial_max_words = 2048;
+  /// Worker threads for the A4 subset-construction frontier (see
+  /// DeterminizeWithLimit): 1 = serial, <= 0 = the process-wide default from
+  /// SetGlobalThreadCount. Results are bit-identical to the serial path.
+  int threads = 1;
 };
 
 /// Size and per-stage wall-clock accounting for the pipeline (Theorem 7's

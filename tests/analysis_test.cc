@@ -229,6 +229,26 @@ std::vector<CorruptionCase> CorruptionTable() {
        [] { return ValidateViewNames({"v", "v"}, {}); },
        {"view 'v'", "defined twice"}});
 
+  table.push_back(
+      {"nfa cached transition count out of sync",
+       [] {
+         Nfa nfa = TwoStateNfa(2);
+         nfa.CorruptTransitionCountForTesting();
+         return ValidateNfa(nfa, NfaValidateOptions{});
+       },
+       {"cached", "transition count"}});
+
+  table.push_back(
+      {"bitset cached hash stale",
+       [] {
+         Bitset bits(70);
+         bits.Set(3);
+         bits.Set(65);
+         bits.CorruptCachedHashForTesting();
+         return ValidateBitsetHash(bits);
+       },
+       {"cached hash", "stale"}});
+
   return table;
 }
 
@@ -317,6 +337,18 @@ TEST(AnalysisAcceptanceTest, HealthyRegexPasses) {
   RegexPtr expr = RStar(RUnion(RConcat(RAtom("r"), RAtom("s", true)),
                                REpsilon()));
   EXPECT_TRUE(ValidateRegexAst(expr).ok());
+}
+
+TEST(AnalysisAcceptanceTest, HealthyBitsetHashPasses) {
+  Bitset bits(70);
+  EXPECT_TRUE(ValidateBitsetHash(bits).ok());  // no cached hash yet
+  bits.Set(3);
+  bits.Set(65);
+  const uint64_t hash = bits.Hash();
+  EXPECT_NE(hash, 0u);
+  EXPECT_TRUE(ValidateBitsetHash(bits).ok());  // freshly cached
+  bits.Reset(3);
+  EXPECT_TRUE(ValidateBitsetHash(bits).ok());  // cache invalidated, recomputed
 }
 
 TEST(AnalysisAcceptanceTest, NfaTransitionCountStaysExact) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two bench runs (BENCH_*.json files written by the bench binaries).
+
+Usage:
+  bench_diff.py BASELINE NEW [--threshold 0.20] [--fail-on-regression]
+
+BASELINE and NEW are either single BENCH_*.json files or directories that are
+scanned for BENCH_*.json. Entries are matched by benchmark name; a wall-time
+increase beyond the threshold (default 20%) is flagged as a regression, a
+matching decrease as an improvement. The exit code is 0 unless
+--fail-on-regression is given (CI runs warn-only: quick-mode timings on
+shared runners are too noisy to gate a build on).
+
+Counter drifts (states_explored, antichain_size, ...) are reported
+informationally: they are deterministic, so an unexpected change usually
+means an algorithmic change, not noise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_entries(path):
+    """Returns {benchmark name: entry dict} from a file or directory."""
+    files = []
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                files.append(os.path.join(path, name))
+    else:
+        files.append(path)
+    if not files:
+        sys.exit(f"bench_diff: no BENCH_*.json under {path}")
+    entries = {}
+    for file_path in files:
+        with open(file_path) as handle:
+            data = json.load(handle)
+        for entry in data.get("entries", []):
+            entries[entry["name"]] = entry
+    return entries
+
+
+COUNTER_KEYS = ("states_explored", "antichain_size", "states_pruned")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative wall-time change that counts as a "
+                             "regression/improvement (default 0.20)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any regression is flagged "
+                             "(default: warn only)")
+    args = parser.parse_args()
+
+    baseline = load_entries(args.baseline)
+    new = load_entries(args.new)
+
+    regressions = []
+    improvements = []
+    counter_drifts = []
+    for name in sorted(set(baseline) & set(new)):
+        old_ms = baseline[name].get("median_ms")
+        new_ms = new[name].get("median_ms")
+        if old_ms and new_ms and old_ms > 0:
+            ratio = new_ms / old_ms
+            line = f"{name}: {old_ms:.3f} ms -> {new_ms:.3f} ms ({ratio:.2f}x)"
+            if ratio > 1 + args.threshold:
+                regressions.append(line)
+            elif ratio < 1 - args.threshold:
+                improvements.append(line)
+        for key in COUNTER_KEYS:
+            if key in baseline[name] and key in new[name]:
+                if baseline[name][key] != new[name][key]:
+                    counter_drifts.append(
+                        f"{name}: {key} {baseline[name][key]:g} -> "
+                        f"{new[name][key]:g}")
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+
+    print(f"compared {len(set(baseline) & set(new))} benchmarks "
+          f"(threshold {args.threshold:.0%})")
+    for title, lines in (("REGRESSIONS", regressions),
+                         ("improvements", improvements),
+                         ("counter drifts", counter_drifts),
+                         ("only in baseline", only_old),
+                         ("only in new run", only_new)):
+        if lines:
+            print(f"\n{title}:")
+            for line in lines:
+                print(f"  {line}")
+    if not regressions:
+        print("\nno regressions beyond threshold")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

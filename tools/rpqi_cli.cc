@@ -35,6 +35,7 @@
 #include "answer/cda.h"
 #include "answer/oda.h"
 #include "base/budget.h"
+#include "base/thread_pool.h"
 #include "graphdb/eval.h"
 #include "graphdb/io.h"
 #include "graphdb/views.h"
@@ -90,6 +91,9 @@ global flags (any subcommand):
   --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
                       partial rewriting, other commands fail with exit code 4
   --max-states N      state/node quota shared by all pipeline stages (exit 3)
+  --threads N         worker threads for the parallel subset-construction /
+                      product frontiers (default 1 = serial; results are
+                      bit-identical either way)
 
 expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
 ^- (inverse), %%eps, %%empty. Example: "(hasSubmodule^-)* (containsVar | hasSubmodule)"
@@ -248,6 +252,7 @@ StatusOr<int> CmdRewrite(const FlagMap& flags) {
 
   RewritingOptions options;
   options.budget = run.get();
+  options.threads = GlobalThreadCount();
   if (run.budget.has_value()) {
     options.max_subset_states = run.budget->max_states();
     options.max_product_states = run.budget->max_states();
@@ -561,6 +566,19 @@ int Main(int argc, char** argv) {
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
     return ExitCodeFor(flags.status());
+  }
+  if (flags->count("threads")) {
+    StatusOr<std::string> text = SingleFlag(*flags, "threads");
+    StatusOr<int64_t> threads =
+        text.ok() ? ParseInt64(*text, "--threads", 1, 256)
+                  : StatusOr<int64_t>(text.status());
+    if (!threads.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   threads.status().ToString().c_str());
+      return ExitCodeFor(threads.status());
+    }
+    SetGlobalThreadCount(static_cast<int>(*threads));
+    flags->erase("threads");
   }
   StatusOr<int> code = Status::InvalidArgument("unknown command");
   if (command == "eval") {
