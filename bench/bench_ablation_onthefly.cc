@@ -15,6 +15,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -41,6 +43,7 @@ void BM_OdaStrategy(benchmark::State& state, bool fold_and_minimize) {
   bool certain = true;
   int64_t states = 0;
   int64_t pruned = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 1, options);
     if (!result.ok()) {
@@ -78,6 +81,7 @@ void BM_OdaStrategyExhaustive(benchmark::State& state, bool fold_and_minimize) {
   bool certain = false;
   int64_t states = 0;
   int64_t pruned = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 2, options);
     if (!result.ok()) {
@@ -113,6 +117,7 @@ void BM_RewritingMembership(benchmark::State& state, bool materialize) {
       state.SkipWithError(rewriting.status().ToString().c_str());
       return;
     }
+    ScopedMetricsCounters metrics(state);
     for (auto _ : state) {
       int hits = 0;
       for (const auto& word : probes) {
@@ -121,6 +126,7 @@ void BM_RewritingMembership(benchmark::State& state, bool materialize) {
       benchmark::DoNotOptimize(hits);
     }
   } else {
+    ScopedMetricsCounters metrics(state);
     for (auto _ : state) {
       int hits = 0;
       for (const auto& word : probes) {

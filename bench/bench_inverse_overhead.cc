@@ -17,6 +17,8 @@
 #include "rpq/compile.h"
 #include "workload/regex_gen.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -55,6 +57,7 @@ void BM_RewriteRpqVsRpqi(benchmark::State& state, double inverse_probability) {
   options.max_product_states = int64_t{1} << 22;
   options.max_subset_states = int64_t{1} << 22;
   int rewriting_states = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         ComputeMaximalRewriting(workload.query, workload.views, options);
@@ -73,6 +76,7 @@ void BM_TwoWayVsBaselineOnRpq(benchmark::State& state, bool use_baseline) {
   RewritingOptions options;
   options.max_product_states = int64_t{1} << 22;
   options.max_subset_states = int64_t{1} << 22;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         use_baseline
@@ -100,6 +104,7 @@ void BM_AnswerCdaRpqVsRpqi(benchmark::State& state,
   }
   view.assumption = ViewAssumption::kSound;
   instance.views.push_back(std::move(view));
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, 1);
     if (!result.ok()) {

@@ -10,9 +10,13 @@
 //   --bench_out=FILE  where to write the JSON (default: BENCH_<name>.json in
 //                     the working directory, <name> = binary basename with
 //                     any bench_ prefix stripped)
+//   --metrics-out=FILE  write the final process-wide obs counter snapshot as
+//                     NDJSON after all benchmarks ran (CI uploads these as
+//                     artifacts next to the BENCH_*.json files)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "bench_main.h"
+#include "obs/metrics.h"
 
 namespace rpqi {
 namespace {
@@ -150,11 +155,27 @@ std::string BenchName(const char* argv0) {
 
 bool BenchQuickMode() { return g_quick_mode; }
 
+ScopedMetricsCounters::ScopedMetricsCounters(benchmark::State& state)
+    : state_(state), before_(obs::TakeMetricsSnapshot()) {}
+
+ScopedMetricsCounters::~ScopedMetricsCounters() {
+  const obs::MetricsSnapshot delta =
+      obs::TakeMetricsSnapshot().DeltaSince(before_);
+  const double iterations =
+      static_cast<double>(std::max<int64_t>(1, state_.iterations()));
+  for (const auto& [name, value] : delta.counters()) {
+    if (value == 0) continue;  // keep the counter column set stable and small
+    state_.counters["m_" + name] =
+        benchmark::Counter(static_cast<double>(value) / iterations);
+  }
+}
+
 }  // namespace rpqi
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::string out_path;
+  std::string metrics_path;
   bool min_time_given = false;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -163,6 +184,8 @@ int main(int argc, char** argv) {
       rpqi::g_quick_mode = true;
     } else if (arg.rfind("--bench_out=", 0) == 0) {
       out_path = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(14);
     } else {
       if (arg.rfind("--benchmark_min_time", 0) == 0) min_time_given = true;
       args.push_back(arg);
@@ -183,6 +206,15 @@ int main(int argc, char** argv) {
   rpqi::CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   rpqi::WriteJson(out_path, bench_name, reporter.collected());
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (metrics_out) {
+      rpqi::obs::TakeMetricsSnapshot().WriteNdjson(metrics_out);
+    } else {
+      std::fprintf(stderr, "bench_main: cannot write %s\n",
+                   metrics_path.c_str());
+    }
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -1,6 +1,10 @@
 #ifndef RPQI_BENCH_BENCH_MAIN_H_
 #define RPQI_BENCH_BENCH_MAIN_H_
 
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.h"
+
 namespace rpqi {
 
 /// True when the bench binary was invoked with --quick (the CI perf-smoke
@@ -8,6 +12,28 @@ namespace rpqi {
 /// the whole suite finishes in seconds. Timings from quick runs are noisy by
 /// design — bench_diff.py treats them as warn-only.
 bool BenchQuickMode();
+
+/// Attaches the process-wide obs counters to a benchmark as `m_<name>` user
+/// counters: takes a metrics snapshot at construction and, at destruction,
+/// reports each counter's delta divided by the iteration count.
+///
+/// Construct AFTER setup and BEFORE the `for (auto _ : state)` loop, so setup
+/// work is excluded. The per-iteration values are deterministic across
+/// machines and iteration counts only when every iteration performs identical
+/// work (e.g. builds a fresh engine); do not add this to benchmarks that
+/// amortize setup across iterations inside the timed loop.
+class ScopedMetricsCounters {
+ public:
+  explicit ScopedMetricsCounters(benchmark::State& state);
+  ~ScopedMetricsCounters();
+
+  ScopedMetricsCounters(const ScopedMetricsCounters&) = delete;
+  ScopedMetricsCounters& operator=(const ScopedMetricsCounters&) = delete;
+
+ private:
+  benchmark::State& state_;
+  obs::MetricsSnapshot before_;
+};
 
 }  // namespace rpqi
 

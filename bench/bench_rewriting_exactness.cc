@@ -14,6 +14,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -51,6 +53,7 @@ void BM_ExactnessCheck(benchmark::State& state, bool exact) {
     return;
   }
   bool result = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     result = IsExactRewriting(instance.query, instance.views, rewriting->dfa);
     benchmark::DoNotOptimize(result);
@@ -63,6 +66,7 @@ void BM_ExactnessCheck(benchmark::State& state, bool exact) {
 
 void BM_FullPipelineWithExactness(benchmark::State& state) {
   Instance instance = Visibility(static_cast<int>(state.range(0)), true);
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         ComputeMaximalRewriting(instance.query, instance.views);

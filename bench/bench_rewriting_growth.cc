@@ -13,6 +13,8 @@
 #include "workload/regex_gen.h"
 #include "workload/scenario.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -29,6 +31,7 @@ void BM_HardFamily(benchmark::State& state) {
   options.max_subset_states = int64_t{1} << 22;
 
   RewritingStats stats;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         ComputeMaximalRewriting(query, views, options);
@@ -68,6 +71,7 @@ void BM_RandomInstances(benchmark::State& state) {
   options.max_subset_states = int64_t{1} << 22;
 
   RewritingStats stats;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         ComputeMaximalRewriting(query, views, options);

@@ -13,6 +13,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -46,6 +48,7 @@ void BM_OnTheFly(benchmark::State& state, bool nonempty) {
   RewritingOptions options;
   options.max_subset_states = int64_t{1} << 22;
   bool result = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<bool> check =
         MaximalRewritingNonEmpty(instance.query, instance.views, options);
@@ -64,6 +67,7 @@ void BM_ViaMaterialization(benchmark::State& state, bool nonempty) {
   options.max_product_states = int64_t{1} << 22;
   options.max_subset_states = int64_t{1} << 22;
   bool result = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<MaximalRewriting> rewriting =
         ComputeMaximalRewriting(instance.query, instance.views, options);

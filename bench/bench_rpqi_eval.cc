@@ -13,6 +13,8 @@
 #include "rpq/compile.h"
 #include "workload/graph_gen.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -33,6 +35,7 @@ void BM_EvalAllPairs(benchmark::State& state, const std::string& query_text) {
   Nfa query = MakeQuery(query_text, &alphabet);
 
   int64_t answers = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     answers = static_cast<int64_t>(EvalRpqiAllPairs(db, query).size());
     benchmark::DoNotOptimize(answers);
@@ -53,6 +56,7 @@ void BM_EvalSingleSource(benchmark::State& state,
   SignedAlphabet alphabet;
   Nfa query = MakeQuery(query_text, &alphabet);
 
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     Bitset reachable = EvalRpqiFrom(db, query, 0);
     benchmark::DoNotOptimize(reachable.Count());

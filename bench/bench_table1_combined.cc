@@ -12,6 +12,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -39,6 +41,7 @@ void BM_CdaCombined(benchmark::State& state) {
   int n = static_cast<int>(state.range(1));
   AnsweringInstance instance = GridInstance(k, n, &alphabet);
   bool certain = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, n - 1);
     if (!result.ok()) {
@@ -58,6 +61,7 @@ void BM_OdaCombined(benchmark::State& state) {
   int n = static_cast<int>(state.range(1));
   AnsweringInstance instance = GridInstance(k, n, &alphabet);
   bool certain = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, n - 1);
     if (!result.ok()) {

@@ -13,6 +13,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -63,6 +65,7 @@ void BM_Cda(benchmark::State& state, Mix mix, bool certain_pair) {
   int c = certain_pair ? 0 : n - 1;
   int d = certain_pair ? n - 1 : 0;
   bool certain = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<CdaResult> result = CertainAnswerCda(instance, c, d);
     if (!result.ok()) {
@@ -84,6 +87,7 @@ void BM_Oda(benchmark::State& state, Mix mix, bool certain_pair) {
   int d = certain_pair ? n - 1 : 0;
   bool certain = false;
   int64_t states = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, c, d);
     if (!result.ok()) {

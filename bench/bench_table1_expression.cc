@@ -15,6 +15,8 @@
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -48,6 +50,7 @@ void BM_CdaExpression(benchmark::State& state, bool certain_variant,
   AnsweringInstance instance = PowerInstance(
       static_cast<int>(state.range(0)), certain_variant, &alphabet, assumption);
   bool certain = false;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<CdaResult> result = CertainAnswerCda(instance, 0, 1);
     if (!result.ok()) {
@@ -69,6 +72,7 @@ void BM_OdaExpression(benchmark::State& state, bool certain_variant,
   int64_t states = 0;
   int64_t pruned = 0;
   int64_t antichain = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<OdaResult> result = CertainAnswerOda(instance, 0, 1);
     if (!result.ok()) {

@@ -15,6 +15,8 @@
 #include "automata/table_dfa.h"
 #include "automata/two_way.h"
 
+#include "bench_main.h"
+
 namespace rpqi {
 namespace {
 
@@ -31,6 +33,7 @@ void BM_DirectSimulation(benchmark::State& state) {
   TwoWayNfa automaton = MakeAutomaton(static_cast<int>(state.range(0)), 1);
   std::mt19937_64 rng(2);
   std::vector<int> word = RandomWord(rng, 2, 64);
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SimulateTwoWay(automaton, word));
   }
@@ -42,6 +45,7 @@ void BM_TableTranslationStepping(benchmark::State& state) {
   std::mt19937_64 rng(3);
   std::vector<int> word = RandomWord(rng, 2, 64);
   int64_t discovered = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     LazyTableDfa table(automaton);
     int s = table.StartState();
@@ -58,6 +62,7 @@ void BM_TableReachableStates(benchmark::State& state) {
   // the empirical analogue of the 2^O(n²) worst case, usually far smaller.
   TwoWayNfa automaton = MakeAutomaton(static_cast<int>(state.range(0)), 1);
   int64_t states = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     LazyTableDfa table(automaton, /*complement=*/true);
     StatusOr<Dfa> dfa = MaterializeLazyDfa(&table, int64_t{1} << 18);
@@ -71,6 +76,7 @@ void BM_TableReachableStates(benchmark::State& state) {
 void BM_VardiComplement(benchmark::State& state) {
   TwoWayNfa automaton = MakeAutomaton(static_cast<int>(state.range(0)), 1);
   int64_t states = 0;
+  ScopedMetricsCounters metrics(state);
   for (auto _ : state) {
     StatusOr<Nfa> complement = VardiComplement(automaton, int64_t{1} << 20);
     states = complement.ok() ? complement->NumStates() : -1;

@@ -7,6 +7,8 @@
 #include "analysis/validate.h"
 #include "automata/ops.h"
 #include "graphdb/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rpqi {
 
@@ -109,9 +111,15 @@ class CdaSolver {
   /// Returns the witness database, nullopt if none exists, or a status on
   /// budget exhaustion.
   StatusOr<CdaResult> Solve() {
+    static const obs::Counter probes("cda.probes");
+    static const obs::Counter visited_counter("cda.nodes_visited");
+    obs::Span span("answer.CDA.probe");
+    probes.Increment();
     std::vector<char> edge_state(space_.Count(), kUnknown);
     CdaResult result;
     Status status = Search(edge_state, &result);
+    visited_counter.Add(nodes_visited_);  // flush even on budget exhaustion
+    span.Note("nodes_visited", nodes_visited_);
     if (!status.ok()) return status;
     result.nodes_visited = nodes_visited_;
     if (result.witness.has_value()) {

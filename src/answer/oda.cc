@@ -11,6 +11,8 @@
 #include "automata/ops.h"
 #include "automata/table_dfa.h"
 #include "graphdb/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rpqi {
 
@@ -206,6 +208,10 @@ struct OdaSolver::Impl {
   StatusOr<OdaResult> Probe(int c, int d, bool complement_query) {
     RPQI_CHECK(0 <= c && c < instance.num_objects);
     RPQI_CHECK(0 <= d && d < instance.num_objects);
+    static const obs::Counter probes("oda.probes");
+    static const obs::Counter overflows("oda.phase1_overflows");
+    obs::Span probe_span("answer.ODA.probe");
+    probes.Increment();
 
     LinearEvalSpec spec;
     spec.start = LinearEvalSpec::Start::kAtConstant;
@@ -224,7 +230,14 @@ struct OdaSolver::Impl {
     // phase triggers the expensive materialization, so the cap is more
     // generous there; once the context is built, re-probing past a small cap
     // is cheap and phase 2 is the better tool.
+    // Work done by an overflowing phase 1 must still show up in the final
+    // result's accounting: the old code dropped the quick-search counters on
+    // the floor, so a probe decided in phase 2 under-reported its
+    // exploration.
+    int64_t carried_explored = 0;
+    int64_t carried_pruned = 0;
     {
+      obs::Span phase_span("answer.ODA.phase1");
       std::vector<LazyDfa*> quick_parts;
       std::unique_ptr<LazyDfaFromDfa> quick_context;
       if (view_context.has_value()) {
@@ -249,10 +262,14 @@ struct OdaSolver::Impl {
           quick.status.code() == Status::Code::kCancelled) {
         return quick.status;
       }
+      overflows.Increment();
+      carried_explored = quick.states_explored;
+      carried_pruned = quick.states_pruned;
     }
 
     // Phase 2: fold the query component into the view context and decide
     // exactly (required for the certain/exhaustion direction).
+    obs::Span phase_span("answer.ODA.phase2");
     EnsureViewContext();
     std::optional<Dfa> final_dfa;
     std::vector<LazyDfa*> product_parts;
@@ -307,6 +324,8 @@ struct OdaSolver::Impl {
       }
     }
 
+    emptiness.states_explored += carried_explored;
+    emptiness.states_pruned += carried_pruned;
     return Finish(c, d, complement_query, std::move(emptiness));
   }
 

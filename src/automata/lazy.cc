@@ -7,6 +7,8 @@
 
 #include "automata/ops.h"
 #include "base/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rpqi {
 
@@ -402,6 +404,12 @@ class SubsumptionAntichain {
 
 EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
                                  Budget* budget) {
+  // Flushed once per search (not per state) so the hot loop stays clean.
+  static const obs::Counter searches_counter("emptiness.searches");
+  static const obs::Counter queued_counter("emptiness.states_queued");
+  static const obs::Counter pruned_counter("emptiness.states_pruned");
+  static const obs::Counter checks_counter("emptiness.budget_checks");
+  obs::Span span("emptiness.search");
   EmptinessResult result;
   const int num_symbols = dfa->NumSymbols();
   const bool use_antichain = dfa->HasSubsumption();
@@ -420,9 +428,17 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
                             dfa->SubsumptionSignature(state), subsumes);
   };
   int64_t queued_states = 0;
+  int64_t budget_checks = 0;
   auto finalize_stats = [&] {
     result.states_explored = queued_states;
     result.antichain_size = use_antichain ? antichain.TotalSize() : 0;
+    searches_counter.Increment();
+    queued_counter.Add(queued_states);
+    pruned_counter.Add(result.states_pruned);
+    checks_counter.Add(budget_checks);
+    span.Note("states_explored", result.states_explored);
+    span.Note("states_pruned", result.states_pruned);
+    span.Note("antichain_size", result.antichain_size);
   };
 
   int start = dfa->StartState();
@@ -433,6 +449,7 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
   if (use_antichain) blocks(start);
 
   while (!queue.empty()) {
+    ++budget_checks;
     if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
       result.outcome = EmptinessResult::Outcome::kLimitExceeded;
       finalize_stats();
@@ -486,6 +503,11 @@ EmptinessResult FindAcceptedWord(LazyDfa* dfa, int64_t max_states,
 EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
                                         const std::vector<LazyDfa*>& parts,
                                         int64_t max_states, Budget* budget) {
+  static const obs::Counter searches_counter("emptiness.searches");
+  static const obs::Counter queued_counter("emptiness.states_queued");
+  static const obs::Counter pruned_counter("emptiness.states_pruned");
+  static const obs::Counter checks_counter("emptiness.budget_checks");
+  obs::Span span("emptiness.search_nfa");
   const Nfa nfa = RemoveEpsilon(input);
   for (LazyDfa* part : parts) {
     RPQI_CHECK_EQ(part->NumSymbols(), nfa.num_symbols());
@@ -506,9 +528,17 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   std::deque<std::pair<int, int>> queue;  // (interned id, discovery index)
   SubsumptionAntichain antichain;
   int64_t queued_states = 0;
+  int64_t budget_checks = 0;
   auto finalize_stats = [&] {
     result.states_explored = queued_states;
     result.antichain_size = use_antichain ? antichain.TotalSize() : 0;
+    searches_counter.Increment();
+    queued_counter.Add(queued_states);
+    pruned_counter.Add(result.states_pruned);
+    checks_counter.Add(budget_checks);
+    span.Note("states_explored", result.states_explored);
+    span.Note("states_pruned", result.states_pruned);
+    span.Note("antichain_size", result.antichain_size);
   };
 
   auto intern = [&](int nfa_state, const std::vector<uint64_t>& part_states) {
@@ -590,6 +620,7 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
   };
 
   while (!queue.empty()) {
+    ++budget_checks;
     if (Status budget_status = BudgetCheck(budget); !budget_status.ok()) {
       result.outcome = EmptinessResult::Outcome::kLimitExceeded;
       finalize_stats();
@@ -650,6 +681,9 @@ EmptinessResult FindAcceptedWordWithNfa(const Nfa& input,
 
 StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states,
                                  Budget* budget) {
+  static const obs::Counter runs_counter("materialize.runs");
+  static const obs::Counter states_counter("materialize.states");
+  obs::Span span("automata.materialize");
   const int num_symbols = dfa->NumSymbols();
   std::unordered_map<int, int> dense;  // lazy state id -> dense id
   std::vector<int> lazy_id_of;         // dense id -> lazy state id
@@ -687,6 +721,9 @@ StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states,
       result.SetNext(static_cast<int>(i), a, rows[i][a]);
     }
   }
+  runs_counter.Increment();
+  states_counter.Add(static_cast<int64_t>(lazy_id_of.size()));
+  span.Note("states", static_cast<int64_t>(lazy_id_of.size()));
   return result;
 }
 

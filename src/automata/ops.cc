@@ -12,6 +12,8 @@
 #include "base/hash.h"
 #include "base/interner.h"
 #include "base/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rpqi {
 
@@ -176,6 +178,10 @@ Nfa Trim(const Nfa& nfa) {
 
 StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
                                    Budget* budget, int threads) {
+  static const obs::Counter runs_counter("determinize.runs");
+  static const obs::Counter states_counter("determinize.states");
+  static const obs::Counter parallel_counter("determinize.parallel_batches");
+  obs::Span span("automata.determinize");
   if (threads <= 0) threads = GlobalThreadCount();
   const Nfa nfa = RemoveEpsilon(input);
   const int num_symbols = nfa.num_symbols();
@@ -244,6 +250,7 @@ StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
       int level_size = level_end - level_begin;
       results.assign(static_cast<size_t>(level_size) * num_symbols,
                      StepResult{});
+      parallel_counter.Increment();
       pool->ParallelFor(level_size, [&](int64_t i) {
         int id = level_begin + static_cast<int>(i);
         for (int a = 0; a < num_symbols; ++a) {
@@ -267,6 +274,10 @@ StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
     }
   }
 
+  runs_counter.Increment();
+  states_counter.Add(interner.size());
+  span.Note("states", interner.size());
+  span.Note("threads", threads);
   Dfa dfa(nfa.num_symbols(), interner.size());
   dfa.SetInitial(start_id);
   for (int id = 0; id < interner.size(); ++id) {
@@ -293,6 +304,8 @@ Dfa Determinize(const Nfa& nfa) {
 }
 
 Nfa Intersect(const Nfa& a_input, const Nfa& b_input, int threads) {
+  static const obs::Counter parallel_counter("intersect.parallel_batches");
+  obs::Span span("automata.intersect");
   if (threads <= 0) threads = GlobalThreadCount();
   const Nfa a = RemoveEpsilon(a_input);
   const Nfa b = RemoveEpsilon(b_input);
@@ -349,6 +362,7 @@ Nfa Intersect(const Nfa& a_input, const Nfa& b_input, int threads) {
       size_t level_end = pairs.size();
       size_t level_size = level_end - level_begin;
       candidates.assign(level_size, {});
+      parallel_counter.Increment();
       pool->ParallelFor(static_cast<int64_t>(level_size), [&](int64_t i) {
         auto [sa, sb] = pairs[level_begin + i];
         std::vector<Candidate>& out = candidates[i];

@@ -8,6 +8,7 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "obs/metrics.h"
 
 namespace rpqi {
 
@@ -42,6 +43,10 @@ class WordVectorInterner {
       if (slot_hashes_[i] == hash) {
         int id = slot_ids_[i];
         if (keys_[id] == key) return id;
+        // Full-hash collision between distinct keys: rare enough that one
+        // counter bump per hit is free relative to the map operation.
+        static const obs::Counter overflow_hits("interner.overflow_hits");
+        overflow_hits.Increment();
         auto [it, inserted] = overflow_.try_emplace(key, size());
         if (inserted) keys_.push_back(key);
         return it->second;
@@ -84,8 +89,12 @@ class WordVectorInterner {
 
  private:
   /// Doubles the open-addressed table (initially 64 slots) and re-inserts the
-  /// stored (hash, id) pairs; key bytes are never touched on rehash.
+  /// stored (hash, id) pairs; key bytes are never touched on rehash, and the
+  /// by-key overflow map is a separate container, so its entries survive
+  /// untouched.
   void Grow() {
+    static const obs::Counter rehashes("interner.rehashes");
+    rehashes.Increment();
     size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
     std::vector<int> new_ids(new_capacity, -1);
     std::vector<uint64_t> new_hashes(new_capacity, 0);

@@ -115,6 +115,31 @@ class [[nodiscard]] StatusOr {
   std::variant<T, Status> payload_;
 };
 
+/// Process exit code for a Status, shared by every CLI entry point so that
+/// scripts and CI can branch on the failure class:
+///   0  kOk (the command decides between 0 and 1 for negative answers);
+///   2  kInvalidArgument (also used for unusable --trace-out/--metrics-out);
+///   3  kResourceExhausted;
+///   4  kDeadlineExceeded;
+///   5  kCancelled.
+/// Deadline expiry and cooperative cancellation used to share exit code 4,
+/// which made retry-on-timeout wrappers retry deliberate interrupts too.
+inline int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return 0;
+    case Status::Code::kInvalidArgument:
+      return 2;
+    case Status::Code::kResourceExhausted:
+      return 3;
+    case Status::Code::kDeadlineExceeded:
+      return 4;
+    case Status::Code::kCancelled:
+      return 5;
+  }
+  return 2;
+}
+
 }  // namespace rpqi
 
 /// Propagates a non-OK Status out of the enclosing function:

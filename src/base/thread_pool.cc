@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace rpqi {
 
@@ -44,11 +47,18 @@ void ThreadPool::Drain() {
 
 void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& body) {
+  static const obs::Counter batches("thread_pool.parallel_fors");
+  static const obs::Counter items("thread_pool.items");
   if (count <= 0) return;
+  batches.Increment();
+  items.Add(count);
   if (workers_.empty()) {
     for (int64_t i = 0; i < count; ++i) body(i);
     return;
   }
+  // One batch at a time: the epoch/busy/cursor protocol below assumes a
+  // single in-flight submission, so concurrent callers queue up here.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
@@ -80,13 +90,19 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool* ThreadPool::Shared(int num_threads) {
+  static const obs::Counter pools_created("thread_pool.pools_created");
   static std::mutex mu;
-  static std::unique_ptr<ThreadPool> pool;
+  // Growth appends instead of replacing: a pool handed out by an earlier call
+  // may be mid-ParallelFor on another thread, so no pool is ever destroyed
+  // before process exit. The vector stays tiny (one entry per strict growth).
+  static std::vector<std::unique_ptr<ThreadPool>> pools;
   std::lock_guard<std::mutex> lock(mu);
-  if (!pool || pool->num_threads() < num_threads) {
-    pool = std::make_unique<ThreadPool>(num_threads);
+  for (const auto& pool : pools) {
+    if (pool->num_threads() >= num_threads) return pool.get();
   }
-  return pool.get();
+  pools.push_back(std::make_unique<ThreadPool>(num_threads));
+  pools_created.Increment();
+  return pools.back().get();
 }
 
 }  // namespace rpqi

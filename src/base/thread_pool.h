@@ -38,18 +38,24 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, count), distributing iterations over the
   /// workers plus the calling thread, and returns once all finished. `body`
   /// must be safe to call concurrently and must not throw; iterations are
-  /// claimed from an atomic cursor, so no ordering is guaranteed.
+  /// claimed from an atomic cursor, so no ordering is guaranteed. Concurrent
+  /// ParallelFor calls on one pool are serialized by a submission mutex: safe
+  /// from any thread, one batch at a time.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
 
-  /// Lazily constructed process-wide pool, grown (never shrunk) to at least
-  /// `num_threads`. Do not call while another thread is inside ParallelFor on
-  /// the shared pool: growth replaces the pool object.
+  /// Process-wide pool with at least `num_threads` threads. The first call
+  /// creates one lazily; a later call asking for more threads creates a
+  /// larger pool but retains every previously returned pool, so pointers
+  /// handed out earlier stay valid and usable even while other threads are
+  /// inside ParallelFor on them (the growth used to replace — and destroy —
+  /// the pool object in place, racing any in-flight batch).
   static ThreadPool* Shared(int num_threads);
 
  private:
   void WorkerLoop();
   void Drain();
 
+  std::mutex run_mu_;  // serializes ParallelFor submissions
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

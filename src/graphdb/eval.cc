@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "automata/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpq/alphabet.h"
 
 namespace rpqi {
@@ -17,6 +19,12 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
                                                     const Nfa& query,
                                                     int start_node,
                                                     Budget* budget) {
+  // Counters are accumulated in locals and flushed once per BFS: this runs
+  // once per (start node, probe) inside the CDA search, so per-config atomic
+  // traffic would dominate the loop.
+  static const obs::Counter bfs_runs("eval.bfs_runs");
+  static const obs::Counter configurations("eval.configurations");
+  int64_t discovered = 0;
   const int num_states = query.NumStates();
   std::vector<char> visited(static_cast<size_t>(db.NumNodes()) * num_states,
                             0);
@@ -26,15 +34,26 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
     size_t index = static_cast<size_t>(node) * num_states + state;
     if (!visited[index]) {
       visited[index] = 1;
+      ++discovered;
       if (charge_status.ok()) charge_status = BudgetCharge(budget, 1);
       stack.push_back({state, node});
     }
   };
   for (int s : query.InitialStates()) visit(s, start_node);
 
+  auto flush = [&] {
+    bfs_runs.Increment();
+    configurations.Add(discovered);
+  };
   while (!stack.empty()) {
-    RPQI_RETURN_IF_ERROR(charge_status);
-    RPQI_RETURN_IF_ERROR(BudgetCheck(budget));
+    if (!charge_status.ok()) {
+      flush();
+      return charge_status;
+    }
+    if (Status check = BudgetCheck(budget); !check.ok()) {
+      flush();
+      return check;
+    }
     auto [state, node] = stack.back();
     stack.pop_back();
     for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
@@ -51,6 +70,7 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
       }
     }
   }
+  flush();
   RPQI_RETURN_IF_ERROR(charge_status);
   return visited;
 }
@@ -82,6 +102,10 @@ StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db,
 
 StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
     const GraphDb& db, const Nfa& query_input, Budget* budget) {
+  // Per-pair/per-start spans would flood the trace (the CDA search calls the
+  // single-source variants thousands of times); only the all-pairs sweep is
+  // coarse enough to be worth a span.
+  obs::Span span("eval.all_pairs");
   const Nfa query = RemoveEpsilon(query_input);
   std::vector<std::pair<int, int>> answer;
   for (int x = 0; x < db.NumNodes(); ++x) {

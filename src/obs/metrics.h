@@ -1,0 +1,133 @@
+#ifndef RPQI_OBS_METRICS_H_
+#define RPQI_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpqi {
+namespace obs {
+
+/// Process-wide metrics registry.
+///
+/// Writes go to lock-free per-thread shards (one relaxed fetch_add on a
+/// thread-local atomic slot; no locks, no allocation after the first touch);
+/// TakeMetricsSnapshot() merges the shards under a mutex. The intended usage
+/// pattern keeps even that fetch_add off the innermost loops: hot code
+/// accumulates into plain locals and flushes once per search/stage, so the
+/// registry cost is per-stage, not per-state.
+///
+/// Three metric kinds:
+///   Counter    monotonic event count, summed across shards;
+///   Gauge      last-written value (stored centrally, not sharded);
+///   Histogram  log2(microsecond)-bucketed durations with count and sum.
+///
+/// Handles are cheap value types resolving to a slot id at construction;
+/// construct them as function-local statics next to the code they count.
+
+inline constexpr int kHistogramBuckets = 20;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct HistogramData {
+  int64_t count = 0;
+  int64_t sum_us = 0;
+  /// buckets[b] counts durations with bit_width(us) == b (so bucket 0 is
+  /// sub-microsecond); the last bucket absorbs everything longer.
+  std::array<int64_t, kHistogramBuckets> buckets{};
+};
+
+namespace internal {
+int RegisterMetric(const char* name, MetricKind kind);
+void AddToSlot(int slot, int64_t delta);
+void SetGaugeValue(int gauge_index, int64_t value);
+void RecordHistogramUs(int first_slot, int64_t us);
+/// Copy of the calling thread's counter slots, for span baselines.
+std::vector<int64_t> ThreadCounterValues();
+/// Appends (name, delta) for every counter this thread bumped since
+/// `baseline` was taken with ThreadCounterValues on the same thread.
+void AppendCounterDeltasSince(
+    const std::vector<int64_t>& baseline,
+    std::vector<std::pair<std::string, int64_t>>* out);
+}  // namespace internal
+
+/// Point-in-time view of every registered metric, merged across threads.
+class MetricsSnapshot {
+ public:
+  /// Value of a counter/gauge by name; 0 when never registered.
+  int64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramData>& histograms() const {
+    return histograms_;
+  }
+
+  /// Counter and histogram deltas of `this` relative to `before`; gauges keep
+  /// their value from `this`. Counters are monotonic, so deltas are >= 0 when
+  /// `before` was taken earlier on the same process.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+
+  /// One NDJSON record per metric, sorted by name within each kind:
+  ///   {"type":"counter","name":"emptiness.searches","value":12}
+  ///   {"type":"gauge","name":"...","value":3}
+  ///   {"type":"histogram","name":"...","count":2,"sum_us":57,"buckets":[...]}
+  void WriteNdjson(std::ostream& out) const;
+
+ private:
+  friend MetricsSnapshot TakeMetricsSnapshot();
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+MetricsSnapshot TakeMetricsSnapshot();
+
+/// Monotonic event counter. Add(0) is a no-op; negative deltas are reserved
+/// for tests and never used by library code.
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : slot_(internal::RegisterMetric(name, MetricKind::kCounter)) {}
+  void Add(int64_t delta) const {
+    if (delta != 0) internal::AddToSlot(slot_, delta);
+  }
+  void Increment() const { internal::AddToSlot(slot_, 1); }
+
+ private:
+  int slot_;
+};
+
+/// Last-write-wins value (sizes, configuration echoes).
+class Gauge {
+ public:
+  explicit Gauge(const char* name)
+      : index_(internal::RegisterMetric(name, MetricKind::kGauge)) {}
+  void Set(int64_t value) const { internal::SetGaugeValue(index_, value); }
+
+ private:
+  int index_;
+};
+
+/// Duration histogram; record via RecordUs or the ScopedUsTimer below.
+class Histogram {
+ public:
+  explicit Histogram(const char* name)
+      : first_slot_(internal::RegisterMetric(name, MetricKind::kHistogram)) {}
+  void RecordUs(int64_t us) const {
+    internal::RecordHistogramUs(first_slot_, us);
+  }
+
+ private:
+  int first_slot_;
+};
+
+}  // namespace obs
+}  // namespace rpqi
+
+#endif  // RPQI_OBS_METRICS_H_

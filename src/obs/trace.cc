@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+
+#include "base/logging.h"
+#include "obs/metrics.h"
+
+namespace rpqi {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<int> g_next_thread_id{0};
+
+std::mutex g_sink_mu;
+std::ofstream g_file;             // backing storage for file sinks
+std::ostream* g_out = nullptr;    // the active sink (file or borrowed)
+std::chrono::steady_clock::time_point g_epoch;
+
+int LocalThreadId() {
+  thread_local int id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
+thread_local std::vector<const Span*> t_span_stack;
+
+void EscapeTo(std::ostream& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out << '\\';
+    out << *p;
+  }
+}
+
+}  // namespace
+
+bool Tracer::StartToFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_file.open(path, std::ios::trunc);
+  if (!g_file) return false;
+  g_out = &g_file;
+  g_epoch = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+void Tracer::StartToStream(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_out = out;
+  g_epoch = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() {
+  g_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_out != nullptr) g_out->flush();
+  if (g_file.is_open()) g_file.close();
+  g_out = nullptr;
+}
+
+bool Tracer::IsEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!Tracer::IsEnabled()) return;
+  active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back()->id();
+  t_span_stack.push_back(this);
+  baseline_ = internal::ThreadCounterValues();
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+#ifdef RPQI_VALIDATE_ENABLED
+  RPQI_CHECK(!t_span_stack.empty() && t_span_stack.back() == this)
+      << "span '" << name_ << "' closed out of LIFO order";
+#endif
+  if (!t_span_stack.empty() && t_span_stack.back() == this) {
+    t_span_stack.pop_back();
+  }
+  if (!Tracer::IsEnabled()) return;
+  auto end = std::chrono::steady_clock::now();
+  std::vector<std::pair<std::string, int64_t>> deltas;
+  internal::AppendCounterDeltasSince(baseline_, &deltas);
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_out == nullptr) return;
+  std::ostream& out = *g_out;
+  out << "{\"type\":\"span\",\"name\":\"";
+  EscapeTo(out, name_);
+  out << "\",\"id\":" << id_ << ",\"parent\":" << parent_id_
+      << ",\"thread\":" << LocalThreadId() << ",\"start_us\":"
+      << std::chrono::duration_cast<std::chrono::microseconds>(start_ - g_epoch)
+             .count()
+      << ",\"dur_us\":"
+      << std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+             .count();
+  if (!deltas.empty()) {
+    out << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, delta] : deltas) {
+      if (!first) out << ',';
+      first = false;
+      out << '"';
+      EscapeTo(out, name.c_str());
+      out << "\":" << delta;
+    }
+    out << '}';
+  }
+  if (!notes_.empty()) {
+    out << ",\"notes\":{";
+    bool first = true;
+    for (const auto& [key, value] : notes_) {
+      if (!first) out << ',';
+      first = false;
+      out << '"';
+      EscapeTo(out, key);
+      out << "\":" << value;
+    }
+    out << '}';
+  }
+  out << "}\n";
+}
+
+void Span::Note(const char* key, int64_t value) {
+  if (!active_) return;
+  notes_.emplace_back(key, value);
+}
+
+}  // namespace obs
+}  // namespace rpqi

@@ -1,0 +1,74 @@
+#ifndef RPQI_OBS_TRACE_H_
+#define RPQI_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpqi {
+namespace obs {
+
+/// Stage-span tracer. Spans are RAII objects naming a pipeline stage; on
+/// destruction each emits one NDJSON record to the process-wide sink:
+///
+///   {"type":"span","name":"rewrite.A1","id":7,"parent":6,"thread":0,
+///    "start_us":123,"dur_us":456,
+///    "counters":{"emptiness.searches":1},"notes":{"a1_states":34}}
+///
+/// `id`/`parent` link spans into per-thread trees (parent 0 = root).
+/// `start_us` is steady-clock time since Tracer start; `counters` are the
+/// metric deltas this thread produced while the span was open (increments
+/// from other threads land on their own shards and are not attributed);
+/// `notes` are explicit Note() annotations.
+///
+/// When the tracer is off (the default) a Span costs one relaxed atomic load
+/// — spans stay compiled into release builds and are enabled per run by
+/// `rpqi ... --trace-out=FILE` or Tracer::StartToFile.
+class Tracer {
+ public:
+  /// Starts emitting to `path` (truncating). Returns false — and leaves
+  /// tracing disabled — when the file cannot be opened.
+  static bool StartToFile(const std::string& path);
+  /// Starts emitting to a borrowed stream (tests). The stream must outlive
+  /// tracing; call Stop before destroying it.
+  static void StartToStream(std::ostream* out);
+  /// Disables tracing and flushes/closes the sink. Spans still open emit
+  /// nothing when they close.
+  static void Stop();
+  static bool IsEnabled();
+};
+
+/// RAII stage span; see Tracer. Construct with a string literal (the name is
+/// borrowed, not copied). Spans must be closed in LIFO order per thread —
+/// RPQI_VALIDATE builds check this and abort on a violation.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a named integer to the span record (stage sizes, outcome
+  /// codes). No-op when tracing is off. `key` is borrowed.
+  void Note(const char* key, int64_t value);
+
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<int64_t> baseline_;  // this thread's counter slots at open
+  std::vector<std::pair<const char*, int64_t>> notes_;
+};
+
+}  // namespace obs
+}  // namespace rpqi
+
+#endif  // RPQI_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 #include "automata/ops.h"
 #include "automata/state_elim.h"
 #include "automata/table_dfa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "regex/printer.h"
 #include "rpq/compile.h"
 #include "rpq/satisfaction.h"
@@ -115,14 +117,25 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
     const Nfa& query, const std::vector<Nfa>& views,
     const RewritingOptions& options, const RewritingAlphabet& alphabet,
     RewritingStats* stats) {
+  static const obs::Counter runs("rewrite.exact_runs");
+  obs::Span pipeline_span("rewrite.pipeline");
+  runs.Increment();
   RPQI_RETURN_IF_ERROR(BudgetCheck(options.budget));
 
   TwoWayNfa a1(0);
   Nfa a3(0);
   {
     StageTimer timer(&stats->a1_build_us);
-    a1 = BuildA1(query, alphabet);
-    a3 = BuildA3(views, alphabet);
+    {
+      obs::Span span("rewrite.A1");
+      a1 = BuildA1(query, alphabet);
+      span.Note("states", a1.NumStates());
+    }
+    {
+      obs::Span span("rewrite.A3");
+      a3 = BuildA3(views, alphabet);
+      span.Note("states", a3.NumStates());
+    }
   }
   stats->a1_states = a1.NumStates();
   stats->a3_states = a3.NumStates();
@@ -148,8 +161,12 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   LazyProductDfa product({&a2, &a3_dfa});
   StatusOr<Dfa> product_dfa = [&] {
     StageTimer timer(&stats->product_us);
-    return MaterializeLazyDfa(&product, options.max_product_states,
-                              options.budget);
+    obs::Span span("rewrite.A2xA3");
+    auto result = MaterializeLazyDfa(&product, options.max_product_states,
+                                     options.budget);
+    span.Note("a2_states_discovered", a2.NumDiscoveredStates());
+    if (result.ok()) span.Note("states", result->NumStates());
+    return result;
   }();
   stats->a2_states_discovered = a2.NumDiscoveredStates();
   if (!product_dfa.ok()) return product_dfa.status();
@@ -164,8 +181,10 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   Nfa a4(0);
   {
     StageTimer timer(&stats->projection_us);
+    obs::Span span("rewrite.A4");
     a4 = Trim(Project(DfaToNfa(*product_dfa), ProjectionMapping(alphabet),
                       2 * alphabet.num_views));
+    span.Note("states", a4.NumStates());
   }
   stats->a4_states = a4.NumStates();
   {
@@ -178,6 +197,7 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
 
   // R = complement of A4.
   StageTimer timer(&stats->complement_us);
+  obs::Span r_span("rewrite.R");
   StatusOr<Dfa> a4_dfa = DeterminizeWithLimit(a4, options.max_subset_states,
                                               options.budget, options.threads);
   if (!a4_dfa.ok()) return a4_dfa.status();
@@ -185,6 +205,7 @@ StatusOr<MaximalRewriting> ComputeExactRewriting(
   Dfa rewriting = ComplementDfa(*a4_dfa);
   if (options.minimize_result) rewriting = Minimize(rewriting);
   stats->rewriting_states = rewriting.NumStates();
+  r_span.Note("states", rewriting.NumStates());
   {
     // The rewriting must be a *complete* DFA over Σ_E±: complementation is
     // only correct when no (state, symbol) edge is missing.
@@ -209,6 +230,9 @@ StatusOr<MaximalRewriting> ComputePartialRewriting(
     const Nfa& query, const std::vector<Nfa>& views,
     const RewritingOptions& options, const RewritingAlphabet& alphabet,
     Status cause, RewritingStats stats) {
+  static const obs::Counter fallbacks("rewrite.partial_fallbacks");
+  obs::Span span("rewrite.partial");
+  fallbacks.Increment();
   StageTimer timer(&stats.partial_us);
   // The fallback runs on a grace budget: the same cancellation flag, a reset
   // state quota, and a deadline of 2x the originally granted window — so a

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "automata/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "regex/parser.h"
 
 namespace rpqi {
@@ -83,12 +85,19 @@ StatusOr<Fragment> Build(const RegexPtr& e, const SignedAlphabet& alphabet,
 
 StatusOr<Nfa> CompileRegex(const RegexPtr& expression,
                            const SignedAlphabet& alphabet) {
+  static const obs::Counter compiles("compile.regexes");
+  static const obs::Counter compiled_states("compile.nfa_states");
+  obs::Span span("compile.regex");
   Nfa nfa(alphabet.NumSymbols());
   StatusOr<Fragment> f = Build(expression, alphabet, &nfa);
   if (!f.ok()) return f.status();
   nfa.SetInitial(f->entry);
   nfa.SetAccepting(f->exit);
-  return RemoveEpsilon(Trim(nfa));
+  Nfa result = RemoveEpsilon(Trim(nfa));
+  compiles.Increment();
+  compiled_states.Add(result.NumStates());
+  span.Note("states", result.NumStates());
+  return result;
 }
 
 Nfa MustCompileRegex(const RegexPtr& expression,

@@ -9,6 +9,7 @@
 #include "automata/ops.h"
 #include "automata/random.h"
 #include "graphdb/eval.h"
+#include "obs/metrics.h"
 #include "regex/parser.h"
 #include "rpq/alphabet.h"
 #include "rpq/compile.h"
@@ -321,6 +322,56 @@ TEST(OdaTest, CertainImpliesCdaCertain) {
       }
     }
   }
+}
+
+TEST(OdaSolverTest, RepeatedProbesReportIdenticalCounters) {
+  // Regression test for the accounting sweep: the solver amortizes the view
+  // context across probes, and a repeated probe must report the same
+  // exploration counters every time — earlier probes must not leak carried
+  // or cached work into later ones.
+  Builder builder(2, "p p p");
+  builder.AddView("p p p", {{0, 1}}, ViewAssumption::kExact);
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  OdaSolver solver(builder.instance);
+  StatusOr<OdaResult> first = solver.CertainAnswer(0, 1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  StatusOr<OdaResult> second = solver.CertainAnswer(0, 1);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  StatusOr<OdaResult> third = solver.CertainAnswer(0, 1);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE(first->certain);
+  EXPECT_EQ(first->certain, second->certain);
+  EXPECT_EQ(second->certain, third->certain);
+  // The first probe may pay one-time context construction, but probes two
+  // and three take the identical path and must agree exactly.
+  EXPECT_EQ(second->states_explored, third->states_explored);
+  EXPECT_EQ(second->states_pruned, third->states_pruned);
+  EXPECT_EQ(second->antichain_size, third->antichain_size);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("oda.probes"), 3);
+}
+
+TEST(OdaSolverTest, OverflowingQuickSearchStillCountsItsWork) {
+  // Regression test: when the bounded phase-1 witness search overflows its
+  // state cap and the probe is decided by the exact phase 2, the quick
+  // search's explored/pruned counters used to be dropped on the floor. The
+  // final accounting must include them: with a cap of kCap, an overflowing
+  // probe must report strictly more than kCap explored states even though
+  // the phase-2 decision automaton alone is far smaller.
+  Builder builder(2, "p p p");
+  builder.AddView("p p p", {{0, 1}}, ViewAssumption::kExact);
+  constexpr int64_t kCap = 4096;
+  OdaOptions options;
+  options.max_states = kCap;
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  StatusOr<OdaResult> result = CertainAnswerOda(builder.instance, 0, 1,
+                                                options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->certain);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  ASSERT_EQ(delta.CounterValue("oda.phase1_overflows"), 1)
+      << "instance no longer overflows phase 1; pick a harder one";
+  EXPECT_GT(result->states_explored, kCap);
 }
 
 }  // namespace

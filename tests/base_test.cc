@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "base/bitset.h"
 #include "base/interner.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 
 namespace rpqi {
 namespace {
@@ -87,6 +92,50 @@ TEST(WordVectorInternerTest, DeduplicatesKeys) {
   EXPECT_EQ(interner.Find({9}), -1);
 }
 
+TEST(WordVectorInternerTest, FullHashCollisionsSpillToOverflow) {
+  // Two distinct keys forced onto the same 64-bit hash: the second must get
+  // its own id through the overflow map, and both must keep resolving by
+  // full-key comparison afterwards.
+  WordVectorInterner interner;
+  const std::vector<uint64_t> first = {1, 2};
+  const std::vector<uint64_t> second = {3, 4};
+  constexpr uint64_t kHash = 0xdeadbeefcafe1234;
+  int first_id = interner.InternHashed(first, kHash);
+  int second_id = interner.InternHashed(second, kHash);
+  EXPECT_NE(first_id, second_id);
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.InternHashed(first, kHash), first_id);
+  EXPECT_EQ(interner.InternHashed(second, kHash), second_id);
+  EXPECT_EQ(interner.FindHashed(first, kHash), first_id);
+  EXPECT_EQ(interner.FindHashed(second, kHash), second_id);
+  EXPECT_EQ(interner.FindHashed({5, 6}, kHash), -1);
+  EXPECT_EQ(interner.KeyOf(first_id), first);
+  EXPECT_EQ(interner.KeyOf(second_id), second);
+}
+
+TEST(WordVectorInternerTest, OverflowEntriesSurviveRehash) {
+  // Force a collision pair early, then intern enough distinct keys to cross
+  // several Grow() rehashes (initial capacity 64): the overflow entry and
+  // every primary-table entry must still resolve to their original ids.
+  WordVectorInterner interner;
+  const std::vector<uint64_t> first = {100};
+  const std::vector<uint64_t> second = {200};
+  constexpr uint64_t kHash = 42;
+  int first_id = interner.InternHashed(first, kHash);
+  int second_id = interner.InternHashed(second, kHash);
+  std::vector<int> ids;
+  for (uint64_t i = 0; i < 300; ++i) {
+    ids.push_back(interner.Intern({i, i + 1}));
+  }
+  EXPECT_EQ(interner.InternHashed(first, kHash), first_id);
+  EXPECT_EQ(interner.InternHashed(second, kHash), second_id);
+  EXPECT_EQ(interner.FindHashed(second, kHash), second_id);
+  for (uint64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(interner.Find({i, i + 1}), ids[i]);
+  }
+  EXPECT_EQ(interner.size(), 302);
+}
+
 TEST(StringInternerTest, NamesRoundTrip) {
   StringInterner interner;
   EXPECT_EQ(interner.Intern("alpha"), 0);
@@ -125,6 +174,81 @@ TEST(StatusOrTest, HoldsValueOrStatus) {
   StatusOr<int> error(Status::InvalidArgument("bad"));
   EXPECT_FALSE(error.ok());
   EXPECT_EQ(error.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StatusTest, ExitCodesDistinguishEveryFailureClass) {
+  EXPECT_EQ(ExitCodeForStatus(Status::Ok()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 4);
+  // Cancellation used to share exit code 4 with deadline expiry; it must be
+  // its own code so retry-on-timeout wrappers do not retry interrupts.
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("x")), 5);
+}
+
+TEST(ThreadPoolTest, SharedGrowthKeepsEarlierPoolsUsable) {
+  // Regression test: Shared(n) used to destroy and replace the process-wide
+  // pool when asked to grow, racing any thread still running ParallelFor on
+  // the old pointer. Now growth retains earlier pools: pointers stay valid
+  // and runnable while other threads grow and use larger pools concurrently.
+  ThreadPool* small = ThreadPool::Shared(2);
+  ASSERT_GE(small->num_threads(), 2);
+  constexpr int kIterations = 50;
+  constexpr int64_t kItems = 1000;
+  std::atomic<int64_t> total{0};
+  std::atomic<bool> failed{false};
+  std::thread hammer([&] {
+    // Keeps the original pool busy with batches while the main thread
+    // requests larger pools (the old code deleted `small` under us here).
+    for (int i = 0; i < kIterations; ++i) {
+      std::atomic<int64_t> sum{0};
+      small->ParallelFor(kItems,
+                         [&](int64_t j) { sum.fetch_add(j + 1); });
+      if (sum.load() != kItems * (kItems + 1) / 2) failed.store(true);
+      total.fetch_add(sum.load());
+    }
+  });
+  for (int n = 3; n <= 6; ++n) {
+    ThreadPool* grown = ThreadPool::Shared(n);
+    ASSERT_GE(grown->num_threads(), n);
+    std::atomic<int64_t> sum{0};
+    grown->ParallelFor(kItems, [&](int64_t j) { sum.fetch_add(j + 1); });
+    EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+  }
+  hammer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(total.load(), kIterations * (kItems * (kItems + 1) / 2));
+  // The original pointer still works after every growth call.
+  std::atomic<int64_t> after{0};
+  small->ParallelFor(kItems, [&](int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), kItems);
+  // Asking for fewer threads reuses an existing pool instead of shrinking.
+  EXPECT_GE(ThreadPool::Shared(1)->num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsOnOnePoolAreSerialized) {
+  // Regression test: two threads submitting ParallelFor to the same pool used
+  // to corrupt the epoch/cursor protocol (lost iterations, hangs). The
+  // submission mutex must make concurrent batches each run exactly once.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kBatches = 25;
+  constexpr int64_t kItems = 500;
+  std::atomic<int64_t> grand_total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&] {
+      for (int batch = 0; batch < kBatches; ++batch) {
+        std::atomic<int64_t> sum{0};
+        pool.ParallelFor(kItems, [&](int64_t) { sum.fetch_add(1); });
+        grand_total.fetch_add(sum.load());
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(grand_total.load(),
+            int64_t{kCallers} * kBatches * kItems);
 }
 
 }  // namespace

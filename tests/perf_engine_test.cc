@@ -405,6 +405,35 @@ TEST(ParallelFrontierTest, DeterminizeBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(AntichainDifferentialTest, RepeatedSearchesReportIdenticalCounters) {
+  // Accounting regression test: FindAcceptedWord on the same lazy product
+  // must report identical counters every run. The lazy components memoize
+  // discovered states across searches, and that cache must not bleed into
+  // (or deflate) a later search's explored/pruned/antichain tallies.
+  std::mt19937_64 rng(BaseSeed() ^ 0xd1b54a32d192ed03ULL);
+  RandomAutomatonOptions options;
+  options.num_states = 7;
+  options.num_symbols = 2;
+  options.transition_density = 1.2;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    RPQI_FUZZ_SCOPE(iteration);
+    Nfa a = RandomNfa(rng, options);
+    Nfa b = RandomNfa(rng, options);
+    LazySubsetDfa left(a);
+    LazySubsetDfa not_right(b, /*complement=*/true);
+    LazyProductDfa product({&left, &not_right});
+    EmptinessResult first = FindAcceptedWord(&product, /*max_states=*/1 << 20);
+    ASSERT_NE(first.outcome, EmptinessResult::Outcome::kLimitExceeded);
+    EmptinessResult second =
+        FindAcceptedWord(&product, /*max_states=*/1 << 20);
+    EXPECT_EQ(first.outcome, second.outcome);
+    EXPECT_EQ(first.witness, second.witness);
+    EXPECT_EQ(first.states_explored, second.states_explored);
+    EXPECT_EQ(first.states_pruned, second.states_pruned);
+    EXPECT_EQ(first.antichain_size, second.antichain_size);
+  }
+}
+
 TEST(ParallelFrontierTest, IntersectBitIdenticalAcrossThreadCounts) {
   std::mt19937_64 rng(BaseSeed() ^ 0x94d049bb133111ebULL);
   RandomAutomatonOptions options;

@@ -2,24 +2,36 @@
 """Compare two bench runs (BENCH_*.json files written by the bench binaries).
 
 Usage:
-  bench_diff.py BASELINE NEW [--threshold 0.20] [--fail-on-regression]
+  bench_diff.py BASELINE NEW [--threshold 0.20] [--min-time-ms 0.05]
+                [--fail-on-regression] [--counters warn|fail]
 
 BASELINE and NEW are either single BENCH_*.json files or directories that are
 scanned for BENCH_*.json. Entries are matched by benchmark name; a wall-time
 increase beyond the threshold (default 20%) is flagged as a regression, a
-matching decrease as an improvement. The exit code is 0 unless
---fail-on-regression is given (CI runs warn-only: quick-mode timings on
-shared runners are too noisy to gate a build on).
+matching decrease as an improvement. Entries whose baseline time is below
+--min-time-ms are skipped for timing comparison (a ratio against a
+near-zero denominator is noise, and a zero denominator is undefined).
 
-Counter drifts (states_explored, antichain_size, ...) are reported
-informationally: they are deterministic, so an unexpected change usually
-means an algorithmic change, not noise.
+The exit code is 0 unless --fail-on-regression is given (CI runs timings
+warn-only: quick-mode timings on shared runners are too noisy to gate a
+build on).
+
+Counters — every numeric entry key except the timing bookkeeping
+(median_ms, iterations, n) — are deterministic, so any drift usually means
+an algorithmic change, not noise. With --counters fail the script exits 1
+on any counter drift, which CI uses as a hard gate; the default (warn)
+only reports them. A counter present in only one of the two runs is
+reported as added/removed rather than treated as a drift.
 """
 
 import argparse
 import json
 import os
 import sys
+
+# Entry keys that describe the run rather than the computation: never
+# compared as counters.
+NON_COUNTER_KEYS = {"name", "series", "n", "median_ms", "iterations"}
 
 
 def load_entries(path):
@@ -42,7 +54,11 @@ def load_entries(path):
     return entries
 
 
-COUNTER_KEYS = ("states_explored", "antichain_size", "states_pruned")
+def counter_keys(entry):
+    """Numeric counter keys of one entry."""
+    return {key for key, value in entry.items()
+            if key not in NON_COUNTER_KEYS
+            and isinstance(value, (int, float))}
 
 
 def main():
@@ -52,9 +68,16 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative wall-time change that counts as a "
                              "regression/improvement (default 0.20)")
+    parser.add_argument("--min-time-ms", type=float, default=0.05,
+                        help="skip timing comparison when the baseline "
+                             "median is below this floor (default 0.05)")
     parser.add_argument("--fail-on-regression", action="store_true",
-                        help="exit 1 when any regression is flagged "
+                        help="exit 1 when any timing regression is flagged "
                              "(default: warn only)")
+    parser.add_argument("--counters", choices=("warn", "fail"),
+                        default="warn",
+                        help="fail: exit 1 on any counter drift; "
+                             "warn (default): report only")
     args = parser.parse_args()
 
     baseline = load_entries(args.baseline)
@@ -62,23 +85,36 @@ def main():
 
     regressions = []
     improvements = []
+    skipped_fast = []
     counter_drifts = []
+    counter_changes = []  # added/removed counter keys: informational
     for name in sorted(set(baseline) & set(new)):
         old_ms = baseline[name].get("median_ms")
         new_ms = new[name].get("median_ms")
-        if old_ms and new_ms and old_ms > 0:
-            ratio = new_ms / old_ms
-            line = f"{name}: {old_ms:.3f} ms -> {new_ms:.3f} ms ({ratio:.2f}x)"
-            if ratio > 1 + args.threshold:
-                regressions.append(line)
-            elif ratio < 1 - args.threshold:
-                improvements.append(line)
-        for key in COUNTER_KEYS:
-            if key in baseline[name] and key in new[name]:
-                if baseline[name][key] != new[name][key]:
-                    counter_drifts.append(
-                        f"{name}: {key} {baseline[name][key]:g} -> "
-                        f"{new[name][key]:g}")
+        if isinstance(old_ms, (int, float)) and isinstance(new_ms,
+                                                           (int, float)):
+            if old_ms < args.min_time_ms:
+                skipped_fast.append(
+                    f"{name}: baseline {old_ms:.4f} ms below floor")
+            else:
+                ratio = new_ms / old_ms
+                line = (f"{name}: {old_ms:.3f} ms -> {new_ms:.3f} ms "
+                        f"({ratio:.2f}x)")
+                if ratio > 1 + args.threshold:
+                    regressions.append(line)
+                elif ratio < 1 - args.threshold:
+                    improvements.append(line)
+        old_keys = counter_keys(baseline[name])
+        new_keys = counter_keys(new[name])
+        for key in sorted(old_keys & new_keys):
+            if baseline[name][key] != new[name][key]:
+                counter_drifts.append(
+                    f"{name}: {key} {baseline[name][key]:g} -> "
+                    f"{new[name][key]:g}")
+        for key in sorted(old_keys - new_keys):
+            counter_changes.append(f"{name}: counter removed: {key}")
+        for key in sorted(new_keys - old_keys):
+            counter_changes.append(f"{name}: counter added: {key}")
 
     only_old = sorted(set(baseline) - set(new))
     only_new = sorted(set(new) - set(baseline))
@@ -87,7 +123,9 @@ def main():
           f"(threshold {args.threshold:.0%})")
     for title, lines in (("REGRESSIONS", regressions),
                          ("improvements", improvements),
+                         ("below min-time floor", skipped_fast),
                          ("counter drifts", counter_drifts),
+                         ("counter set changes", counter_changes),
                          ("only in baseline", only_old),
                          ("only in new run", only_new)):
         if lines:
@@ -97,9 +135,13 @@ def main():
     if not regressions:
         print("\nno regressions beyond threshold")
 
+    failed = False
     if regressions and args.fail_on_regression:
-        return 1
-    return 0
+        failed = True
+    if counter_drifts and args.counters == "fail":
+        print("\ncounter drift with --counters fail: failing")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

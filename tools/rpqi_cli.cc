@@ -12,12 +12,13 @@
 // line). View definitions are `name=expression` arguments; extensions are
 // `name:obj1,obj2` pair arguments. Run with no arguments for usage.
 //
-// Exit codes:
+// Exit codes (see ExitCodeForStatus in base/status.h):
 //   0  success (positive decision for satisfies/contains)
 //   1  negative decision (does not satisfy / not contained)
-//   2  invalid input or usage
+//   2  invalid input or usage, including unusable --trace-out/--metrics-out
 //   3  resource limit (state quota) exhausted
-//   4  wall-clock deadline exceeded or execution cancelled
+//   4  wall-clock deadline exceeded
+//   5  execution cancelled
 
 #include <cerrno>
 #include <chrono>
@@ -35,8 +36,11 @@
 #include "answer/cda.h"
 #include "answer/oda.h"
 #include "base/budget.h"
+#include "base/status.h"
 #include "base/thread_pool.h"
 #include "graphdb/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "graphdb/io.h"
 #include "graphdb/views.h"
 #include "regex/parser.h"
@@ -54,23 +58,6 @@ namespace {
 constexpr int kExitOk = 0;
 constexpr int kExitNegative = 1;
 constexpr int kExitInvalidInput = 2;
-constexpr int kExitResourceExhausted = 3;
-constexpr int kExitDeadline = 4;
-
-int ExitCodeFor(const Status& status) {
-  switch (status.code()) {
-    case Status::Code::kOk:
-      return kExitOk;
-    case Status::Code::kInvalidArgument:
-      return kExitInvalidInput;
-    case Status::Code::kResourceExhausted:
-      return kExitResourceExhausted;
-    case Status::Code::kDeadlineExceeded:
-    case Status::Code::kCancelled:
-      return kExitDeadline;
-  }
-  return kExitInvalidInput;
-}
 
 int Usage() {
   std::fprintf(stderr, R"USAGE(usage:
@@ -94,6 +81,11 @@ global flags (any subcommand):
   --threads N         worker threads for the parallel subset-construction /
                       product frontiers (default 1 = serial; results are
                       bit-identical either way)
+  --trace-out FILE    write one NDJSON span record per pipeline stage (see
+                      DESIGN.md, "Observability"); unusable FILE is exit 2
+  --metrics-out FILE  write the process-wide counter/gauge/histogram snapshot
+                      as NDJSON when the command finishes; unusable FILE is
+                      exit 2
 
 expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
 ^- (inverse), %%eps, %%empty. Example: "(hasSubmodule^-)* (containsVar | hasSubmodule)"
@@ -565,7 +557,7 @@ int Main(int argc, char** argv) {
   StatusOr<FlagMap> flags = ParseFlags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
-    return ExitCodeFor(flags.status());
+    return ExitCodeForStatus(flags.status());
   }
   if (flags->count("threads")) {
     StatusOr<std::string> text = SingleFlag(*flags, "threads");
@@ -575,10 +567,33 @@ int Main(int argc, char** argv) {
     if (!threads.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    threads.status().ToString().c_str());
-      return ExitCodeFor(threads.status());
+      return ExitCodeForStatus(threads.status());
     }
     SetGlobalThreadCount(static_cast<int>(*threads));
     flags->erase("threads");
+  }
+  if (flags->count("trace-out")) {
+    StatusOr<std::string> path = SingleFlag(*flags, "trace-out");
+    if (!path.ok()) {
+      std::fprintf(stderr, "error: %s\n", path.status().ToString().c_str());
+      return ExitCodeForStatus(path.status());
+    }
+    if (!obs::Tracer::StartToFile(*path)) {
+      std::fprintf(stderr, "error: cannot open trace output '%s'\n",
+                   path->c_str());
+      return kExitInvalidInput;
+    }
+    flags->erase("trace-out");
+  }
+  std::string metrics_out;
+  if (flags->count("metrics-out")) {
+    StatusOr<std::string> path = SingleFlag(*flags, "metrics-out");
+    if (!path.ok()) {
+      std::fprintf(stderr, "error: %s\n", path.status().ToString().c_str());
+      return ExitCodeForStatus(path.status());
+    }
+    metrics_out = *path;
+    flags->erase("metrics-out");
   }
   StatusOr<int> code = Status::InvalidArgument("unknown command");
   if (command == "eval") {
@@ -596,11 +611,26 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
-  if (!code.ok()) {
+  int exit_code;
+  if (code.ok()) {
+    exit_code = *code;
+  } else {
     std::fprintf(stderr, "error: %s\n", code.status().ToString().c_str());
-    return ExitCodeFor(code.status());
+    exit_code = ExitCodeForStatus(code.status());
   }
-  return *code;
+  // Flush observability sinks even when the command failed: a trace of the
+  // failing run is precisely the interesting one.
+  obs::Tracer::Stop();
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) obs::TakeMetricsSnapshot().WriteNdjson(out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics output '%s'\n",
+                   metrics_out.c_str());
+      return kExitInvalidInput;
+    }
+  }
+  return exit_code;
 }
 
 }  // namespace
