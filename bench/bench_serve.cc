@@ -1,0 +1,158 @@
+// Serving-layer bench: request latency and throughput through the Server
+// (`rpqi serve`). Two axes matter for the roadmap's scaling story:
+//   * cold vs. warm plan cache — a warm `eval` skips regex compilation and
+//     the all-pairs product BFS entirely (the cached plan carries the answer
+//     set), so its median must sit well below (>= 5x) the cold median;
+//   * worker-pool throughput — a 1000-request mixed NDJSON stream with
+//     periodic `admin reload` requests, at 1/4/8 threads.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphdb/io.h"
+#include "rpq/alphabet.h"
+#include "service/server.h"
+#include "workload/graph_gen.h"
+
+#include "bench_main.h"
+
+namespace rpqi {
+namespace {
+
+// A fixed labeled path keeps the answer set small (response rendering stays
+// cheap on both paths) while the cold eval still pays compilation plus the
+// product BFS over every source node.
+constexpr char kEvalRequest[] =
+    R"({"id":1,"op":"eval","query":"r0 r0 r1 r0"})";
+
+// Deterministic random graph shared by every benchmark in this binary,
+// serialized once to a temp file so Server::Init exercises the real snapshot
+// loader. 512 nodes / out-degree 3 keeps --quick runs fast.
+const std::string& GraphPath() {
+  static const std::string* path = [] {
+    std::mt19937_64 rng(7);
+    RandomGraphOptions options;
+    options.num_nodes = 512;
+    options.num_relations = 2;
+    options.average_out_degree = 3.0;
+    GraphDb db = RandomGraph(rng, options);
+    SignedAlphabet alphabet;
+    alphabet.AddRelation("r0");
+    alphabet.AddRelation("r1");
+    auto file = std::filesystem::temp_directory_path() / "rpqi_bench_serve.txt";
+    std::ofstream(file) << SaveGraphText(db, alphabet);
+    return new std::string(file.string());
+  }();
+  return *path;
+}
+
+service::ServerOptions BaseOptions() {
+  service::ServerOptions options;
+  options.initial_db_path = GraphPath();
+  return options;
+}
+
+// Cold path: a fresh Server (empty plan cache) per iteration; only the
+// HandleLine call is timed, so the measurement is parse + compile + eval +
+// render without snapshot-load noise.
+void BM_ServeEvalCold(benchmark::State& state) {
+  // Every iteration does identical work (fresh server, one miss), so the
+  // m_* columns are deterministic: expect compile + eval + cache-insert.
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto server = std::make_unique<service::Server>(BaseOptions());
+    if (!server->Init().ok()) {
+      state.SkipWithError("snapshot init failed");
+      break;
+    }
+    state.ResumeTiming();
+    std::string response = server->HandleLine(kEvalRequest);
+    benchmark::DoNotOptimize(response.data());
+    state.PauseTiming();
+    server.reset();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ServeEvalCold);
+
+// Warm path: same request against a pre-warmed cache — parse + shard lookup +
+// render. The >= 5x cold/warm separation asserted in EXPERIMENTS.md lives in
+// the ratio of these two medians.
+void BM_ServeEvalWarm(benchmark::State& state) {
+  service::Server server(BaseOptions());
+  if (!server.Init().ok()) {
+    state.SkipWithError("snapshot init failed");
+    return;
+  }
+  std::string warmup = server.HandleLine(kEvalRequest);
+  benchmark::DoNotOptimize(warmup.data());
+  // Every iteration is one cache hit — the m_* columns document what the
+  // warm path skips (no compile.*, no eval.*).
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    std::string response = server.HandleLine(kEvalRequest);
+    benchmark::DoNotOptimize(response.data());
+  }
+}
+BENCHMARK(BM_ServeEvalWarm);
+
+// Full serve loop: a 1000-request mixed stream (eight distinct eval queries
+// cycling, an admin reload every 100 requests) drained by N workers. The
+// Server persists across iterations, so after the first pass the cache is
+// warm — this measures admission + dispatch + hit-path throughput, with the
+// reloads exercising snapshot pinning under load.
+void BM_ServeMixedStream(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kRequests = 1000;
+  service::ServerOptions options = BaseOptions();
+  options.threads = threads;
+  options.admission.queue_depth = kRequests;
+  service::Server server(options);
+  if (!server.Init().ok()) {
+    state.SkipWithError("snapshot init failed");
+    return;
+  }
+
+  const std::vector<std::string> queries = {
+      "r0", "r1", "r0 r1", "r1 r0", "r0 r0 r1", "r0 r1^-", "r1^- r0",
+      "r0 r0 r1 r0"};
+  std::string input;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i % 100 == 99) {
+      input += "{\"id\":" + std::to_string(i) +
+               ",\"op\":\"admin\",\"action\":\"reload\",\"db\":\"" +
+               GraphPath() + "\"}\n";
+    } else {
+      input += "{\"id\":" + std::to_string(i) +
+               ",\"op\":\"eval\",\"query\":\"" +
+               queries[i % queries.size()] + "\"}\n";
+    }
+  }
+
+  for (auto _ : state) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    if (!server.Serve(in, out).ok()) {
+      state.SkipWithError("serve loop failed");
+      break;
+    }
+    benchmark::DoNotOptimize(out.str().data());
+  }
+  // bench_diff gates every extra numeric column with --counters fail, so only
+  // the deterministic thread count is exported; throughput lives in
+  // median_ms (1000 requests per iteration) and hit/miss rates are
+  // thread-race-dependent by design.
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ServeMixedStream)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace rpqi

@@ -1,0 +1,71 @@
+#ifndef RPQI_BASE_FLAGS_H_
+#define RPQI_BASE_FLAGS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Command-line flag parsing shared by the CLI front ends. The accepted
+/// grammar is deliberately rigid: every argument is `--name value` (repeated
+/// flags accumulate); bare positionals and `--name=value` are rejected with a
+/// diagnostic naming the offending argument.
+using FlagMap = std::map<std::string, std::vector<std::string>>;
+
+/// Parses argv[first..argc) into a FlagMap. A trailing `--name` with no
+/// following value is its own error class ("requires a value") rather than the
+/// misleading "unexpected argument" it used to fall through to.
+inline StatusOr<FlagMap> ParseFlags(int argc, char** argv, int first) {
+  FlagMap flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag " + arg + " requires a value");
+    }
+    flags[arg.substr(2)].push_back(argv[++i]);
+  }
+  return flags;
+}
+
+/// The value of a flag that must appear exactly once.
+inline StatusOr<std::string> SingleFlag(const FlagMap& flags,
+                                        const std::string& name) {
+  auto it = flags.find(name);
+  if (it == flags.end() || it->second.size() != 1) {
+    return Status::InvalidArgument("missing or repeated --" + name);
+  }
+  return it->second[0];
+}
+
+/// Strict base-10 integer parse with an inclusive range check; `what` names
+/// the flag in diagnostics.
+inline StatusOr<int64_t> ParseInt64(const std::string& text,
+                                    const std::string& what, int64_t min,
+                                    int64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(what + ": '" + text +
+                                   "' is not an integer");
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(what + ": " + text + " out of range [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_FLAGS_H_

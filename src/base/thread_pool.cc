@@ -89,6 +89,57 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+WorkerPool::WorkerPool(int num_threads, int max_queued)
+    : max_queued_(static_cast<size_t>(std::max(0, max_queued))) {
+  int count = std::max(1, num_threads);
+  threads_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Drain(); }
+
+bool WorkerPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && threads_.empty()) return;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+}
+
+int64_t WorkerPool::QueuedNow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
 ThreadPool* ThreadPool::Shared(int num_threads) {
   static const obs::Counter pools_created("thread_pool.pools_created");
   static std::mutex mu;

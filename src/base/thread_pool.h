@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -66,6 +67,50 @@ class ThreadPool {
   int64_t count_ = 0;
   std::atomic<int64_t> cursor_{0};
   const std::function<void(int64_t)>* body_ = nullptr;
+};
+
+/// A long-lived worker pool with a *bounded* task queue — the execution
+/// substrate of the serving subsystem (src/service). Unlike ThreadPool's
+/// fork-join ParallelFor, tasks here are independent closures submitted over
+/// the pool's lifetime; the queue bound makes admission control explicit:
+/// TrySubmit never blocks and returns false when the backlog is full, so the
+/// caller can turn overload into a structured rejection instead of unbounded
+/// memory growth.
+///
+/// `max_queued` counts tasks accepted but not yet picked up by a worker;
+/// tasks being executed do not count against it. Drain() (also run by the
+/// destructor) stops admission, lets the workers finish every accepted task,
+/// and joins them — the graceful-drain semantics of `rpqi serve` on EOF.
+class WorkerPool {
+ public:
+  WorkerPool(int num_threads, int max_queued);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `task` unless the pool is draining or the queue is at capacity.
+  /// Tasks must not throw; they run exactly once, on an arbitrary worker.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Closes admission, waits for every accepted task to finish, and joins the
+  /// workers. Idempotent; after Drain(), TrySubmit always returns false.
+  void Drain();
+
+  /// Tasks currently accepted but not yet started (for stats endpoints).
+  int64_t QueuedNow() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t max_queued_;
+  bool draining_ = false;
 };
 
 }  // namespace rpqi

@@ -186,9 +186,13 @@ void AppendCounterDeltasSince(
   for (const MetricInfo& info : reg.metrics) {
     if (info.kind != MetricKind::kCounter) continue;
     int slot = info.first_slot;
-    if (slot < 0 || slot >= static_cast<int>(baseline.size())) continue;
-    int64_t delta =
-        shard.slots[slot].load(std::memory_order_relaxed) - baseline[slot];
+    if (slot < 0) continue;
+    // A counter registered after the baseline was taken had no slot value on
+    // this thread back then, so its baseline is exactly 0 — skipping it would
+    // under-report the first request that ever touches a subsystem.
+    int64_t base =
+        slot < static_cast<int>(baseline.size()) ? baseline[slot] : 0;
+    int64_t delta = shard.slots[slot].load(std::memory_order_relaxed) - base;
     if (delta != 0) out->emplace_back(info.name, delta);
   }
 }

@@ -1,0 +1,38 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace rpqi {
+namespace service {
+
+Admission AdmitRequest(const AdmissionPolicy& policy, int64_t timeout_ms,
+                       int64_t max_states) {
+  Admission admission;
+  admission.admitted_at = std::chrono::steady_clock::now();
+
+  int64_t effective_timeout =
+      timeout_ms > 0 ? timeout_ms : policy.default_timeout_ms;
+  if (policy.max_timeout_ms > 0) {
+    effective_timeout = effective_timeout > 0
+                            ? std::min(effective_timeout, policy.max_timeout_ms)
+                            : policy.max_timeout_ms;
+  }
+  if (effective_timeout > 0) {
+    admission.has_deadline = true;
+    admission.deadline =
+        admission.admitted_at + std::chrono::milliseconds(effective_timeout);
+  }
+
+  int64_t effective_states =
+      max_states > 0 ? max_states : policy.default_max_states;
+  if (policy.max_states_cap > 0) {
+    effective_states = effective_states > 0
+                           ? std::min(effective_states, policy.max_states_cap)
+                           : policy.max_states_cap;
+  }
+  admission.max_states = std::max<int64_t>(0, effective_states);
+  return admission;
+}
+
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,135 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+#include "obs/metrics.h"
+
+namespace rpqi {
+namespace service {
+namespace {
+
+int64_t NfaBytes(const Nfa& nfa) {
+  return 64 + static_cast<int64_t>(nfa.NumStates()) * 40 +
+         static_cast<int64_t>(nfa.NumTransitions()) * 8;
+}
+
+int64_t DfaBytes(const Dfa& dfa) {
+  return 64 + static_cast<int64_t>(dfa.NumStates()) *
+                  (static_cast<int64_t>(dfa.num_symbols()) * 4 + 1);
+}
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.size();
+  for (char c : key) {
+    h = HashCombine(h, static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+}  // namespace
+
+int64_t CachedPlan::ApproxBytes() const {
+  int64_t bytes = 128;  // entry + bookkeeping overhead
+  if (query_nfa.has_value()) bytes += NfaBytes(*query_nfa);
+  if (eval_answers.has_value()) {
+    bytes += 24 + static_cast<int64_t>(eval_answers->size()) * 8;
+  }
+  if (rewriting.has_value()) bytes += DfaBytes(rewriting->dfa) + 128;
+  for (const std::string& name : view_names) {
+    bytes += 32 + static_cast<int64_t>(name.size());
+  }
+  return bytes;
+}
+
+PlanCache::PlanCache(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(std::max<int64_t>(0, capacity_bytes)) {
+  int shards = std::max(1, num_shards);
+  shard_capacity_ = capacity_bytes_ / shards;
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
+  static const obs::Counter hits("service.plan_cache.hit");
+  static const obs::Counter misses("service.plan_cache.miss");
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    misses.Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  hits.Increment();
+  return it->second->plan;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CachedPlan> plan) {
+  static const obs::Counter inserts("service.plan_cache.insert");
+  static const obs::Counter evictions("service.plan_cache.evict");
+  if (plan == nullptr) return;
+  int64_t bytes = plan->ApproxBytes() + static_cast<int64_t>(key.size());
+  Shard& shard = ShardFor(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Replace in place (two racing misses computed the same plan); the
+      // refresh also bumps recency.
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(Entry{key, std::move(plan), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.inserts;
+    while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      ++evicted;
+    }
+  }
+  inserts.Increment();
+  evictions.Add(evicted);
+  PublishGauges();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+void PlanCache::PublishGauges() const {
+  static const obs::Gauge bytes_gauge("service.plan_cache.bytes");
+  static const obs::Gauge entries_gauge("service.plan_cache.entries");
+  Stats now = stats();
+  bytes_gauge.Set(now.bytes);
+  entries_gauge.Set(now.entries);
+}
+
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,109 @@
+#ifndef RPQI_SERVICE_PLAN_CACHE_H_
+#define RPQI_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "rewrite/rewriter.h"
+
+namespace rpqi {
+namespace service {
+
+/// A cached, immutable compilation artifact: everything expensive the serving
+/// layer derives from a (query, view set, snapshot) triple. Entries are
+/// shared via shared_ptr<const CachedPlan>, so an eviction never frees a plan
+/// a concurrent request is still executing against. Which fields are present
+/// depends on the op that built the plan:
+///   eval     query_nfa + eval_answers (node-id pairs over the keyed
+///            snapshot; sound to memoize because snapshots are immutable);
+///   rewrite  rewriting (compiled maximal-rewriting DFA + stats) +
+///            view_names + exactness verdict.
+struct CachedPlan {
+  std::optional<Nfa> query_nfa;
+  std::optional<std::vector<std::pair<int, int>>> eval_answers;
+  std::optional<MaximalRewriting> rewriting;
+  std::vector<std::string> view_names;
+  /// Theorem 9 verdict: unset when the rewriting is non-exhaustive (the
+  /// exactness check is only meaningful against the full maximal rewriting).
+  std::optional<bool> exact;
+
+  /// Rough heap footprint for the cache's byte accounting.
+  int64_t ApproxBytes() const;
+};
+
+/// Sharded LRU plan cache with a global byte budget split evenly across
+/// shards. Keys are the full canonical key strings (see server.cc,
+/// "plan-cache key derivation") — entries compare by string equality, so hash
+/// collisions can never alias two plans. Lookups/inserts take one shard
+/// mutex; the shard is chosen by key hash, so concurrent requests for
+/// different queries rarely contend.
+///
+/// Counters (obs registry): service.plan_cache.{hit,miss,insert,evict} plus
+/// the service.plan_cache.{bytes,entries} gauges; the same numbers are
+/// available per-instance (and race-free for tests) through stats().
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+
+  /// `capacity_bytes <= 0` disables caching (every Get misses, Put drops).
+  explicit PlanCache(int64_t capacity_bytes, int num_shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The plan under `key`, bumping it to most-recently-used; nullptr on miss.
+  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+
+  /// Inserts (or replaces) the plan under `key`, then evicts LRU entries
+  /// until the shard is back under its byte budget. A plan larger than the
+  /// whole shard budget is inserted and evicted immediately — Put never
+  /// rejects, so hit/miss accounting stays exact.
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  Stats stats() const;
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void PublishGauges() const;
+
+  int64_t capacity_bytes_;
+  int64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace service
+}  // namespace rpqi
+
+#endif  // RPQI_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,721 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "answer/cda.h"
+#include "answer/oda.h"
+#include "answer/views.h"
+#include "base/thread_pool.h"
+#include "graphdb/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+#include "rewrite/exactness.h"
+#include "rewrite/rewriter.h"
+#include "rpq/compile.h"
+
+namespace rpqi {
+namespace service {
+namespace {
+
+// Requests larger than this are rejected before parsing; a line this long is
+// a protocol error or an attack, not a query.
+constexpr size_t kMaxLineBytes = size_t{1} << 20;
+
+constexpr int64_t kMaxSleepMs = 10000;
+
+/// Marks a Status as the protocol's `unavailable` error class (no snapshot
+/// loaded). Encoded as a message prefix so the per-op code can stay a plain
+/// Status; StatusErrorCode below peels it back off.
+const char kUnavailablePrefix[] = "unavailable: ";
+
+Status Unavailable(const std::string& message) {
+  return Status::InvalidArgument(kUnavailablePrefix + message);
+}
+
+const char* StatusErrorCode(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kInvalidArgument:
+      return status.message().rfind(kUnavailablePrefix, 0) == 0
+                 ? "unavailable"
+                 : "invalid_request";
+    case Status::Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::Code::kCancelled:
+      return "cancelled";
+  }
+  return "invalid_request";
+}
+
+std::string StatusErrorMessage(const Status& status) {
+  const std::string& message = status.message();
+  if (message.rfind(kUnavailablePrefix, 0) == 0) {
+    return message.substr(sizeof(kUnavailablePrefix) - 1);
+  }
+  return message;
+}
+
+std::string RenderResponse(const Json& id, const char* status_word,
+                           JsonObject fields) {
+  JsonObject response;
+  response.emplace_back("id", id);
+  response.emplace_back("status", Json::Str(status_word));
+  for (auto& field : fields) response.push_back(std::move(field));
+  return Json::Obj(std::move(response)).Dump();
+}
+
+std::string ErrorResponse(const Json& id, const std::string& code,
+                          const std::string& message) {
+  JsonObject fields;
+  fields.emplace_back("code", Json::Str(code));
+  fields.emplace_back("message", Json::Str(message));
+  return RenderResponse(id, "error", std::move(fields));
+}
+
+/// Required string member; InvalidArgument naming the key otherwise.
+StatusOr<std::string> RequireString(const Json& body, const char* key) {
+  const Json* value = body.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument(std::string("request needs a string '") +
+                                   key + "' field");
+  }
+  return value->string_value();
+}
+
+/// Optional non-negative integer member with a default; InvalidArgument when
+/// present but not an integer >= 0.
+StatusOr<int64_t> OptionalInt(const Json& body, const char* key,
+                              int64_t default_value) {
+  const Json* value = body.Find(key);
+  if (value == nullptr) return default_value;
+  if (!value->is_int() || value->int_value() < 0) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a non-negative integer");
+  }
+  return value->int_value();
+}
+
+StatusOr<RegexPtr> ParseExpr(const std::string& text) {
+  StatusOr<RegexPtr> parsed = ParseRegex(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("in expression '" + text +
+                                   "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+StatusOr<std::pair<int, int>> ParsePairElement(const Json& element,
+                                               const char* what,
+                                               int num_objects) {
+  if (!element.is_array() || element.array().size() != 2 ||
+      !element.array()[0].is_int() || !element.array()[1].is_int()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " entries must be [int,int] pairs");
+  }
+  int64_t a = element.array()[0].int_value();
+  int64_t b = element.array()[1].int_value();
+  if (a < 0 || b < 0 || a >= num_objects || b >= num_objects) {
+    return Status::InvalidArgument(
+        std::string(what) + " pair [" + std::to_string(a) + "," +
+        std::to_string(b) + "] names an object outside [0, " +
+        std::to_string(num_objects) + ")");
+  }
+  return std::pair<int, int>{static_cast<int>(a), static_cast<int>(b)};
+}
+
+/// Named view expressions of a rewrite request, canonically ordered.
+struct NamedViews {
+  std::vector<std::string> names;
+  std::vector<RegexPtr> exprs;
+};
+
+/// Accepts {"v1":"expr",...} or [["v1","expr"],...]; sorts by name so the
+/// plan-cache key and the compiled automata are order-independent.
+StatusOr<NamedViews> ParseNamedViews(const Json& body) {
+  const Json* views = body.Find("views");
+  if (views == nullptr) {
+    return Status::InvalidArgument("request needs a 'views' field");
+  }
+  std::vector<std::pair<std::string, std::string>> raw;
+  if (views->is_object()) {
+    for (const auto& [name, expr] : views->object()) {
+      if (!expr.is_string()) {
+        return Status::InvalidArgument("view '" + name +
+                                       "': expression must be a string");
+      }
+      raw.emplace_back(name, expr.string_value());
+    }
+  } else if (views->is_array()) {
+    for (const Json& element : views->array()) {
+      if (!element.is_array() || element.array().size() != 2 ||
+          !element.array()[0].is_string() || !element.array()[1].is_string()) {
+        return Status::InvalidArgument(
+            "'views' array entries must be [name, expression] string pairs");
+      }
+      raw.emplace_back(element.array()[0].string_value(),
+                       element.array()[1].string_value());
+    }
+  } else {
+    return Status::InvalidArgument(
+        "'views' must be an object or an array of [name, expression] pairs");
+  }
+  if (raw.empty()) {
+    return Status::InvalidArgument("'views' must name at least one view");
+  }
+  std::sort(raw.begin(), raw.end());
+  NamedViews result;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && raw[i].first == raw[i - 1].first) {
+      return Status::InvalidArgument("duplicate view name '" + raw[i].first +
+                                     "'");
+    }
+    RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(raw[i].second));
+    result.names.push_back(raw[i].first);
+    result.exprs.push_back(std::move(expr));
+  }
+  return result;
+}
+
+JsonObject PlanCacheStatsJson(const PlanCache& cache) {
+  PlanCache::Stats stats = cache.stats();
+  JsonObject object;
+  object.emplace_back("hits", Json::Int(stats.hits));
+  object.emplace_back("misses", Json::Int(stats.misses));
+  object.emplace_back("inserts", Json::Int(stats.inserts));
+  object.emplace_back("evictions", Json::Int(stats.evictions));
+  object.emplace_back("entries", Json::Int(stats.entries));
+  object.emplace_back("bytes", Json::Int(stats.bytes));
+  object.emplace_back("capacity_bytes", Json::Int(cache.capacity_bytes()));
+  return object;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace
+
+/// One admitted request: the parsed envelope plus its execution grant.
+struct Server::Request {
+  Json id;
+  std::string op;
+  Json body;
+  Admission admission;
+  bool is_shutdown = false;
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      plan_cache_(options.plan_cache_bytes, options.plan_cache_shards) {}
+
+Status Server::Init() {
+  if (options_.initial_db_path.empty()) return Status::Ok();
+  return snapshot_store_.Reload(options_.initial_db_path).status();
+}
+
+bool Server::ParseRequest(const std::string& line, Request* request,
+                          std::string* error_response) {
+  if (line.size() > kMaxLineBytes) {
+    *error_response = ErrorResponse(
+        Json::Null(), "invalid_request",
+        "request line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+    return false;
+  }
+  StatusOr<Json> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    *error_response = ErrorResponse(Json::Null(), "invalid_request",
+                                    parsed.status().message());
+    return false;
+  }
+  if (!parsed->is_object()) {
+    *error_response = ErrorResponse(Json::Null(), "invalid_request",
+                                    "request must be a JSON object");
+    return false;
+  }
+  request->body = std::move(parsed).value();
+  const Json* id = request->body.Find("id");
+  request->id = id == nullptr ? Json::Null() : *id;
+  const Json* op = request->body.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error_response = ErrorResponse(request->id, "invalid_request",
+                                    "request needs a string 'op' field");
+    return false;
+  }
+  request->op = op->string_value();
+
+  StatusOr<int64_t> timeout_ms = OptionalInt(request->body, "timeout_ms", 0);
+  StatusOr<int64_t> max_states = OptionalInt(request->body, "max_states", 0);
+  if (!timeout_ms.ok() || !max_states.ok()) {
+    const Status& bad =
+        timeout_ms.ok() ? max_states.status() : timeout_ms.status();
+    *error_response =
+        ErrorResponse(request->id, "invalid_request", bad.message());
+    return false;
+  }
+  request->admission =
+      AdmitRequest(options_.admission, *timeout_ms, *max_states);
+
+  if (request->op == "admin") {
+    const Json* action = request->body.Find("action");
+    request->is_shutdown = action != nullptr && action->is_string() &&
+                           action->string_value() == "shutdown";
+  }
+  return true;
+}
+
+std::string Server::ExecuteToResponse(const Request& request) {
+  static const obs::Counter requests("service.requests");
+  static const obs::Counter expired("service.rejected.expired_in_queue");
+  static const obs::Histogram request_us("service.request_us");
+  obs::Span span("service.request");
+  std::vector<int64_t> baseline = obs::internal::ThreadCounterValues();
+  auto start = std::chrono::steady_clock::now();
+  requests.Increment();
+
+  StatusOr<JsonObject> fields = Status::InvalidArgument("unreachable");
+  bool cache_hit = false;
+  bool cacheable_op = false;
+  if (request.admission.ExpiredInQueue()) {
+    expired.Increment();
+    fields = Status::DeadlineExceeded(
+        "deadline expired while the request was queued");
+  } else {
+    Budget budget = request.admission.MakeBudget();
+    if (request.op == "eval") {
+      cacheable_op = true;
+      fields = OpEval(request, &budget, &cache_hit);
+    } else if (request.op == "rewrite") {
+      cacheable_op = true;
+      fields = OpRewrite(request, &budget, &cache_hit);
+    } else if (request.op == "answer") {
+      fields = OpAnswer(request, &budget);
+    } else if (request.op == "admin") {
+      fields = OpAdmin(request);
+    } else {
+      fields = Status::InvalidArgument("unknown op '" + request.op + "'");
+    }
+  }
+
+  int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  request_us.RecordUs(us);
+  span.Note("ok", fields.ok() ? 1 : 0);
+
+  JsonObject tail;
+  if (cacheable_op && fields.ok()) {
+    tail.emplace_back("cache", Json::Str(cache_hit ? "hit" : "miss"));
+  }
+  tail.emplace_back("us", Json::Int(us));
+  // Same-thread counter deltas: the request ran entirely on this worker, so
+  // the deltas are exactly this request's footprint.
+  std::vector<std::pair<std::string, int64_t>> deltas;
+  obs::internal::AppendCounterDeltasSince(baseline, &deltas);
+  JsonObject counters;
+  for (const auto& [name, delta] : deltas) {
+    counters.emplace_back(name, Json::Int(delta));
+  }
+  tail.emplace_back("counters", Json::Obj(std::move(counters)));
+
+  if (!fields.ok()) {
+    JsonObject error_fields;
+    error_fields.emplace_back("code",
+                              Json::Str(StatusErrorCode(fields.status())));
+    error_fields.emplace_back(
+        "message", Json::Str(StatusErrorMessage(fields.status())));
+    for (auto& field : tail) error_fields.push_back(std::move(field));
+    return RenderResponse(request.id, "error", std::move(error_fields));
+  }
+  JsonObject ok_fields = std::move(fields).value();
+  for (auto& field : tail) ok_fields.push_back(std::move(field));
+  return RenderResponse(request.id, "ok", std::move(ok_fields));
+}
+
+StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
+                                    bool* cache_hit) {
+  std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
+  if (snapshot == nullptr) {
+    return Unavailable(
+        "no graph snapshot loaded; start with --db or send "
+        "{\"op\":\"admin\",\"action\":\"reload\",\"db\":...}");
+  }
+  RPQI_ASSIGN_OR_RETURN(std::string query_text,
+                        RequireString(request.body, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(query_text));
+  // Key: op, snapshot content fingerprint, canonicalized query AST. Textual
+  // variants of one AST ("a|b" vs "(a|b)") share an entry; different
+  // snapshot contents can never alias.
+  std::string key = "eval|" + FingerprintHex(snapshot->fingerprint) + "|" +
+                    RegexToString(expr);
+
+  std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
+  if (plan != nullptr && plan->eval_answers.has_value()) {
+    *cache_hit = true;
+  } else {
+    SignedAlphabet alphabet = snapshot->alphabet;
+    RegisterRelations({expr}, &alphabet);
+    RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
+    RPQI_ASSIGN_OR_RETURN(
+        auto pairs, EvalRpqiAllPairsWithBudget(snapshot->db, query, budget));
+    auto fresh = std::make_shared<CachedPlan>();
+    fresh->query_nfa = std::move(query);
+    fresh->eval_answers = std::move(pairs);
+    plan_cache_.Put(key, fresh);
+    plan = std::move(fresh);
+  }
+
+  JsonArray answers;
+  answers.reserve(plan->eval_answers->size());
+  for (const auto& [x, y] : *plan->eval_answers) {
+    answers.push_back(Json::Arr({Json::Str(snapshot->db.NodeName(x)),
+                                 Json::Str(snapshot->db.NodeName(y))}));
+  }
+  JsonObject fields;
+  fields.emplace_back("snapshot_version", Json::Int(snapshot->version));
+  fields.emplace_back("answers", Json::Arr(std::move(answers)));
+  return fields;
+}
+
+StatusOr<JsonObject> Server::OpRewrite(const Request& request, Budget* budget,
+                                       bool* cache_hit) {
+  RPQI_ASSIGN_OR_RETURN(std::string query_text,
+                        RequireString(request.body, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
+  RPQI_ASSIGN_OR_RETURN(NamedViews views, ParseNamedViews(request.body));
+
+  std::string key = "rewrite|" + RegexToString(query_expr);
+  for (size_t i = 0; i < views.names.size(); ++i) {
+    key += "|" + views.names[i] + "=" + RegexToString(views.exprs[i]);
+  }
+
+  std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
+  if (plan != nullptr && plan->rewriting.has_value()) {
+    *cache_hit = true;
+  } else {
+    SignedAlphabet alphabet;
+    RegisterRelations({query_expr}, &alphabet);
+    RegisterRelations(views.exprs, &alphabet);
+    RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(query_expr, alphabet));
+    std::vector<Nfa> view_nfas;
+    for (const RegexPtr& expr : views.exprs) {
+      RPQI_ASSIGN_OR_RETURN(Nfa view, CompileRegex(expr, alphabet));
+      view_nfas.push_back(std::move(view));
+    }
+    RewritingOptions options;
+    options.budget = budget;
+    if (request.admission.max_states > 0) {
+      options.max_subset_states = request.admission.max_states;
+      options.max_product_states = request.admission.max_states;
+    }
+    RPQI_ASSIGN_OR_RETURN(MaximalRewriting rewriting,
+                          ComputeMaximalRewriting(query, view_nfas, options));
+    auto fresh = std::make_shared<CachedPlan>();
+    fresh->view_names = views.names;
+    if (rewriting.exhaustive && !rewriting.empty) {
+      fresh->exact = IsExactRewriting(query, view_nfas, rewriting.dfa);
+    }
+    bool exhaustive = rewriting.exhaustive;
+    fresh->rewriting = std::move(rewriting);
+    // Only exhaustive results are cached: a degraded partial rewriting
+    // reflects this request's budget, not the query, and must not be served
+    // to better-funded callers.
+    if (exhaustive) plan_cache_.Put(key, fresh);
+    plan = std::move(fresh);
+  }
+
+  const MaximalRewriting& rewriting = *plan->rewriting;
+  JsonObject fields;
+  fields.emplace_back("empty", Json::Bool(rewriting.empty));
+  fields.emplace_back(
+      "rewriting",
+      Json::Str(rewriting.empty
+                    ? "%empty"
+                    : RewritingToString(rewriting.dfa, plan->view_names)));
+  fields.emplace_back("exhaustive", Json::Bool(rewriting.exhaustive));
+  fields.emplace_back("exact", plan->exact.has_value()
+                                   ? Json::Bool(*plan->exact)
+                                   : Json::Null());
+  if (!rewriting.exhaustive) {
+    fields.emplace_back("partial_word_length",
+                        Json::Int(rewriting.partial_word_length));
+    fields.emplace_back("degradation_cause",
+                        Json::Str(rewriting.degradation_cause.ToString()));
+  }
+  JsonObject stats;
+  stats.emplace_back("a1_states", Json::Int(rewriting.stats.a1_states));
+  stats.emplace_back("a3_states", Json::Int(rewriting.stats.a3_states));
+  stats.emplace_back("a2_states_discovered",
+                     Json::Int(rewriting.stats.a2_states_discovered));
+  stats.emplace_back("product_states",
+                     Json::Int(rewriting.stats.product_states));
+  stats.emplace_back("a4_states", Json::Int(rewriting.stats.a4_states));
+  stats.emplace_back("rewriting_states",
+                     Json::Int(rewriting.stats.rewriting_states));
+  fields.emplace_back("stats", Json::Obj(std::move(stats)));
+  return fields;
+}
+
+StatusOr<JsonObject> Server::OpAnswer(const Request& request, Budget* budget) {
+  RPQI_ASSIGN_OR_RETURN(std::string mode, RequireString(request.body, "mode"));
+  if (mode != "cda" && mode != "oda") {
+    return Status::InvalidArgument("'mode' must be 'cda' or 'oda', got '" +
+                                   mode + "'");
+  }
+  RPQI_ASSIGN_OR_RETURN(int64_t objects64,
+                        OptionalInt(request.body, "objects", 0));
+  if (objects64 < 1 || objects64 > (1 << 20)) {
+    return Status::InvalidArgument(
+        "'objects' must be an integer in [1, 2^20]");
+  }
+  int num_objects = static_cast<int>(objects64);
+  RPQI_ASSIGN_OR_RETURN(std::string query_text,
+                        RequireString(request.body, "query"));
+  RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
+
+  const Json* views = request.body.Find("views");
+  if (views == nullptr || !views->is_array() || views->array().empty()) {
+    return Status::InvalidArgument(
+        "request needs a non-empty 'views' array of "
+        "{name, expr, assumption, extension} objects");
+  }
+  struct ViewSpec {
+    RegexPtr expr;
+    ViewAssumption assumption;
+    std::vector<std::pair<int, int>> extension;
+  };
+  std::vector<ViewSpec> specs;
+  for (const Json& element : views->array()) {
+    if (!element.is_object()) {
+      return Status::InvalidArgument("'views' entries must be objects");
+    }
+    ViewSpec spec;
+    RPQI_ASSIGN_OR_RETURN(std::string expr_text,
+                          RequireString(element, "expr"));
+    RPQI_ASSIGN_OR_RETURN(spec.expr, ParseExpr(expr_text));
+    RPQI_ASSIGN_OR_RETURN(std::string assumption,
+                          RequireString(element, "assumption"));
+    if (assumption == "sound") {
+      spec.assumption = ViewAssumption::kSound;
+    } else if (assumption == "complete") {
+      spec.assumption = ViewAssumption::kComplete;
+    } else if (assumption == "exact") {
+      spec.assumption = ViewAssumption::kExact;
+    } else {
+      return Status::InvalidArgument("unknown assumption '" + assumption +
+                                     "' (sound|complete|exact)");
+    }
+    const Json* extension = element.Find("extension");
+    if (extension == nullptr || !extension->is_array()) {
+      return Status::InvalidArgument(
+          "view needs an 'extension' array of [a,b] pairs");
+    }
+    for (const Json& pair : extension->array()) {
+      RPQI_ASSIGN_OR_RETURN(auto parsed,
+                            ParsePairElement(pair, "extension", num_objects));
+      spec.extension.push_back(parsed);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<std::pair<int, int>> probes;
+  const Json* pairs = request.body.Find("pairs");
+  if (pairs != nullptr) {
+    if (!pairs->is_array()) {
+      return Status::InvalidArgument("'pairs' must be an array of [c,d]");
+    }
+    for (const Json& pair : pairs->array()) {
+      RPQI_ASSIGN_OR_RETURN(auto parsed,
+                            ParsePairElement(pair, "pairs", num_objects));
+      probes.push_back(parsed);
+    }
+  } else {
+    if (static_cast<int64_t>(num_objects) * num_objects > (1 << 20)) {
+      return Status::InvalidArgument(
+          "all-pairs probing above 2^20 pairs needs an explicit 'pairs' "
+          "array");
+    }
+    for (int c = 0; c < num_objects; ++c) {
+      for (int d = 0; d < num_objects; ++d) probes.push_back({c, d});
+    }
+  }
+
+  SignedAlphabet alphabet;
+  RegisterRelations({query_expr}, &alphabet);
+  for (const ViewSpec& spec : specs) RegisterRelations({spec.expr}, &alphabet);
+  AnsweringInstance instance;
+  instance.num_objects = num_objects;
+  RPQI_ASSIGN_OR_RETURN(instance.query, CompileRegex(query_expr, alphabet));
+  for (ViewSpec& spec : specs) {
+    View view;
+    RPQI_ASSIGN_OR_RETURN(view.definition, CompileRegex(spec.expr, alphabet));
+    view.extension = std::move(spec.extension);
+    view.assumption = spec.assumption;
+    instance.views.push_back(std::move(view));
+  }
+
+  JsonArray results;
+  if (mode == "oda") {
+    OdaOptions options;
+    options.budget = budget;
+    // One solver for the whole probe batch: the Section 5.2 view-side
+    // automata are built once and reused per pair.
+    OdaSolver solver(instance, options);
+    for (const auto& [c, d] : probes) {
+      RPQI_ASSIGN_OR_RETURN(OdaResult result, solver.CertainAnswer(c, d));
+      results.push_back(Json::Obj({{"pair", Json::Arr({Json::Int(c),
+                                                       Json::Int(d)})},
+                                   {"certain", Json::Bool(result.certain)}}));
+    }
+  } else {
+    CdaOptions options;
+    options.budget = budget;
+    for (const auto& [c, d] : probes) {
+      RPQI_ASSIGN_OR_RETURN(CdaResult result,
+                            CertainAnswerCda(instance, c, d, options));
+      results.push_back(Json::Obj({{"pair", Json::Arr({Json::Int(c),
+                                                       Json::Int(d)})},
+                                   {"certain", Json::Bool(result.certain)}}));
+    }
+  }
+  JsonObject fields;
+  fields.emplace_back("mode", Json::Str(mode));
+  fields.emplace_back("results", Json::Arr(std::move(results)));
+  return fields;
+}
+
+StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
+  RPQI_ASSIGN_OR_RETURN(std::string action,
+                        RequireString(request.body, "action"));
+  JsonObject fields;
+  fields.emplace_back("action", Json::Str(action));
+  if (action == "reload") {
+    RPQI_ASSIGN_OR_RETURN(std::string db_path,
+                          RequireString(request.body, "db"));
+    RPQI_ASSIGN_OR_RETURN(int64_t version, snapshot_store_.Reload(db_path));
+    std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
+    fields.emplace_back("snapshot_version", Json::Int(version));
+    fields.emplace_back("nodes", Json::Int(snapshot->db.NumNodes()));
+    fields.emplace_back("edges", Json::Int(snapshot->db.NumEdges()));
+    fields.emplace_back("fingerprint",
+                        Json::Str(FingerprintHex(snapshot->fingerprint)));
+    return fields;
+  }
+  if (action == "stats") {
+    fields.emplace_back("plan_cache",
+                        Json::Obj(PlanCacheStatsJson(plan_cache_)));
+    JsonObject snapshot_stats;
+    std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
+    snapshot_stats.emplace_back("version",
+                                Json::Int(snapshot_store_.version()));
+    if (snapshot != nullptr) {
+      snapshot_stats.emplace_back("path", Json::Str(snapshot->source_path));
+      snapshot_stats.emplace_back("nodes", Json::Int(snapshot->db.NumNodes()));
+      snapshot_stats.emplace_back("edges", Json::Int(snapshot->db.NumEdges()));
+      snapshot_stats.emplace_back(
+          "fingerprint", Json::Str(FingerprintHex(snapshot->fingerprint)));
+    }
+    fields.emplace_back("snapshot", Json::Obj(std::move(snapshot_stats)));
+    JsonObject admission;
+    admission.emplace_back("threads", Json::Int(options_.threads));
+    admission.emplace_back("queue_depth",
+                           Json::Int(options_.admission.queue_depth));
+    admission.emplace_back("default_timeout_ms",
+                           Json::Int(options_.admission.default_timeout_ms));
+    admission.emplace_back("default_max_states",
+                           Json::Int(options_.admission.default_max_states));
+    fields.emplace_back("admission", Json::Obj(std::move(admission)));
+    return fields;
+  }
+  if (action == "sleep") {
+    // Test/diagnostic helper: occupies this worker, making queue backpressure
+    // reproducible (tools/cli_serve_test.py).
+    RPQI_ASSIGN_OR_RETURN(int64_t ms, OptionalInt(request.body, "ms", 0));
+    ms = std::min(ms, kMaxSleepMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    fields.emplace_back("slept_ms", Json::Int(ms));
+    return fields;
+  }
+  if (action == "shutdown") {
+    fields.emplace_back("draining", Json::Bool(true));
+    return fields;
+  }
+  return Status::InvalidArgument(
+      "unknown admin action '" + action +
+      "' (reload|stats|sleep|shutdown)");
+}
+
+void Server::WriteLine(std::ostream* out, std::mutex* out_mu,
+                       const std::string& line) {
+  std::lock_guard<std::mutex> lock(*out_mu);
+  *out << line << '\n';
+  out->flush();
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  Request request;
+  std::string error_response;
+  if (!ParseRequest(line, &request, &error_response)) return error_response;
+  return ExecuteToResponse(request);
+}
+
+Status Server::Serve(std::istream& in, std::ostream& out) {
+  static const obs::Counter accepted("service.requests.accepted");
+  static const obs::Counter rejected("service.rejected.queue_full");
+  static const obs::Counter invalid("service.rejected.invalid");
+  shutdown_requested_.store(false, std::memory_order_relaxed);
+  std::mutex out_mu;
+  {
+    WorkerPool pool(options_.threads, options_.admission.queue_depth);
+    std::string line;
+    while (!shutdown_requested_.load(std::memory_order_relaxed) &&
+           std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      auto request = std::make_shared<Request>();
+      std::string error_response;
+      if (!ParseRequest(line, request.get(), &error_response)) {
+        invalid.Increment();
+        WriteLine(&out, &out_mu, error_response);
+        continue;
+      }
+      if (request->is_shutdown) {
+        // Stop reading after this request; it still goes through the queue so
+        // its response serializes behind everything accepted before it.
+        shutdown_requested_.store(true, std::memory_order_relaxed);
+      }
+      Json id = request->id;  // for the rejection path below
+      bool submitted = pool.TrySubmit([this, &out, &out_mu, request] {
+        WriteLine(&out, &out_mu, ExecuteToResponse(*request));
+      });
+      if (submitted) {
+        accepted.Increment();
+      } else {
+        rejected.Increment();
+        WriteLine(&out, &out_mu,
+                  ErrorResponse(id, "overloaded",
+                                "request queue full (depth " +
+                                    std::to_string(
+                                        options_.admission.queue_depth) +
+                                    ")"));
+      }
+    }
+    pool.Drain();
+  }
+  out.flush();
+  return Status::Ok();
+}
+
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,110 @@
+#ifndef RPQI_SERVICE_SERVER_H_
+#define RPQI_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "base/status.h"
+#include "service/admission.h"
+#include "service/json.h"
+#include "service/plan_cache.h"
+#include "service/snapshot.h"
+
+namespace rpqi {
+namespace service {
+
+/// Configuration for one Server instance. Zero-valued quota fields mean
+/// "unlimited"; see AdmissionPolicy for the per-request derivation.
+struct ServerOptions {
+  /// Worker threads executing requests (the request-level concurrency; the
+  /// per-request pipeline stays serial to avoid nested parallelism).
+  int threads = 1;
+  AdmissionPolicy admission;
+  /// Plan-cache capacity; <= 0 disables caching.
+  int64_t plan_cache_bytes = int64_t{64} << 20;
+  int plan_cache_shards = 8;
+  /// Graph database loaded at Init(); empty = start without a snapshot (eval
+  /// requests fail with `unavailable` until an `admin reload`).
+  std::string initial_db_path;
+};
+
+/// The long-lived query-serving engine behind `rpqi serve`: reads NDJSON
+/// requests (one JSON object per line) from an input stream, executes them on
+/// a bounded worker pool, and writes one NDJSON response line per request.
+/// Responses may be emitted out of order; each echoes the request's `id`.
+///
+/// Protocol (see README, "The serve protocol", for the full reference):
+///   {"id":1,"op":"eval","query":"(a|b)* c","timeout_ms":500}
+///   {"id":2,"op":"rewrite","query":"a b","views":{"v1":"a","v2":"b"}}
+///   {"id":3,"op":"answer","mode":"oda","objects":3,"query":"a",
+///    "views":[{"name":"v","expr":"a","assumption":"exact",
+///              "extension":[[0,1]]}],"pairs":[[0,1]]}
+///   {"id":4,"op":"admin","action":"reload","db":"graph.txt"}
+/// Responses carry "status":"ok" plus op fields, or "status":"error" with a
+/// structured code (invalid_request, unavailable, overloaded,
+/// resource_exhausted, deadline_exceeded, cancelled) — request failures are
+/// responses, never process exits.
+///
+/// Lifecycle: Serve() returns after the input hits EOF (or an
+/// `admin shutdown` request) *and* every accepted request has been answered
+/// (graceful drain). A Server may Serve() repeatedly; the plan cache and
+/// snapshot store persist across calls — that is the whole point.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads the initial snapshot when the options name one. Split from the
+  /// constructor so the CLI can map a bad --db to a clean exit code.
+  Status Init();
+
+  /// Blocking serve loop; returns Ok after a clean drain. The streams are
+  /// borrowed for the duration of the call.
+  Status Serve(std::istream& in, std::ostream& out);
+
+  /// Parses and executes one request line synchronously on the calling
+  /// thread and returns the response line (no trailing newline). The
+  /// single-request entry point for tests and benchmarks; admission control
+  /// (queueing) is bypassed, quotas still apply.
+  std::string HandleLine(const std::string& line);
+
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  SnapshotStore& snapshot_store() { return snapshot_store_; }
+
+ private:
+  struct Request;
+
+  /// Parses the envelope (id/op/quota fields). Errors become a ready-made
+  /// error response in `*error_response` and return false.
+  bool ParseRequest(const std::string& line, Request* request,
+                    std::string* error_response);
+  /// Executes a parsed request and renders the full response line.
+  std::string ExecuteToResponse(const Request& request);
+
+  StatusOr<JsonObject> OpEval(const Request& request, Budget* budget,
+                              bool* cache_hit);
+  StatusOr<JsonObject> OpRewrite(const Request& request, Budget* budget,
+                                 bool* cache_hit);
+  StatusOr<JsonObject> OpAnswer(const Request& request, Budget* budget);
+  StatusOr<JsonObject> OpAdmin(const Request& request);
+
+  void WriteLine(std::ostream* out, std::mutex* out_mu,
+                 const std::string& line);
+
+  ServerOptions options_;
+  PlanCache plan_cache_;
+  SnapshotStore snapshot_store_;
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace service
+}  // namespace rpqi
+
+#endif  // RPQI_SERVICE_SERVER_H_

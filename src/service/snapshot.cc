@@ -1,0 +1,99 @@
+#include "service/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/validate.h"
+#include "base/hash.h"
+#include "graphdb/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rpqi {
+namespace service {
+namespace {
+
+uint64_t FingerprintText(const std::string& text) {
+  // Hash 8 bytes at a time plus a length term; the tail bytes are folded in
+  // one by one. Content-addressed, so identical text => identical key space.
+  uint64_t h = HashCombine(0x5349474e41505348ULL, text.size());
+  size_t i = 0;
+  for (; i + 8 <= text.size(); i += 8) {
+    uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<uint64_t>(static_cast<unsigned char>(text[i + b]))
+              << (8 * b);
+    }
+    h = HashCombine(h, word);
+  }
+  for (; i < text.size(); ++i) {
+    h = HashCombine(h, static_cast<unsigned char>(text[i]));
+  }
+  return h;
+}
+
+/// Loads and validates; returns a still-mutable snapshot so SnapshotStore can
+/// stamp the version before publishing it as const.
+StatusOr<std::shared_ptr<GraphSnapshot>> LoadMutable(
+    const std::string& path, const SignedAlphabet& base_alphabet) {
+  static const obs::Counter loads("service.snapshot.loads");
+  obs::Span span("service.snapshot.load");
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  auto snapshot = std::make_shared<GraphSnapshot>();
+  snapshot->alphabet = base_alphabet;
+  snapshot->source_path = path;
+  snapshot->fingerprint = FingerprintText(text);
+  RPQI_ASSIGN_OR_RETURN(snapshot->db,
+                        LoadGraphText(text, &snapshot->alphabet));
+  RPQI_RETURN_IF_ERROR(
+      ValidateGraphDb(snapshot->db, snapshot->alphabet.NumRelations()));
+  loads.Increment();
+  span.Note("nodes", snapshot->db.NumNodes());
+  span.Note("edges", snapshot->db.NumEdges());
+  return snapshot;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const GraphSnapshot>> LoadGraphSnapshot(
+    const std::string& path, const SignedAlphabet& base_alphabet) {
+  RPQI_ASSIGN_OR_RETURN(std::shared_ptr<GraphSnapshot> snapshot,
+                        LoadMutable(path, base_alphabet));
+  return std::shared_ptr<const GraphSnapshot>(std::move(snapshot));
+}
+
+StatusOr<int64_t> SnapshotStore::Reload(const std::string& path) {
+  static const obs::Counter reloads("service.snapshot.reloads");
+  static const obs::Gauge version_gauge("service.snapshot.version");
+  // Load outside the lock: a slow parse must not block Current() readers.
+  RPQI_ASSIGN_OR_RETURN(std::shared_ptr<GraphSnapshot> loaded,
+                        LoadMutable(path, SignedAlphabet()));
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t version = ++versions_issued_;
+  loaded->version = version;
+  current_ = std::move(loaded);
+  reloads.Increment();
+  version_gauge.Set(version);
+  return version;
+}
+
+std::shared_ptr<const GraphSnapshot> SnapshotStore::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+int64_t SnapshotStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,73 @@
+#ifndef RPQI_SERVICE_SNAPSHOT_H_
+#define RPQI_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+#include "graphdb/graph.h"
+#include "rpq/alphabet.h"
+
+namespace rpqi {
+namespace service {
+
+/// An immutable, validated graph database plus the alphabet it was parsed
+/// under. Snapshots are shared via shared_ptr<const GraphSnapshot>: requests
+/// pin the snapshot they started with, so an `admin reload` swapping the
+/// store's current snapshot never mutates or frees state under a running
+/// query.
+struct GraphSnapshot {
+  GraphDb db;
+  SignedAlphabet alphabet;
+  std::string source_path;
+  /// Monotonic store version (1 for the first load). 0 only for snapshots
+  /// built outside a store (direct LoadGraphSnapshot callers, e.g. the CLI).
+  int64_t version = 0;
+  /// Content fingerprint: hash of the source text. Part of every plan-cache
+  /// key derived against this snapshot, so plans computed against different
+  /// graph contents can never be confused — while a reload of byte-identical
+  /// content keeps the cache warm.
+  uint64_t fingerprint = 0;
+};
+
+/// The shared load-and-validate entry point: reads `path`, parses the graph
+/// text format (graphdb/io.h) registering relations into a copy of
+/// `base_alphabet`, and runs the structural validator (analysis/validate.h).
+/// Both the one-shot CLI commands and the serving layer load graphs through
+/// here. `base_alphabet` lets a caller that already registered query/view
+/// relations keep its relation ids stable (the CLI `rewrite --db` path); pass
+/// a default-constructed alphabet otherwise.
+StatusOr<std::shared_ptr<const GraphSnapshot>> LoadGraphSnapshot(
+    const std::string& path, const SignedAlphabet& base_alphabet = {});
+
+/// Holds the serving layer's current snapshot; Reload() atomically replaces
+/// it (last write wins) while readers keep whatever they pinned. Thread-safe.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Loads `path` and, on success, swaps it in as the current snapshot with
+  /// the next version number. On failure the current snapshot is untouched.
+  StatusOr<int64_t> Reload(const std::string& path);
+
+  /// The current snapshot, or nullptr when nothing was ever loaded.
+  std::shared_ptr<const GraphSnapshot> Current() const;
+
+  /// Version of the current snapshot (0 when empty).
+  int64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const GraphSnapshot> current_;
+  int64_t versions_issued_ = 0;
+};
+
+}  // namespace service
+}  // namespace rpqi
+
+#endif  // RPQI_SERVICE_SNAPSHOT_H_

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "base/bitset.h"
+#include "base/flags.h"
 #include "base/interner.h"
 #include "base/status.h"
 #include "base/strings.h"
@@ -249,6 +251,104 @@ TEST(ThreadPoolTest, ConcurrentParallelForCallsOnOnePoolAreSerialized) {
   for (std::thread& caller : callers) caller.join();
   EXPECT_EQ(grand_total.load(),
             int64_t{kCallers} * kBatches * kItems);
+}
+
+std::vector<char*> Argv(const std::vector<std::string>& args) {
+  // ParseFlags takes argv as char**; the strings outlive the call.
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  return argv;
+}
+
+TEST(ParseFlagsTest, CollectsRepeatedFlags) {
+  std::vector<std::string> args = {"prog", "cmd",  "--query", "a b",
+                                   "--view", "v1=a", "--view",  "v2=b"};
+  std::vector<char*> argv = Argv(args);
+  StatusOr<FlagMap> flags =
+      ParseFlags(static_cast<int>(argv.size()), argv.data(), 2);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->at("query"), std::vector<std::string>{"a b"});
+  EXPECT_EQ(flags->at("view"), (std::vector<std::string>{"v1=a", "v2=b"}));
+}
+
+TEST(ParseFlagsTest, TrailingFlagWithoutValueSaysRequiresAValue) {
+  // Regression test: `rpqi eval --db` used to fall through to the misleading
+  // "unexpected argument '--db'" diagnostic.
+  std::vector<std::string> args = {"prog", "eval", "--db"};
+  std::vector<char*> argv = Argv(args);
+  StatusOr<FlagMap> flags =
+      ParseFlags(static_cast<int>(argv.size()), argv.data(), 2);
+  ASSERT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(flags.status().message(), "flag --db requires a value");
+}
+
+TEST(ParseFlagsTest, TrailingFlagAfterValidFlagsStillDiagnosed) {
+  std::vector<std::string> args = {"prog", "eval", "--query", "a", "--db"};
+  std::vector<char*> argv = Argv(args);
+  StatusOr<FlagMap> flags =
+      ParseFlags(static_cast<int>(argv.size()), argv.data(), 2);
+  ASSERT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().message(), "flag --db requires a value");
+}
+
+TEST(ParseFlagsTest, PositionalsAndBareDashesStayUnexpectedArguments) {
+  for (const char* bad : {"positional", "-x", "--"}) {
+    std::vector<std::string> args = {"prog", "cmd", bad, "value"};
+    std::vector<char*> argv = Argv(args);
+    StatusOr<FlagMap> flags =
+        ParseFlags(static_cast<int>(argv.size()), argv.data(), 2);
+    ASSERT_FALSE(flags.ok()) << bad;
+    EXPECT_EQ(flags.status().message(),
+              std::string("unexpected argument '") + bad + "'");
+  }
+}
+
+TEST(WorkerPoolTest, RunsEveryAcceptedTaskExactlyOnce) {
+  WorkerPool pool(4, 1024);
+  std::atomic<int> ran{0};
+  int accepted = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (pool.TrySubmit([&] { ran.fetch_add(1); })) ++accepted;
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), accepted);
+  EXPECT_EQ(accepted, 500);
+}
+
+TEST(WorkerPoolTest, RejectsWhenQueueFull) {
+  WorkerPool pool(1, 2);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so subsequent tasks pile up in the queue.
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  }));
+  // The worker may not have dequeued the blocker yet, so the queue has room
+  // for at least one more task and rejects once it holds two.
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pool.TrySubmit([&] { ran.fetch_add(1); })) ++accepted;
+  }
+  EXPECT_LE(accepted, 3);  // blocker possibly still queued + 2 slots
+  EXPECT_LT(accepted, 10);
+  release.store(true);
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 1 + accepted);
+  // After Drain, admission is closed for good.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+TEST(WorkerPoolTest, DrainIsIdempotentAndImmediateWhenIdle) {
+  WorkerPool pool(2, 4);
+  pool.Drain();
+  pool.Drain();
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_EQ(pool.QueuedNow(), 0);
 }
 
 }  // namespace

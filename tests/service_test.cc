@@ -1,0 +1,677 @@
+// Tests for src/service: the NDJSON protocol values (json.h), the sharded
+// plan cache, the snapshot store, admission control, and the Server loop
+// itself — including the concurrency stress mixing plan-cache traffic with
+// snapshot hot-swaps, and exact counter accounting against the obs registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/admission.h"
+#include "service/json.h"
+#include "service/plan_cache.h"
+#include "service/server.h"
+#include "service/snapshot.h"
+
+namespace rpqi {
+namespace service {
+namespace {
+
+Json MustParse(const std::string& text) {
+  StatusOr<Json> parsed = ParseJson(text);
+  return std::move(parsed).value();  // aborts with the parse error if not ok
+}
+
+// ---------------------------------------------------------------------------
+// json.h
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(MustParse("null").type(), Json::Type::kNull);
+  EXPECT_EQ(MustParse("true").bool_value(), true);
+  EXPECT_EQ(MustParse("false").bool_value(), false);
+  EXPECT_EQ(MustParse("42").int_value(), 42);
+  EXPECT_EQ(MustParse("-7").int_value(), -7);
+  EXPECT_TRUE(MustParse("1.5").is_number());
+  EXPECT_DOUBLE_EQ(MustParse("1.5").double_value(), 1.5);
+  EXPECT_EQ(MustParse("\"hi\"").string_value(), "hi");
+}
+
+TEST(JsonTest, IntegersBeyondInt64BecomeDoubles) {
+  Json big = MustParse("123456789012345678901234567890");
+  EXPECT_EQ(big.type(), Json::Type::kDouble);
+  Json exp = MustParse("1e3");
+  EXPECT_EQ(exp.type(), Json::Type::kDouble);
+  EXPECT_DOUBLE_EQ(exp.double_value(), 1000.0);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  Json parsed = MustParse(R"("a\"b\\c\ndA")");
+  EXPECT_EQ(parsed.string_value(), "a\"b\\c\ndA");
+  std::string dumped = Json::Str("tab\there\"q").Dump();
+  EXPECT_EQ(MustParse(dumped).string_value(), "tab\there\"q");
+}
+
+TEST(JsonTest, ObjectsPreserveOrderAndFindFirstWins) {
+  Json object = MustParse(R"({"b":1,"a":2,"b":3})");
+  ASSERT_TRUE(object.is_object());
+  EXPECT_EQ(object.object()[0].first, "b");
+  EXPECT_EQ(object.object()[1].first, "a");
+  ASSERT_NE(object.Find("b"), nullptr);
+  EXPECT_EQ(object.Find("b")->int_value(), 1);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+  EXPECT_EQ(object.Dump(), R"({"b":1,"a":2,"b":3})");
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  const std::string text =
+      R"({"op":"eval","args":[1,2.5,"x",null,true],"sub":{"k":[]}})";
+  EXPECT_EQ(MustParse(text).Dump(), text);
+}
+
+TEST(JsonTest, ErrorsNameTheByteOffset) {
+  StatusOr<Json> bad = ParseJson("{\"a\":}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("byte "), std::string::npos)
+      << bad.status().message();
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonTest, TrailingContentIsAnError) {
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{} {}").ok());
+  EXPECT_TRUE(ParseJson("{}  \t").ok());
+}
+
+TEST(JsonTest, DepthCapStopsAdversarialNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  StatusOr<Json> parsed = ParseJson(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos)
+      << parsed.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// plan_cache.h
+
+std::shared_ptr<CachedPlan> PlanWithAnswers(int n) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->eval_answers.emplace();
+  for (int i = 0; i < n; ++i) plan->eval_answers->push_back({i, i});
+  return plan;
+}
+
+TEST(PlanCacheTest, HitAfterPutMissBefore) {
+  PlanCache cache(int64_t{1} << 20, 4);
+  EXPECT_EQ(cache.Get("k1"), nullptr);
+  cache.Put("k1", PlanWithAnswers(3));
+  std::shared_ptr<const CachedPlan> plan = cache.Get("k1");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->eval_answers->size(), 3u);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(PlanCacheTest, LruEvictsColdestFirst) {
+  // Single shard so the LRU order is global; capacity fits ~2 small plans.
+  int64_t plan_bytes = PlanWithAnswers(1)->ApproxBytes() + 2;  // + key size
+  PlanCache cache(2 * plan_bytes + plan_bytes / 2, 1);
+  cache.Put("k1", PlanWithAnswers(1));
+  cache.Put("k2", PlanWithAnswers(1));
+  ASSERT_NE(cache.Get("k1"), nullptr);  // k1 now most-recent
+  cache.Put("k3", PlanWithAnswers(1));  // evicts k2, the coldest
+  EXPECT_EQ(cache.Get("k2"), nullptr);
+  EXPECT_NE(cache.Get("k1"), nullptr);
+  EXPECT_NE(cache.Get("k3"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(PlanCacheTest, ByteAccountingMatchesEntries) {
+  PlanCache cache(int64_t{1} << 20, 2);
+  int64_t expected = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::string key = "key" + std::to_string(i);
+    auto plan = PlanWithAnswers(i);
+    expected += plan->ApproxBytes() + static_cast<int64_t>(key.size());
+    cache.Put(key, std::move(plan));
+  }
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 10);
+  EXPECT_EQ(stats.bytes, expected);
+  EXPECT_LE(stats.bytes, cache.capacity_bytes());
+}
+
+TEST(PlanCacheTest, ReplaceInPlaceKeepsOneEntry) {
+  PlanCache cache(int64_t{1} << 20, 1);
+  cache.Put("k", PlanWithAnswers(1));
+  cache.Put("k", PlanWithAnswers(5));
+  EXPECT_EQ(cache.stats().entries, 1);
+  std::shared_ptr<const CachedPlan> plan = cache.Get("k");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->eval_answers->size(), 5u);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0, 4);
+  cache.Put("k", PlanWithAnswers(1));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(PlanCacheTest, EvictionNeverFreesAPinnedPlan) {
+  int64_t plan_bytes = PlanWithAnswers(1)->ApproxBytes() + 2;
+  PlanCache cache(plan_bytes + plan_bytes / 2, 1);
+  cache.Put("k1", PlanWithAnswers(1));
+  std::shared_ptr<const CachedPlan> pinned = cache.Get("k1");
+  cache.Put("k2", PlanWithAnswers(1));  // evicts k1 from the cache
+  EXPECT_EQ(cache.Get("k1"), nullptr);
+  ASSERT_NE(pinned, nullptr);  // but the pinned reference stays valid
+  EXPECT_EQ(pinned->eval_answers->size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot.h
+
+std::string WriteTempGraph(const std::string& name, const std::string& text) {
+  std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(SnapshotTest, LoadValidatesAndFingerprints) {
+  std::string path = WriteTempGraph("snap_a.txt", "a r b\nb r c\n");
+  auto loaded = LoadGraphSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::shared_ptr<const GraphSnapshot> snapshot = *loaded;
+  EXPECT_EQ(snapshot->db.NumNodes(), 3);
+  EXPECT_EQ(snapshot->db.NumEdges(), 2);
+  EXPECT_EQ(snapshot->source_path, path);
+  EXPECT_NE(snapshot->fingerprint, 0u);
+
+  // Same content at a different path → same fingerprint (content hash).
+  std::string copy = WriteTempGraph("snap_a_copy.txt", "a r b\nb r c\n");
+  auto reloaded = LoadGraphSnapshot(copy);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->fingerprint, snapshot->fingerprint);
+
+  std::string other = WriteTempGraph("snap_b.txt", "a r b\nb s c\n");
+  auto different = LoadGraphSnapshot(other);
+  ASSERT_TRUE(different.ok());
+  EXPECT_NE((*different)->fingerprint, snapshot->fingerprint);
+}
+
+TEST(SnapshotTest, MissingFileAndBadContentAreInvalidArgument) {
+  auto missing = LoadGraphSnapshot(testing::TempDir() + "no_such_graph.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kInvalidArgument);
+  std::string bad = WriteTempGraph("snap_bad.txt", "a r\n");
+  auto malformed = LoadGraphSnapshot(bad);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(SnapshotTest, BaseAlphabetKeepsRelationIdsStable) {
+  SignedAlphabet base;
+  base.AddRelation("q_only");
+  std::string path = WriteTempGraph("snap_base.txt", "a r b\n");
+  auto loaded = LoadGraphSnapshot(path, base);
+  ASSERT_TRUE(loaded.ok());
+  // The base relation keeps id 0; the graph's relation appends after it.
+  EXPECT_EQ((*loaded)->alphabet.NumRelations(), 2);
+}
+
+TEST(SnapshotStoreTest, ReloadSwapsAndPinsKeepOldSnapshotsAlive) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Current(), nullptr);
+  EXPECT_EQ(store.version(), 0);
+
+  std::string path1 = WriteTempGraph("store_v1.txt", "a r b\n");
+  std::string path2 = WriteTempGraph("store_v2.txt", "a r b\nb r c\nc r d\n");
+  ASSERT_TRUE(store.Reload(path1).ok());
+  std::shared_ptr<const GraphSnapshot> pinned = store.Current();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->version, 1);
+  EXPECT_EQ(pinned->db.NumNodes(), 2);
+
+  auto version2 = store.Reload(path2);
+  ASSERT_TRUE(version2.ok());
+  EXPECT_EQ(*version2, 2);
+  EXPECT_EQ(store.version(), 2);
+  EXPECT_EQ(store.Current()->db.NumNodes(), 4);
+  // The pinned snapshot is untouched by the swap.
+  EXPECT_EQ(pinned->version, 1);
+  EXPECT_EQ(pinned->db.NumNodes(), 2);
+
+  // A failed reload keeps the current snapshot and burns no version.
+  ASSERT_FALSE(store.Reload(testing::TempDir() + "nope.txt").ok());
+  EXPECT_EQ(store.version(), 2);
+  EXPECT_EQ(store.Current()->db.NumNodes(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// admission.h
+
+TEST(AdmissionTest, DefaultsFillGapsAndCapsClamp) {
+  AdmissionPolicy policy;
+  policy.default_timeout_ms = 100;
+  policy.max_timeout_ms = 500;
+  policy.default_max_states = 1000;
+  policy.max_states_cap = 5000;
+
+  Admission defaulted = AdmitRequest(policy, 0, 0);
+  EXPECT_TRUE(defaulted.has_deadline);
+  EXPECT_EQ(defaulted.max_states, 1000);
+
+  Admission asked = AdmitRequest(policy, 300, 2000);
+  EXPECT_TRUE(asked.has_deadline);
+  EXPECT_EQ(asked.max_states, 2000);
+
+  Admission clamped = AdmitRequest(policy, 9000, 999999);
+  EXPECT_LE(clamped.deadline - clamped.admitted_at,
+            std::chrono::milliseconds(500));
+  EXPECT_EQ(clamped.max_states, 5000);
+}
+
+TEST(AdmissionTest, UnlimitedPolicyAndRequestMeansNoBudgetLimits) {
+  Admission admission = AdmitRequest(AdmissionPolicy{}, 0, 0);
+  EXPECT_FALSE(admission.has_deadline);
+  EXPECT_EQ(admission.max_states, 0);
+  EXPECT_FALSE(admission.ExpiredInQueue());
+  Budget budget = admission.MakeBudget();
+  EXPECT_TRUE(budget.Check().ok());
+}
+
+TEST(AdmissionTest, CapAppliesEvenWithoutDefaults) {
+  AdmissionPolicy policy;
+  policy.max_timeout_ms = 50;
+  Admission admission = AdmitRequest(policy, 0, 0);
+  // No request ask and no default, but the operator cap still bounds it.
+  EXPECT_TRUE(admission.has_deadline);
+  EXPECT_LE(admission.deadline - admission.admitted_at,
+            std::chrono::milliseconds(50));
+}
+
+TEST(AdmissionTest, ExpiredInQueueAfterDeadlinePasses) {
+  AdmissionPolicy policy;
+  Admission admission = AdmitRequest(policy, 1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(admission.ExpiredInQueue());
+  EXPECT_FALSE(admission.MakeBudget().Check().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server (synchronous entry point)
+
+const Json* FindField(const Json& response, const char* key) {
+  const Json* value = response.Find(key);
+  EXPECT_NE(value, nullptr) << "missing field '" << key << "' in "
+                            << response.Dump();
+  return value;
+}
+
+Json Handle(Server& server, const std::string& line) {
+  return MustParse(server.HandleLine(line));
+}
+
+ServerOptions OptionsWithDb(const std::string& path) {
+  ServerOptions options;
+  options.initial_db_path = path;
+  return options;
+}
+
+TEST(ServerTest, EvalHitsCacheOnSecondRequest) {
+  std::string path = WriteTempGraph("srv_eval.txt", "a r b\nb r c\nc s d\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+
+  Json first = Handle(server, R"({"id":1,"op":"eval","query":"r* s"})");
+  EXPECT_EQ(FindField(first, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(first, "cache")->string_value(), "miss");
+  EXPECT_EQ(FindField(first, "snapshot_version")->int_value(), 1);
+  EXPECT_EQ(FindField(first, "answers")->array().size(), 3u);
+
+  // Textual variant of the same AST: canonicalization shares the entry.
+  Json second =
+      Handle(server, R"q({"id":2,"op":"eval","query":"(r)* (s)"})q");
+  EXPECT_EQ(FindField(second, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(second, "cache")->string_value(), "hit");
+  EXPECT_EQ(FindField(second, "answers")->Dump(),
+            FindField(first, "answers")->Dump());
+}
+
+TEST(ServerTest, EvalWithoutSnapshotIsUnavailable) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Init().ok());
+  Json response = Handle(server, R"({"id":1,"op":"eval","query":"r"})");
+  EXPECT_EQ(FindField(response, "status")->string_value(), "error");
+  EXPECT_EQ(FindField(response, "code")->string_value(), "unavailable");
+}
+
+TEST(ServerTest, MalformedRequestsGetStructuredErrors) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Init().ok());
+  EXPECT_EQ(FindField(Handle(server, "not json"), "code")->string_value(),
+            "invalid_request");
+  EXPECT_EQ(FindField(Handle(server, "[1,2]"), "code")->string_value(),
+            "invalid_request");
+  EXPECT_EQ(
+      FindField(Handle(server, R"({"id":7,"op":"nope"})"), "code")
+          ->string_value(),
+      "invalid_request");
+  // The id is echoed even on errors.
+  EXPECT_EQ(
+      FindField(Handle(server, R"({"id":7,"op":"nope"})"), "id")->int_value(),
+      7);
+  // A syntactically bad query expression (rewrite needs no snapshot, so the
+  // parse error is what surfaces).
+  EXPECT_EQ(
+      FindField(
+          Handle(server,
+                 R"({"id":1,"op":"rewrite","query":"((","views":{"v":"r"}})"),
+          "code")
+          ->string_value(),
+      "invalid_request");
+}
+
+TEST(ServerTest, StateQuotaMapsToResourceExhausted) {
+  std::string path = WriteTempGraph("srv_quota.txt", "a r b\nb r c\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  Json response = Handle(
+      server, R"({"id":1,"op":"eval","query":"r*","max_states":1})");
+  EXPECT_EQ(FindField(response, "status")->string_value(), "error");
+  EXPECT_EQ(FindField(response, "code")->string_value(), "resource_exhausted");
+}
+
+TEST(ServerTest, RewriteCachesExhaustiveResults) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Init().ok());
+  const std::string request =
+      R"({"id":1,"op":"rewrite","query":"r r","views":{"v1":"r"}})";
+  Json first = Handle(server, request);
+  EXPECT_EQ(FindField(first, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(first, "cache")->string_value(), "miss");
+  EXPECT_EQ(FindField(first, "rewriting")->string_value(), "v1 v1");
+  EXPECT_EQ(FindField(first, "exact")->bool_value(), true);
+  EXPECT_EQ(FindField(first, "exhaustive")->bool_value(), true);
+
+  // View order in the request must not matter for the cache key.
+  Json second = Handle(
+      server, R"({"id":2,"op":"rewrite","query":"r r","views":[["v1","r"]]})");
+  EXPECT_EQ(FindField(second, "cache")->string_value(), "hit");
+  EXPECT_EQ(FindField(second, "rewriting")->string_value(), "v1 v1");
+}
+
+TEST(ServerTest, AnswerOdaAndCdaAgreeOnExactView) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Init().ok());
+  for (const char* mode : {"oda", "cda"}) {
+    std::string request =
+        std::string(R"({"id":1,"op":"answer","mode":")") + mode +
+        R"(","objects":2,"query":"r","views":[{"name":"v","expr":"r",)" +
+        R"("assumption":"exact","extension":[[0,1]]}],)" +
+        R"("pairs":[[0,1],[1,0]]})";
+    Json response = Handle(server, request);
+    ASSERT_EQ(FindField(response, "status")->string_value(), "ok") << mode;
+    const JsonArray& results = FindField(response, "results")->array();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].Find("certain")->bool_value()) << mode;
+    EXPECT_FALSE(results[1].Find("certain")->bool_value()) << mode;
+  }
+}
+
+TEST(ServerTest, ReloadKeepsCacheWarmForIdenticalContent) {
+  std::string path = WriteTempGraph("srv_warm.txt", "a r b\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  EXPECT_EQ(
+      FindField(Handle(server, R"({"id":1,"op":"eval","query":"r"})"), "cache")
+          ->string_value(),
+      "miss");
+  Json reload = Handle(
+      server,
+      R"({"id":2,"op":"admin","action":"reload","db":")" + path + R"("})");
+  EXPECT_EQ(FindField(reload, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(reload, "snapshot_version")->int_value(), 2);
+  // Identical content → identical fingerprint → cache entry still keyed.
+  Json after = Handle(server, R"({"id":3,"op":"eval","query":"r"})");
+  EXPECT_EQ(FindField(after, "cache")->string_value(), "hit");
+  EXPECT_EQ(FindField(after, "snapshot_version")->int_value(), 2);
+}
+
+TEST(ServerTest, AdminStatsReportsCacheAndSnapshot) {
+  std::string path = WriteTempGraph("srv_stats.txt", "a r b\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  server.HandleLine(R"({"id":1,"op":"eval","query":"r"})");  // warm the cache
+  Json stats = Handle(server, R"({"id":2,"op":"admin","action":"stats"})");
+  EXPECT_EQ(FindField(stats, "status")->string_value(), "ok");
+  const Json* cache = FindField(stats, "plan_cache");
+  EXPECT_EQ(cache->Find("inserts")->int_value(), 1);
+  EXPECT_GE(cache->Find("bytes")->int_value(), 1);
+  const Json* snapshot = FindField(stats, "snapshot");
+  EXPECT_EQ(snapshot->Find("version")->int_value(), 1);
+  EXPECT_EQ(snapshot->Find("nodes")->int_value(), 2);
+}
+
+TEST(ServerTest, CounterDeltasAccountTheRequestExactly) {
+  std::string path = WriteTempGraph("srv_counters.txt", "a r b\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  Json miss = Handle(server, R"({"id":1,"op":"eval","query":"r"})");
+  const Json* counters = FindField(miss, "counters");
+  ASSERT_NE(counters->Find("service.requests"), nullptr);
+  EXPECT_EQ(counters->Find("service.requests")->int_value(), 1);
+  ASSERT_NE(counters->Find("service.plan_cache.miss"), nullptr);
+  EXPECT_EQ(counters->Find("service.plan_cache.miss")->int_value(), 1);
+  EXPECT_EQ(counters->Find("service.plan_cache.hit"), nullptr);
+
+  Json hit = Handle(server, R"({"id":2,"op":"eval","query":"r"})");
+  const Json* hit_counters = FindField(hit, "counters");
+  ASSERT_NE(hit_counters->Find("service.plan_cache.hit"), nullptr);
+  EXPECT_EQ(hit_counters->Find("service.plan_cache.hit")->int_value(), 1);
+  EXPECT_EQ(hit_counters->Find("service.plan_cache.miss"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Serve() loop: drain, ordering, and the full-stack stress
+
+TEST(ServerTest, ServeAnswersEveryLineAndDrainsOnEof) {
+  std::string path = WriteTempGraph("srv_loop.txt", "a r b\nb r c\n");
+  ServerOptions options = OptionsWithDb(path);
+  options.threads = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+  std::istringstream in(
+      R"({"id":1,"op":"eval","query":"r"})" "\n"
+      "\n"  // blank lines are skipped, not answered
+      R"({"id":2,"op":"eval","query":"r r"})" "\n"
+      "garbage\n"
+      R"({"id":3,"op":"admin","action":"stats"})" "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(server.Serve(in, out).ok());
+  std::istringstream lines(out.str());
+  std::string line;
+  std::multiset<std::string> ids;
+  while (std::getline(lines, line)) {
+    Json response = MustParse(line);
+    ids.insert(response.Find("id")->Dump());
+  }
+  EXPECT_EQ(ids, (std::multiset<std::string>{"1", "2", "3", "null"}));
+}
+
+TEST(ServerTest, ShutdownRequestStopsReadingFurtherInput) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Init().ok());
+  std::istringstream in(
+      R"({"id":1,"op":"admin","action":"shutdown"})" "\n"
+      R"({"id":2,"op":"admin","action":"stats"})" "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(server.Serve(in, out).ok());
+  EXPECT_NE(out.str().find("\"draining\":true"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"id\":2"), std::string::npos);
+}
+
+TEST(ServerStressTest, MixedLoadWithReloadsLosesNoRequests) {
+  std::string path1 =
+      WriteTempGraph("stress_v1.txt", "a r b\nb r c\nc s d\n");
+  std::string path2 =
+      WriteTempGraph("stress_v2.txt", "a r b\nb r c\nc s d\nd r e\n");
+  ServerOptions options = OptionsWithDb(path1);
+  options.threads = 4;
+  options.admission.queue_depth = 2000;  // never reject in this test
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+
+  constexpr int kRequests = 1000;
+  std::ostringstream in_text;
+  for (int i = 0; i < kRequests; ++i) {
+    switch (i % 5) {
+      case 0:
+        in_text << R"({"id":)" << i << R"(,"op":"eval","query":"r* s"})";
+        break;
+      case 1:
+        in_text << R"({"id":)" << i << R"(,"op":"eval","query":"r r"})";
+        break;
+      case 2:
+        in_text << R"({"id":)" << i
+                << R"(,"op":"rewrite","query":"r r","views":{"v":"r"}})";
+        break;
+      case 3:
+        in_text << R"({"id":)" << i << R"(,"op":"admin","action":"stats"})";
+        break;
+      case 4:
+        // Periodic hot swap alternating between the two graph files.
+        in_text << R"({"id":)" << i
+                << R"(,"op":"admin","action":"reload","db":")"
+                << (i % 10 == 4 ? path1 : path2) << R"("})";
+        break;
+    }
+    in_text << "\n";
+  }
+  std::istringstream in(in_text.str());
+  std::ostringstream out;
+  ASSERT_TRUE(server.Serve(in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::map<int64_t, int> answered;
+  int errors = 0;
+  while (std::getline(lines, line)) {
+    Json response = MustParse(line);
+    ASSERT_TRUE(response.Find("id")->is_int()) << line;
+    ++answered[response.Find("id")->int_value()];
+    if (response.Find("status")->string_value() != "ok") ++errors;
+  }
+  // Zero requests lost across reloads: every id answered exactly once.
+  ASSERT_EQ(answered.size(), static_cast<size_t>(kRequests));
+  for (const auto& [id, count] : answered) {
+    EXPECT_EQ(count, 1) << "id " << id;
+  }
+  EXPECT_EQ(errors, 0) << out.str().substr(0, 2000);
+  // Eval answers must reflect *some* pinned snapshot, never a torn one: on
+  // both graphs "r* s" yields exactly 3 pairs and "r r" exactly 1 (the d→e
+  // edge of v2 is relation r, unreachable through s), so any other answer
+  // count means a request saw a half-swapped snapshot.
+  std::istringstream again(out.str());
+  while (std::getline(again, line)) {
+    Json response = MustParse(line);
+    const Json* answers = response.Find("answers");
+    if (answers == nullptr) continue;
+    size_t count = answers->array().size();
+    EXPECT_TRUE(count == 1 || count == 3) << line;
+  }
+}
+
+TEST(ServerStressTest, PlanCacheAndSnapshotStoreUnderConcurrentTraffic) {
+  // Satellite (c): N threads hammer the plan cache while a reloader hot-swaps
+  // the snapshot store. Asserts no torn snapshot reads and *exact* hit/miss
+  // accounting: every Get is classified as exactly one of hit or miss, both
+  // in PlanCache::stats() and in the obs registry counters.
+  std::string path1 = WriteTempGraph("cc_v1.txt", "a r b\n");
+  std::string path2 = WriteTempGraph("cc_v2.txt", "a r b\nb r c\n");
+
+  PlanCache cache(int64_t{1} << 16, 4);  // small: forces concurrent eviction
+  SnapshotStore store;
+  ASSERT_TRUE(store.Reload(path1).ok());
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  PlanCache::Stats stats_before = cache.stats();
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int64_t> gets{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "key" + std::to_string((t * 7 + i) % 64);
+        std::shared_ptr<const CachedPlan> plan = cache.Get(key);
+        gets.fetch_add(1, std::memory_order_relaxed);
+        if (plan == nullptr) {
+          cache.Put(key, PlanWithAnswers(i % 8));
+        } else if (!plan->eval_answers.has_value()) {
+          torn.store(true);  // a cached plan must arrive fully formed
+        }
+        std::shared_ptr<const GraphSnapshot> snapshot = store.Current();
+        // Snapshot consistency: node count must match the content the
+        // fingerprint claims — a torn read would mix the two.
+        int nodes = snapshot->db.NumNodes();
+        if (nodes != 2 && nodes != 3) torn.store(true);
+        if (snapshot->version < 1) torn.store(true);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store.Reload(i % 2 == 0 ? path2 : path1).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(store.version(), 51);
+
+  PlanCache::Stats stats = cache.stats();
+  int64_t hits = stats.hits - stats_before.hits;
+  int64_t misses = stats.misses - stats_before.misses;
+  EXPECT_EQ(hits + misses, gets.load());
+  EXPECT_GT(hits, 0);
+  EXPECT_GT(misses, 0);
+
+  // The obs registry observed exactly the same classification.
+  obs::MetricsSnapshot delta =
+      obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.hit"), hits);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.miss"), misses);
+  EXPECT_EQ(delta.CounterValue("service.snapshot.reloads"), 50);
+  // Inserts and evictions balance with the cache's final entry count.
+  int64_t inserts = stats.inserts - stats_before.inserts;
+  int64_t evictions = stats.evictions - stats_before.evictions;
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.insert"), inserts);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.evict"), evictions);
+  EXPECT_EQ(inserts - evictions, stats.entries - stats_before.entries);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""CLI-level tests for the `rpqi serve` NDJSON protocol.
+
+Usage: cli_serve_test.py PATH_TO_RPQI_BINARY
+
+Drives the built `rpqi` binary end to end:
+  * a mixed batch of eval/rewrite/answer/admin requests, each answered
+    exactly once with the request id echoed, exit 0 on clean EOF drain;
+  * plan-cache hit/miss transitions and per-request counter deltas;
+  * deterministic queue-full rejection (--threads 1 --queue-depth 1 with an
+    `admin sleep` occupying the worker) producing `overloaded` responses
+    in-band, not a process exit;
+  * `admin reload` hot-swapping the snapshot mid-batch: requests before and
+    after the swap all answered, snapshot_version advances;
+  * `admin shutdown` stops reading further input and still drains cleanly;
+  * the ParseFlags regression: a trailing flag with no value exits 2 with a
+    "requires a value" diagnostic (not "unexpected argument").
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(label, condition, detail=""):
+    if condition:
+        print(f"ok: {label}")
+    else:
+        FAILURES.append(label)
+        print(f"FAIL: {label} {detail}")
+
+
+def serve(binary, lines, *flags):
+    """Runs `rpqi serve` with the given stdin lines; returns (proc, records)."""
+    proc = subprocess.run(
+        [binary, "serve"] + list(flags),
+        input="".join(line + "\n" for line in lines),
+        capture_output=True, text=True, timeout=120)
+    records = []
+    for line in proc.stdout.splitlines():
+        if line.strip():
+            records.append(json.loads(line))  # raises on malformed JSON
+    return proc, records
+
+
+def by_id(records):
+    ids = {}
+    for record in records:
+        ids.setdefault(record.get("id"), []).append(record)
+    return ids
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: cli_serve_test.py RPQI_BINARY")
+    binary = sys.argv[1]
+    tmp = tempfile.mkdtemp(prefix="rpqi_cli_serve_")
+
+    db1 = os.path.join(tmp, "g1.txt")
+    with open(db1, "w") as handle:
+        handle.write("a r b\nb r c\nc s d\n")
+    db2 = os.path.join(tmp, "g2.txt")
+    with open(db2, "w") as handle:
+        handle.write("a r b\nb r c\nc s d\nd r e\n")
+
+    # --- mixed batch, clean drain ----------------------------------------
+    batch = [
+        '{"id":1,"op":"eval","query":"r* s"}',
+        '{"id":2,"op":"eval","query":"r* s"}',
+        '{"id":3,"op":"rewrite","query":"r r","views":{"v1":"r"}}',
+        ('{"id":4,"op":"answer","mode":"oda","objects":2,"query":"r",'
+         '"views":[{"name":"v","expr":"r","assumption":"exact",'
+         '"extension":[[0,1]]}],"pairs":[[0,1],[1,0]]}'),
+        'this is not json',
+        '{"id":5,"op":"admin","action":"stats"}',
+    ]
+    proc, records = serve(binary, batch, "--db", db1)
+    check("mixed batch exits 0 on EOF drain", proc.returncode == 0,
+          proc.stderr)
+    ids = by_id(records)
+    check("every request answered exactly once",
+          sorted(k for k in ids if k is not None) == [1, 2, 3, 4, 5]
+          and all(len(v) == 1 for v in ids.values()),
+          proc.stdout)
+    check("invalid json answered in-band with id null",
+          len(ids.get(None, [])) == 1
+          and ids[None][0]["code"] == "invalid_request")
+    check("first eval is a cache miss", ids[1][0].get("cache") == "miss")
+    check("second eval is a cache hit", ids[2][0].get("cache") == "hit")
+    check("eval answers are node-name pairs",
+          sorted(ids[1][0]["answers"]) == [["a", "d"], ["b", "d"], ["c", "d"]])
+    check("rewrite reports exactness",
+          ids[3][0]["rewriting"] == "v1 v1" and ids[3][0]["exact"] is True)
+    check("oda results per pair",
+          [r["certain"] for r in ids[4][0]["results"]] == [True, False])
+    check("responses carry per-request counter deltas",
+          ids[1][0]["counters"].get("service.requests") == 1
+          and ids[2][0]["counters"].get("service.plan_cache.hit") == 1)
+    check("admin stats sees cache and snapshot",
+          ids[5][0]["plan_cache"]["hits"] >= 1
+          and ids[5][0]["snapshot"]["version"] == 1)
+
+    # --- deterministic queue-full rejection ------------------------------
+    # One worker, queue depth 1: the sleep occupies the worker (or the queue
+    # slot) and the burst behind it must overflow into `overloaded`.
+    burst = ['{"id":0,"op":"admin","action":"sleep","ms":1500}']
+    burst += ['{"id":%d,"op":"eval","query":"r"}' % i for i in range(1, 9)]
+    proc, records = serve(binary, burst, "--db", db1,
+                          "--threads", "1", "--queue-depth", "1")
+    check("overload run still exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    rejected = [r for rs in ids.values() for r in rs
+                if r.get("code") == "overloaded"]
+    completed = [r for rs in ids.values() for r in rs
+                 if r.get("status") == "ok"]
+    # The worker sleeps 1.5s; the queue holds one request. At most one eval
+    # is accepted (whichever lands after the worker dequeues the sleep), so
+    # at least 7 of the 8 must be rejected.
+    check("queue-full rejections are structured responses",
+          len(rejected) >= 7, proc.stdout)
+    check("accepted requests still complete", len(completed) >= 1)
+    check("rejections echo their request ids",
+          all(isinstance(r.get("id"), int) for r in rejected))
+    check("every burst request answered exactly once",
+          sorted(ids) == list(range(9))
+          and all(len(v) == 1 for v in ids.values()))
+
+    # --- reload during a stream of queries -------------------------------
+    stream = ['{"id":%d,"op":"eval","query":"r* s"}' % i for i in range(10)]
+    stream.insert(5, '{"id":100,"op":"admin","action":"reload","db":"%s"}'
+                  % db2)
+    proc, records = serve(binary, stream, "--db", db1, "--threads", "4")
+    check("reload run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("zero requests lost across reload",
+          sorted(ids) == list(range(10)) + [100]
+          and all(len(v) == 1 for v in ids.values()), proc.stdout)
+    check("reload response advances the snapshot version",
+          ids[100][0]["snapshot_version"] == 2)
+    versions = {ids[i][0]["snapshot_version"] for i in range(10)}
+    check("eval requests pin version 1 or 2, nothing else",
+          versions <= {1, 2}, str(versions))
+    check("all evals succeeded across the swap",
+          all(ids[i][0]["status"] == "ok" for i in range(10)))
+
+    # --- shutdown stops the reader ---------------------------------------
+    proc, records = serve(binary, [
+        '{"id":1,"op":"eval","query":"r"}',
+        '{"id":2,"op":"admin","action":"shutdown"}',
+        '{"id":3,"op":"eval","query":"r"}',
+    ], "--db", db1)
+    check("shutdown run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("requests before shutdown answered", 1 in ids and 2 in ids)
+    check("input after shutdown is not consumed", 3 not in ids, proc.stdout)
+
+    # --- structured error classes ----------------------------------------
+    proc, records = serve(binary, [
+        '{"id":1,"op":"eval","query":"r"}',
+        '{"id":2,"op":"nope"}',
+    ])
+    check("no-snapshot server exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("eval without snapshot is `unavailable`",
+          ids[1][0]["code"] == "unavailable")
+    check("unknown op is `invalid_request`",
+          ids[2][0]["code"] == "invalid_request")
+
+    proc, records = serve(
+        binary, ['{"id":1,"op":"eval","query":"r*","max_states":1}'],
+        "--db", db1)
+    check("state quota maps to `resource_exhausted`",
+          by_id(records)[1][0]["code"] == "resource_exhausted", proc.stdout)
+
+    # --- bad --db fails fast with exit 2, not a serving loop -------------
+    proc = subprocess.run([binary, "serve", "--db",
+                           os.path.join(tmp, "missing.txt")],
+                          input="", capture_output=True, text=True,
+                          timeout=60)
+    check("unreadable --db exits 2", proc.returncode == 2, proc.stderr)
+
+    # --- ParseFlags regression (satellite): trailing flag ----------------
+    proc = subprocess.run([binary, "eval", "--db"], capture_output=True,
+                          text=True, timeout=60)
+    check("trailing --db exits 2", proc.returncode == 2)
+    check("trailing --db says 'requires a value'",
+          "flag --db requires a value" in proc.stderr, proc.stderr)
+    check("trailing flag is not 'unexpected argument'",
+          "unexpected argument" not in proc.stderr, proc.stderr)
+
+    print(f"\n{len(FAILURES)} failure(s)")
+    sys.exit(1 if FAILURES else 0)
+
+
+if __name__ == "__main__":
+    main()

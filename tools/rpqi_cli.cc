@@ -7,26 +7,26 @@
 //   contains    decide RPQI containment
 //   answer      certain answers from view extensions (CDA or ODA)
 //   validate    structural validation of queries / views / databases
+//   serve       long-lived NDJSON query server (src/service/server.h)
 //
 // Graph databases use the text format of graphdb/io.h (one `from rel to` per
 // line). View definitions are `name=expression` arguments; extensions are
 // `name:obj1,obj2` pair arguments. Run with no arguments for usage.
 //
 // Exit codes (see ExitCodeForStatus in base/status.h):
-//   0  success (positive decision for satisfies/contains)
+//   0  success (positive decision for satisfies/contains; clean drain for
+//      serve — per-request failures are in-band error responses, not exits)
 //   1  negative decision (does not satisfy / not contained)
 //   2  invalid input or usage, including unusable --trace-out/--metrics-out
 //   3  resource limit (state quota) exhausted
 //   4  wall-clock deadline exceeded
 //   5  execution cancelled
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
+#include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -36,6 +36,7 @@
 #include "answer/cda.h"
 #include "answer/oda.h"
 #include "base/budget.h"
+#include "base/flags.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "graphdb/eval.h"
@@ -51,6 +52,8 @@
 #include "rpq/compile.h"
 #include "rpq/containment.h"
 #include "rpq/satisfaction.h"
+#include "service/server.h"
+#include "service/snapshot.h"
 
 namespace rpqi {
 namespace {
@@ -73,6 +76,13 @@ int Usage() {
               check each artifact against the structural invariants of
               src/analysis; prints one `ok` line per artifact, exit 2 with a
               diagnostic naming the offending id otherwise
+  rpqi serve [--db FILE] [--queue-depth N] [--plan-cache-mb MB]
+             [--default-timeout-ms MS] [--max-timeout-ms MS]
+             [--default-max-states N] [--max-states-cap N]
+              long-lived server: NDJSON requests on stdin, one response line
+              per request on stdout (protocol reference in README); worker
+              count comes from the global --threads flag; exits 0 after a
+              clean drain on EOF or {"op":"admin","action":"shutdown"}
 
 global flags (any subcommand):
   --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
@@ -93,46 +103,8 @@ expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
   return kExitInvalidInput;
 }
 
-using FlagMap = std::map<std::string, std::vector<std::string>>;
-
-StatusOr<FlagMap> ParseFlags(int argc, char** argv, int first) {
-  FlagMap flags;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      flags[arg.substr(2)].push_back(argv[++i]);
-    } else {
-      return Status::InvalidArgument("unexpected argument '" + arg + "'");
-    }
-  }
-  return flags;
-}
-
-StatusOr<std::string> SingleFlag(const FlagMap& flags,
-                                 const std::string& name) {
-  auto it = flags.find(name);
-  if (it == flags.end() || it->second.size() != 1) {
-    return Status::InvalidArgument("missing or repeated --" + name);
-  }
-  return it->second[0];
-}
-
-StatusOr<int64_t> ParseInt64(const std::string& text, const std::string& what,
-                             int64_t min, int64_t max) {
-  errno = 0;
-  char* end = nullptr;
-  long long value = std::strtoll(text.c_str(), &end, 10);
-  if (errno == ERANGE || end == text.c_str() || *end != '\0') {
-    return Status::InvalidArgument(what + ": '" + text +
-                                   "' is not an integer");
-  }
-  if (value < min || value > max) {
-    return Status::InvalidArgument(what + ": " + text + " out of range [" +
-                                   std::to_string(min) + ", " +
-                                   std::to_string(max) + "]");
-  }
-  return static_cast<int64_t>(value);
-}
+// FlagMap / ParseFlags / SingleFlag / ParseInt64 live in base/flags.h, shared
+// with the other front ends.
 
 StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -197,19 +169,21 @@ StatusOr<std::pair<int, int>> ParsePair(const std::string& text) {
 StatusOr<int> CmdEval(const FlagMap& flags) {
   RPQI_ASSIGN_OR_RETURN(RunBudget run, BudgetFromFlags(flags));
   RPQI_ASSIGN_OR_RETURN(std::string db_path, SingleFlag(flags, "db"));
-  RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
-  SignedAlphabet alphabet;
-  RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &alphabet));
+  // Same load-and-validate entry point the serving layer uses.
+  RPQI_ASSIGN_OR_RETURN(std::shared_ptr<const service::GraphSnapshot> snapshot,
+                        service::LoadGraphSnapshot(db_path));
   RPQI_ASSIGN_OR_RETURN(std::string query_text, SingleFlag(flags, "query"));
   RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(query_text));
+  SignedAlphabet alphabet = snapshot->alphabet;
   RegisterRelations({expr}, &alphabet);
   RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
   // The database was loaded before the query may have added relations; the
   // graph only stores relation ids, which remain valid under widening.
-  RPQI_ASSIGN_OR_RETURN(auto pairs,
-                        EvalRpqiAllPairsWithBudget(db, query, run.get()));
+  RPQI_ASSIGN_OR_RETURN(
+      auto pairs, EvalRpqiAllPairsWithBudget(snapshot->db, query, run.get()));
   for (const auto& [x, y] : pairs) {
-    std::printf("%s\t%s\n", db.NodeName(x).c_str(), db.NodeName(y).c_str());
+    std::printf("%s\t%s\n", snapshot->db.NodeName(x).c_str(),
+                snapshot->db.NodeName(y).c_str());
   }
   return kExitOk;
 }
@@ -277,10 +251,14 @@ StatusOr<int> CmdRewrite(const FlagMap& flags) {
               rewriting.stats.rewriting_states);
 
   if (flags.count("db")) {
-    SignedAlphabet db_alphabet = alphabet;
     RPQI_ASSIGN_OR_RETURN(std::string db_path, SingleFlag(flags, "db"));
-    RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
-    RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &db_alphabet));
+    // Same load-and-validate entry point the serving layer uses; passing the
+    // query+views alphabet as the base keeps relation ids aligned with the
+    // automata compiled above.
+    RPQI_ASSIGN_OR_RETURN(
+        std::shared_ptr<const service::GraphSnapshot> snapshot,
+        service::LoadGraphSnapshot(db_path, alphabet));
+    const GraphDb& db = snapshot->db;
     std::vector<std::vector<std::pair<int, int>>> extensions;
     for (const Nfa& view : views) {
       extensions.push_back(MaterializeView(db, view));
@@ -551,6 +529,48 @@ StatusOr<int> CmdValidate(const FlagMap& flags) {
   return kExitOk;
 }
 
+StatusOr<int> CmdServe(const FlagMap& flags) {
+  service::ServerOptions options;
+  options.threads = GlobalThreadCount();
+  if (flags.count("db")) {
+    RPQI_ASSIGN_OR_RETURN(options.initial_db_path, SingleFlag(flags, "db"));
+  }
+  struct IntFlag {
+    const char* name;
+    int64_t min;
+    int64_t max;
+    int64_t* target;
+  };
+  int64_t queue_depth = options.admission.queue_depth;
+  int64_t plan_cache_mb = options.plan_cache_bytes >> 20;
+  const IntFlag int_flags[] = {
+      {"queue-depth", 1, int64_t{1} << 16, &queue_depth},
+      {"plan-cache-mb", 0, int64_t{1} << 16, &plan_cache_mb},
+      {"default-timeout-ms", 1, int64_t{1} << 40,
+       &options.admission.default_timeout_ms},
+      {"max-timeout-ms", 1, int64_t{1} << 40,
+       &options.admission.max_timeout_ms},
+      {"default-max-states", 1, int64_t{1} << 50,
+       &options.admission.default_max_states},
+      {"max-states-cap", 1, int64_t{1} << 50,
+       &options.admission.max_states_cap},
+  };
+  for (const IntFlag& spec : int_flags) {
+    if (!flags.count(spec.name)) continue;
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, spec.name));
+    RPQI_ASSIGN_OR_RETURN(
+        *spec.target, ParseInt64(text, std::string("--") + spec.name, spec.min,
+                                 spec.max));
+  }
+  options.admission.queue_depth = static_cast<int>(queue_depth);
+  options.plan_cache_bytes = plan_cache_mb << 20;
+
+  service::Server server(options);
+  RPQI_RETURN_IF_ERROR(server.Init());
+  RPQI_RETURN_IF_ERROR(server.Serve(std::cin, std::cout));
+  return kExitOk;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -608,6 +628,8 @@ int Main(int argc, char** argv) {
     code = CmdAnswer(*flags);
   } else if (command == "validate") {
     code = CmdValidate(*flags);
+  } else if (command == "serve") {
+    code = CmdServe(*flags);
   } else {
     return Usage();
   }

@@ -25,6 +25,14 @@ Checks that complement the compiler's own enforcement:
                  Unbounded construction loops are how the pipeline used to
                  hang before execution budgets existed (see base/budget.h).
 
+  service-io     Code under src/service/ must not write to stdout/stderr
+                 directly (printf/fprintf/puts/fputs/std::cout/std::cerr):
+                 the serving layer speaks NDJSON on stdout, and a stray
+                 diagnostic line corrupts the protocol stream. All responses
+                 go through the Server's serialized writer. Waiver:
+                     // lint: allow-direct-io <why>
+                 (In-memory formatting like snprintf is fine.)
+
 Usage: tools/rpqi_lint.py [REPO_ROOT]
 Exit status: 0 clean, 1 findings (one `file:line: rule: message` per line).
 """
@@ -42,6 +50,9 @@ TERMINATE_RE = re.compile(
     r"(?<![\w.])(?:std::)?(abort|_Exit|quick_exit|exit)\s*\(")
 NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]")
 GROWTH_CALL_RE = re.compile(r"\b(AddState|Determinize\w*)\s*\(")
+DIRECT_IO_RE = re.compile(
+    r"(?<![\w.])(?:std::)?(printf|fprintf|puts|fputs|cout|cerr)\b")
+ALLOW_DIRECT_IO_RE = re.compile(r"//\s*lint:\s*allow-direct-io\s+\S")
 LOOP_HEADER_RE = re.compile(r"(?<![\w.])(for|while)\s*\(")
 BUDGET_MENTION_RE = re.compile(r"[Bb]udget")
 
@@ -146,6 +157,17 @@ def check_terminate(rel, code_lines, findings):
                  "(use containers or std::make_unique)"))
 
 
+def check_service_io(rel, raw_lines, code_lines, findings):
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        m = DIRECT_IO_RE.search(code)
+        if m and not ALLOW_DIRECT_IO_RE.search(raw):
+            findings.append(
+                (rel, lineno, "service-io",
+                 f"direct {m.group(1)} in the serving layer corrupts the "
+                 "NDJSON stream; route output through the Server writer or "
+                 "add `// lint: allow-direct-io <why>`"))
+
+
 def check_include_guard(rel, code_lines, findings):
     stem = re.sub(r"[^A-Za-z0-9]", "_", os.path.relpath(rel, "src"))
     guard = "RPQI_" + stem.upper() + "_"
@@ -225,6 +247,8 @@ def main(argv):
                 check_include_guard(rel, code_lines, findings)
             if rel.endswith(".cc"):
                 check_budget_loops(rel, raw_lines, code_lines, findings)
+            if rel.startswith(os.path.join("src", "service") + os.sep):
+                check_service_io(rel, raw_lines, code_lines, findings)
 
     check_nodiscard_annotations(root, findings)
 
