@@ -7,6 +7,7 @@
 
 #include "automata/ops.h"
 #include "base/hash.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -706,6 +707,12 @@ StatusOr<Dfa> MaterializeLazyDfa(LazyDfa* dfa, int64_t max_states,
               "lazy DFA materialization exceeded " +
               std::to_string(max_states) + " states");
         }
+        // Allocation-failure injection twin of automata.determinize_state,
+        // covering the product/materialization side of the hot path.
+        RPQI_FAULT_POINT("automata.materialize_state",
+                         Status::ResourceExhausted(
+                             "injected state-allocation failure in lazy DFA "
+                             "materialization"));
         RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
         lazy_id_of.push_back(to);
       }

@@ -12,6 +12,7 @@
 #include "base/hash.h"
 #include "base/interner.h"
 #include "base/thread_pool.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -207,6 +208,12 @@ StatusOr<Dfa> DeterminizeWithLimit(const Nfa& input, int64_t max_states,
                                          std::to_string(max_states) +
                                          " states");
       }
+      // Models allocation failure while growing the subset table; surfaces
+      // through the same kResourceExhausted path as a real quota hit.
+      RPQI_FAULT_POINT("automata.determinize_state",
+                       Status::ResourceExhausted(
+                           "injected state-allocation failure in subset "
+                           "construction"));
       RPQI_RETURN_IF_ERROR(BudgetCharge(budget, 1));
       subset_of.push_back(subset);
       accepting.push_back(subset_accepting);

@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <memory>
+#include <system_error>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace rpqi {
 
 namespace {
+
 std::atomic<int> global_thread_count{1};
+
+/// Counts worker threads both pool kinds failed to spawn; each failure
+/// degrades the pool to fewer workers instead of leaking an exception into
+/// ParallelFor/TrySubmit callers.
+const obs::Counter& SpawnFailures() {
+  static const obs::Counter counter("thread_pool.spawn_failures");
+  return counter;
+}
+
 }  // namespace
 
 int GlobalThreadCount() {
@@ -24,7 +36,20 @@ ThreadPool::ThreadPool(int num_threads) {
   int background = std::max(0, num_threads - 1);
   workers_.reserve(background);
   for (int i = 0; i < background; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // std::thread construction fails with std::system_error under thread
+    // exhaustion; the pool degrades to the workers it already has (zero is
+    // fine — ParallelFor then runs serially on the caller) instead of letting
+    // the exception escape into a ParallelFor caller mid-pipeline.
+    if (RPQI_FAULT_FIRED("thread_pool.spawn")) {
+      SpawnFailures().Increment();
+      break;
+    }
+    try {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error&) {
+      SpawnFailures().Increment();
+      break;
+    }
   }
 }
 
@@ -94,17 +119,39 @@ WorkerPool::WorkerPool(int num_threads, int max_queued)
   int count = std::max(1, num_threads);
   threads_.reserve(count);
   for (int i = 0; i < count; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    if (RPQI_FAULT_FIRED("worker_pool.spawn")) {
+      SpawnFailures().Increment();
+      break;
+    }
+    try {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error&) {
+      SpawnFailures().Increment();
+      break;
+    }
   }
+  // With zero spawned workers the pool degrades to synchronous execution:
+  // TrySubmit runs tasks inline on the submitting thread (see below), so the
+  // serving loop keeps answering — slower, but never wedged.
 }
 
 WorkerPool::~WorkerPool() { Drain(); }
 
 bool WorkerPool::TrySubmit(std::function<void()> task) {
+  bool inline_run = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (draining_ || queue_.size() >= max_queued_) return false;
-    queue_.push_back(std::move(task));
+    if (draining_) return false;
+    if (threads_.empty()) {
+      inline_run = true;  // degraded pool: every worker spawn failed
+    } else {
+      if (queue_.size() >= max_queued_) return false;
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (inline_run) {
+    task();
+    return true;
   }
   work_cv_.notify_one();
   return true;
@@ -136,6 +183,9 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Injected task-start stall: models a worker losing its timeslice (page
+    // fault, noisy neighbor) between dequeue and execution.
+    RPQI_FAULT_STALL("worker_pool.task_start");
     task();
   }
 }

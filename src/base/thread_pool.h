@@ -26,6 +26,12 @@ void SetGlobalThreadCount(int threads);
 /// constructions: workers evaluate pure per-item step functions over a
 /// frontier slice, then the caller merges the results serially in frontier
 /// order so state numbering stays bit-identical to the serial algorithm.
+///
+/// Worker spawning is best-effort: a std::thread construction failure during
+/// pool growth (thread exhaustion, or the `thread_pool.spawn` fault site)
+/// degrades the pool to the workers already spawned — possibly zero, in which
+/// case ParallelFor runs serially on the caller — and bumps the
+/// `thread_pool.spawn_failures` counter; no exception escapes the pool.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -81,6 +87,11 @@ class ThreadPool {
 /// tasks being executed do not count against it. Drain() (also run by the
 /// destructor) stops admission, lets the workers finish every accepted task,
 /// and joins them — the graceful-drain semantics of `rpqi serve` on EOF.
+///
+/// Spawning is best-effort like ThreadPool's: failures degrade the pool to
+/// fewer workers (counted by `thread_pool.spawn_failures`). If *every* spawn
+/// failed, TrySubmit degrades to running accepted tasks inline on the
+/// submitting thread, so the serving loop stays live instead of wedging.
 class WorkerPool {
  public:
   WorkerPool(int num_threads, int max_queued);

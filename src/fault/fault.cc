@@ -1,0 +1,336 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rpqi {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+enum class PolicyKind { kEveryNth, kOneShot, kProbability };
+
+struct Policy {
+  PolicyKind kind = PolicyKind::kOneShot;
+  int64_t n = 1;          // every:N period / once:N target hit
+  double probability = 0;  // prob:P
+  uint64_t seed = 1;       // prob seed (mixed with the site name)
+  int64_t stall_ms = 1;    // ms= option, used by RPQI_FAULT_STALL sites
+  std::string spec;        // the entry text, echoed by ListSites
+};
+
+struct Site {
+  std::string name;
+  bool armed = false;
+  Policy policy;
+  int64_t hits = 0;        // while the layer was enabled
+  int64_t armed_hits = 0;  // while this site was armed (policy input)
+  int64_t fires = 0;
+  bool one_shot_spent = false;
+  uint64_t rng_state = 0;
+  // Mirrors into the obs registry (fault.hit.<name> / fault.fired.<name>).
+  // RegisterMetric copies the name, so the composed strings may be temporary.
+  int hit_metric_slot = -1;
+  int fire_metric_slot = -1;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Site>> sites;
+  std::map<std::string, int> index_by_name;
+};
+
+Registry& Reg() {
+  // Leaked for the same reason as the obs registry: sites may be hit from
+  // worker threads that outlive function-local statics during shutdown.
+  static Registry* registry = std::make_unique<Registry>().release();
+  return *registry;
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t SeedFor(const Policy& policy, const std::string& name) {
+  uint64_t h = policy.seed ^ 0x4641554c54ULL;  // "FAULT"
+  for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  return h == 0 ? 1 : h;
+}
+
+/// Registers (or finds) the site under `name`; caller holds reg.mu.
+int SiteIndexLocked(Registry& reg, const std::string& name) {
+  auto it = reg.index_by_name.find(name);
+  if (it != reg.index_by_name.end()) return it->second;
+  auto site = std::make_unique<Site>();
+  site->name = name;
+  site->hit_metric_slot = obs::internal::RegisterMetric(
+      ("fault.hit." + name).c_str(), obs::MetricKind::kCounter);
+  site->fire_metric_slot = obs::internal::RegisterMetric(
+      ("fault.fired." + name).c_str(), obs::MetricKind::kCounter);
+  int index = static_cast<int>(reg.sites.size());
+  reg.sites.push_back(std::move(site));
+  reg.index_by_name.emplace(name, index);
+  return index;
+}
+
+/// Tallies one hit on `site` and evaluates its policy; caller holds reg.mu.
+bool HitLocked(Site& site) {
+  static const obs::Counter total_hits("fault.hits");
+  static const obs::Counter total_fires("fault.fires");
+  ++site.hits;
+  total_hits.Increment();
+  obs::internal::AddToSlot(site.hit_metric_slot, 1);
+  if (!site.armed) return false;
+  ++site.armed_hits;
+  bool fire = false;
+  switch (site.policy.kind) {
+    case PolicyKind::kEveryNth:
+      fire = site.armed_hits % site.policy.n == 0;
+      break;
+    case PolicyKind::kOneShot:
+      fire = !site.one_shot_spent && site.armed_hits == site.policy.n;
+      if (fire) site.one_shot_spent = true;
+      break;
+    case PolicyKind::kProbability: {
+      uint64_t draw = SplitMix64(&site.rng_state) >> 11;
+      fire = static_cast<double>(draw) * 0x1.0p-53 < site.policy.probability;
+      break;
+    }
+  }
+  if (fire) {
+    ++site.fires;
+    total_fires.Increment();
+    obs::internal::AddToSlot(site.fire_metric_slot, 1);
+  }
+  return fire;
+}
+
+Site* ResolveSite(const char* name, std::atomic<int>* slot, Registry& reg) {
+  int index = slot->load(std::memory_order_relaxed);
+  if (index < 0) {
+    index = SiteIndexLocked(reg, name);
+    slot->store(index, std::memory_order_relaxed);
+  }
+  return reg.sites[index].get();
+}
+
+Status SpecError(const std::string& entry, const std::string& why) {
+  return Status::InvalidArgument("fault spec entry '" + entry + "': " + why);
+}
+
+bool ValidSiteName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+StatusOr<int64_t> ParseSpecInt(const std::string& entry,
+                               const std::string& text, int64_t min_value) {
+  if (text.empty()) return SpecError(entry, "expected an integer");
+  int64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return SpecError(entry, "bad integer '" + text + "'");
+    }
+    if (value > (int64_t{1} << 53)) {
+      return SpecError(entry, "integer '" + text + "' out of range");
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value < min_value) {
+    return SpecError(entry, "integer '" + text + "' must be >= " +
+                                std::to_string(min_value));
+  }
+  return value;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t end = text.find(sep, start);
+    parts.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) return parts;
+    start = end + 1;
+  }
+}
+
+StatusOr<Policy> ParsePolicy(const std::string& entry,
+                             const std::string& text) {
+  Policy policy;
+  std::vector<std::string> options = SplitOn(text, ';');
+  std::vector<std::string> fields = SplitOn(options[0], ':');
+  const std::string& kind = fields[0];
+  if (kind == "every") {
+    policy.kind = PolicyKind::kEveryNth;
+    if (fields.size() != 2) return SpecError(entry, "'every' needs ':N'");
+    RPQI_ASSIGN_OR_RETURN(policy.n, ParseSpecInt(entry, fields[1], 1));
+  } else if (kind == "once") {
+    policy.kind = PolicyKind::kOneShot;
+    if (fields.size() > 2) return SpecError(entry, "'once' takes at most ':N'");
+    if (fields.size() == 2) {
+      RPQI_ASSIGN_OR_RETURN(policy.n, ParseSpecInt(entry, fields[1], 1));
+    }
+  } else if (kind == "prob") {
+    policy.kind = PolicyKind::kProbability;
+    if (fields.size() < 2 || fields.size() > 3) {
+      return SpecError(entry, "'prob' needs ':P' and an optional ':SEED'");
+    }
+    char* end = nullptr;
+    policy.probability = std::strtod(fields[1].c_str(), &end);
+    if (end == fields[1].c_str() || *end != '\0' || policy.probability < 0.0 ||
+        policy.probability > 1.0) {
+      return SpecError(entry,
+                       "probability '" + fields[1] + "' must be in [0, 1]");
+    }
+    if (fields.size() == 3) {
+      RPQI_ASSIGN_OR_RETURN(int64_t seed, ParseSpecInt(entry, fields[2], 0));
+      policy.seed = static_cast<uint64_t>(seed);
+    }
+  } else {
+    return SpecError(entry, "unknown policy '" + kind +
+                                "' (every:N | once[:N] | prob:P[:SEED])");
+  }
+  for (size_t i = 1; i < options.size(); ++i) {
+    std::vector<std::string> kv = SplitOn(options[i], '=');
+    if (kv.size() == 2 && kv[0] == "ms") {
+      RPQI_ASSIGN_OR_RETURN(policy.stall_ms, ParseSpecInt(entry, kv[1], 0));
+    } else {
+      return SpecError(entry, "unknown option '" + options[i] + "' (ms=N)");
+    }
+  }
+  policy.spec = text;
+  return policy;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool SiteFires(const char* name, std::atomic<int>* slot) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return HitLocked(*ResolveSite(name, slot, reg));
+}
+
+void MaybeStall(const char* name, std::atomic<int>* slot) {
+  Registry& reg = Reg();
+  int64_t stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    Site* site = ResolveSite(name, slot, reg);
+    if (HitLocked(*site)) stall_ms = site->policy.stall_ms;
+  }
+  // Sleep outside the registry lock so a stalled worker never blocks other
+  // sites (that would turn an injected stall into an injected deadlock).
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+}
+
+}  // namespace internal
+
+Status Configure(const std::string& spec) {
+  Registry& reg = Reg();
+  // Parse the whole spec before arming anything: a bad trailing entry must
+  // not leave the registry half-armed.
+  std::vector<std::pair<std::string, Policy>> armed;
+  for (const std::string& entry : SplitOn(spec, ',')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return SpecError(entry, "expected 'site=policy'");
+    }
+    std::string site = entry.substr(0, eq);
+    if (!ValidSiteName(site)) {
+      return SpecError(entry, "bad site name '" + site + "' ([a-z0-9_.]+)");
+    }
+    RPQI_ASSIGN_OR_RETURN(Policy policy,
+                          ParsePolicy(entry, entry.substr(eq + 1)));
+    armed.emplace_back(std::move(site), std::move(policy));
+  }
+  if (armed.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, policy] : armed) {
+    Site& site = *reg.sites[SiteIndexLocked(reg, name)];
+    site.armed = true;
+    site.rng_state = SeedFor(policy, name);
+    site.armed_hits = 0;
+    site.one_shot_spent = false;
+    site.policy = std::move(policy);
+  }
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  for (auto& site : reg.sites) {
+    site->armed = false;
+    site->policy = Policy{};
+    site->hits = 0;
+    site->armed_hits = 0;
+    site->fires = 0;
+    site->one_shot_spent = false;
+    site->rng_state = 0;
+  }
+}
+
+bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<SiteInfo> ListSites() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SiteInfo> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, index] : reg.index_by_name) {
+    const Site& site = *reg.sites[index];
+    SiteInfo info;
+    info.name = name;
+    info.policy = site.armed ? site.policy.spec : "";
+    info.armed = site.armed;
+    info.hits = site.hits;
+    info.fires = site.fires;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.index_by_name.find(site);
+  return it == reg.index_by_name.end() ? 0 : reg.sites[it->second]->hits;
+}
+
+int64_t FireCount(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.index_by_name.find(site);
+  return it == reg.index_by_name.end() ? 0 : reg.sites[it->second]->fires;
+}
+
+}  // namespace fault
+}  // namespace rpqi

@@ -1,0 +1,134 @@
+#ifndef RPQI_FAULT_FAULT_H_
+#define RPQI_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rpqi {
+namespace fault {
+
+/// Deterministic, seeded fault-injection layer.
+///
+/// Production code declares named *injection sites* with the RPQI_FAULT_POINT
+/// / RPQI_FAULT_FIRED / RPQI_FAULT_STALL macros below. When the layer is
+/// disabled (the default) a site costs exactly one relaxed atomic load — the
+/// same contract as obs::Span — so sites stay compiled into release builds.
+/// Arming happens per run through Configure(), fed from the `RPQI_FAULT`
+/// environment variable or the CLI's global `--fault` flag:
+///
+///   RPQI_FAULT='snapshot.open=once,plan_cache.insert=prob:0.2:42'
+///
+/// Spec grammar (comma-separated entries):
+///   entry  := site '=' policy (';' option)*
+///   policy := 'every' ':' N          fire on every Nth armed hit
+///           | 'once' [':' N]         fire exactly once, on the Nth hit
+///           | 'prob' ':' P [':' S]   fire with probability P per hit, from a
+///                                    per-site deterministic PRNG seeded S
+///   option := 'ms' '=' N             stall duration for RPQI_FAULT_STALL
+///
+/// Every decision is deterministic given the spec and the per-site hit order:
+/// `every`/`once` count armed hits, `prob` advances a splitmix64 stream seeded
+/// from S and the site name. Each site keeps hit/fire tallies (ListSites) and
+/// mirrors them into the obs registry as `fault.hit.<site>` /
+/// `fault.fired.<site>` counters plus the `fault.hits` / `fault.fires`
+/// aggregates, so tests and `admin stats` can assert "the fault fired AND the
+/// response was a structured error".
+///
+/// Site names are lowercase dotted identifiers ([a-z0-9_.]+), unique per code
+/// location (enforced by tools/rpqi_lint.py against the site catalog test in
+/// tests/fault_test.cc).
+
+namespace internal {
+
+/// The one-load fast path. Relaxed is sufficient: arming happens-before the
+/// serving threads start in every supported configuration, and a late-armed
+/// site misfiring a few hits later is harmless by design.
+extern std::atomic<bool> g_enabled;
+
+/// Slow path behind the enabled check: resolves `name` to a registry slot
+/// (registering it on first execution, caching through `slot`), tallies the
+/// hit, and evaluates the armed policy. Returns true when the site fires.
+bool SiteFires(const char* name, std::atomic<int>* slot);
+
+/// SiteFires for stall sites: when the policy fires, sleeps the site's
+/// configured `ms=` duration (default 1 ms) on the calling thread.
+void MaybeStall(const char* name, std::atomic<int>* slot);
+
+}  // namespace internal
+
+/// Per-site tallies and arming state, for tests and `admin stats`.
+struct SiteInfo {
+  std::string name;
+  /// The armed policy spec ("every:3", "once:1", "prob:0.2:42"), or "" when
+  /// the site has been hit but never armed.
+  std::string policy;
+  bool armed = false;
+  /// Executions of the site while the layer was enabled (armed or not);
+  /// disabled runs tally nothing, keeping the fast path to the single load.
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+/// Parses `spec` and arms the named sites (additive across calls; re-arming a
+/// site replaces its policy and resets its policy state, not its tallies).
+/// Enables the layer when at least one site is armed. Sites not yet touched
+/// by code register eagerly so ListSites shows them immediately.
+Status Configure(const std::string& spec);
+
+/// Disarms every site, resets tallies and policy state, disables the layer.
+/// Test teardown calls this so armed faults never leak across tests.
+void DisarmAll();
+
+/// True when at least one site is armed.
+bool Enabled();
+
+std::vector<SiteInfo> ListSites();
+
+/// Tallies for one site by name (0 when never registered).
+int64_t HitCount(const std::string& site);
+int64_t FireCount(const std::string& site);
+
+}  // namespace fault
+}  // namespace rpqi
+
+/// Status-returning injection site: when the armed policy fires, returns
+/// `status_expr` out of the enclosing function. Use inside functions
+/// returning Status or StatusOr<T>:
+///   RPQI_FAULT_POINT("automata.determinize_state",
+///                    Status::ResourceExhausted("injected ..."));
+#define RPQI_FAULT_POINT(site, status_expr)                                   \
+  do {                                                                        \
+    if (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed)) { \
+      static std::atomic<int> _rpqi_fault_slot{-1};                           \
+      if (::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot)) {      \
+        return (status_expr);                                                 \
+      }                                                                       \
+    }                                                                         \
+  } while (0)
+
+/// Boolean injection site for paths that cannot propagate a Status (thread
+/// spawn, cache insert, queue admission). Evaluates to true when the site
+/// fires; false whenever the layer is disabled.
+#define RPQI_FAULT_FIRED(site)                                               \
+  (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed) &&     \
+   []() -> bool {                                                            \
+     static std::atomic<int> _rpqi_fault_slot{-1};                           \
+     return ::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot);     \
+   }())
+
+/// Stall injection site: when the policy fires, sleeps the site's `ms=`
+/// duration (default 1 ms) on the calling thread. Models worker stalls and
+/// scheduling hiccups without touching any result.
+#define RPQI_FAULT_STALL(site)                                                \
+  do {                                                                        \
+    if (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed)) { \
+      static std::atomic<int> _rpqi_fault_slot{-1};                           \
+      ::rpqi::fault::internal::MaybeStall(site, &_rpqi_fault_slot);           \
+    }                                                                         \
+  } while (0)
+
+#endif  // RPQI_FAULT_FAULT_H_

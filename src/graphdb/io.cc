@@ -1,13 +1,23 @@
 #include "graphdb/io.h"
 
 #include "base/strings.h"
+#include "fault/fault.h"
 
 namespace rpqi {
 
 namespace {
 
-std::string LinePrefix(int line_number) {
-  return "line " + std::to_string(line_number) + ": ";
+/// "<source>: line N (byte B): " — the context every parse error carries.
+std::string ErrorContext(const GraphTextLimits& limits, int line_number,
+                         size_t byte_offset) {
+  std::string prefix;
+  if (!limits.source_name.empty()) {
+    prefix.append(limits.source_name);
+    prefix += ": ";
+  }
+  prefix += "line " + std::to_string(line_number) + " (byte " +
+            std::to_string(byte_offset) + "): ";
+  return prefix;
 }
 
 /// Truncates adversarially long lines before they end up inside an error
@@ -28,6 +38,7 @@ StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
   // Split lines by hand (StrSplit drops empty pieces, which would make the
   // reported line numbers drift past any blank line).
   for (size_t start = 0; start <= text.size();) {
+    size_t line_start = start;
     size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view raw_line = text.substr(start, end - start);
@@ -35,34 +46,39 @@ StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
     ++line_number;
     std::string_view line = StripWhitespace(raw_line);
     if (line.empty() || line[0] == '#') continue;
+    // Models the read(2) that fails halfway through a streamed parse: the
+    // error carries the same file/line/byte context as a real one.
+    RPQI_FAULT_POINT("graphdb.parse_io",
+                     Status::InvalidArgument(
+                         ErrorContext(limits, line_number, line_start) +
+                         "injected I/O error while parsing"));
     std::vector<std::string> fields = StrSplit(line, ' ');
     // Tolerate repeated separators by dropping empties (StrSplit already does).
     if (fields.size() != 3) {
       return Status::InvalidArgument(
-          LinePrefix(line_number) + "expected '<from> <relation> <to>', got '" +
-          Excerpt(line) + "'");
+          ErrorContext(limits, line_number, line_start) +
+          "expected '<from> <relation> <to>', got '" + Excerpt(line) + "'");
     }
     for (const std::string& field : fields) {
       if (field.size() > limits.max_name_length) {
         return Status::InvalidArgument(
-            LinePrefix(line_number) + "name '" + Excerpt(field) + "' exceeds " +
+            ErrorContext(limits, line_number, line_start) + "name '" +
+            Excerpt(field) + "' exceeds " +
             std::to_string(limits.max_name_length) + " characters");
       }
     }
     if (++num_edges > limits.max_edges) {
-      return Status::InvalidArgument(LinePrefix(line_number) +
-                                     "graph exceeds " +
-                                     std::to_string(limits.max_edges) +
-                                     " edges");
+      return Status::InvalidArgument(
+          ErrorContext(limits, line_number, line_start) + "graph exceeds " +
+          std::to_string(limits.max_edges) + " edges");
     }
     int from = db.AddNode(fields[0]);
     int relation = alphabet->AddRelation(fields[1]);
     int to = db.AddNode(fields[2]);
     if (db.NumNodes() > limits.max_nodes) {
-      return Status::InvalidArgument(LinePrefix(line_number) +
-                                     "graph exceeds " +
-                                     std::to_string(limits.max_nodes) +
-                                     " nodes");
+      return Status::InvalidArgument(
+          ErrorContext(limits, line_number, line_start) + "graph exceeds " +
+          std::to_string(limits.max_nodes) + " nodes");
     }
     db.AddEdge(from, relation, to);
   }

@@ -10,13 +10,19 @@
 
 namespace rpqi {
 
-/// Resource limits for graph parsing: malformed or adversarial input (huge
-/// node populations, unbounded token lengths) is rejected with an
-/// InvalidArgument naming the offending line instead of exhausting memory.
+/// Resource limits and error-context options for graph parsing: malformed or
+/// adversarial input (huge node populations, unbounded token lengths) is
+/// rejected with an InvalidArgument naming the offending location instead of
+/// exhausting memory.
 struct GraphTextLimits {
   int max_nodes = 1 << 22;
   int64_t max_edges = int64_t{1} << 26;
   size_t max_name_length = 4096;
+  /// Prepended to every error ("<source_name>: line N (byte B): ...") so a
+  /// failure that crosses layers — LoadGraphSnapshot, `admin reload` — still
+  /// names the file it came from. Borrowed for the duration of the call;
+  /// empty = no prefix (in-memory text with no useful name).
+  std::string_view source_name = {};
 };
 
 /// Parses the whitespace text format, one edge per line:
@@ -24,7 +30,9 @@ struct GraphTextLimits {
 /// Blank lines and lines starting with '#' are skipped. Relations are
 /// registered into `alphabet` (so relation ids stay coordinated with query
 /// compilation); nodes are interned into the returned database. Every error
-/// reports the 1-based line number and the offending input.
+/// reports the source name (when given), the 1-based line number, and the
+/// 0-based byte offset of that line's start — deep failures keep full file
+/// context no matter how many layers they propagate through.
 StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
                                 const GraphTextLimits& limits = {});
 

@@ -17,6 +17,11 @@ Admission AdmitRequest(const AdmissionPolicy& policy, int64_t timeout_ms,
                             ? std::min(effective_timeout, policy.max_timeout_ms)
                             : policy.max_timeout_ms;
   }
+  // ~35 years: indistinguishable from "no deadline" for any real request,
+  // but small enough that admitted_at + timeout cannot overflow the
+  // steady_clock representation (which would wrap the deadline into the past
+  // and expire every request instantly).
+  effective_timeout = std::min(effective_timeout, int64_t{1} << 40);
   if (effective_timeout > 0) {
     admission.has_deadline = true;
     admission.deadline =

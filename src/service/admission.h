@@ -55,7 +55,8 @@ struct Admission {
 
 /// Derives one request's execution grant from the policy. `timeout_ms` and
 /// `max_states` are the request's own asks (0 = absent): defaults fill gaps,
-/// caps clamp excess.
+/// caps clamp excess. Effective timeouts are additionally clamped to 2^40 ms
+/// (~35 years) so absurd client values cannot overflow deadline arithmetic.
 Admission AdmitRequest(const AdmissionPolicy& policy, int64_t timeout_ms,
                        int64_t max_states);
 

@@ -1,0 +1,115 @@
+#include "service/breaker.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rpqi {
+namespace service {
+namespace {
+
+const char* StateName(int state) {
+  switch (state) {
+    case 0:
+      return "closed";
+    case 1:
+      return "open";
+    default:
+      return "half_open";
+  }
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {}
+
+int64_t CircuitBreaker::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::ShouldReject(const std::string& key) {
+  static const obs::Counter rejected("service.breaker.rejected");
+  static const obs::Counter probes("service.breaker.probes");
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.state == State::kClosed) return false;
+  if (entry.state == State::kOpen) {
+    if (NowMs() - entry.opened_at_ms < options_.cooldown_ms) {
+      ++entry.rejected;
+      rejected.Increment();
+      return true;
+    }
+    // Cooldown over: this request becomes the half-open probe.
+    entry.state = State::kHalfOpen;
+    entry.probe_in_flight = true;
+    probes.Increment();
+    return false;
+  }
+  // Half-open: only the elected probe may pass; everyone else still fails
+  // fast until the probe reports back.
+  if (entry.probe_in_flight) {
+    ++entry.rejected;
+    rejected.Increment();
+    return true;
+  }
+  entry.probe_in_flight = true;
+  probes.Increment();
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(const std::string& key) {
+  static const obs::Counter closes("service.breaker.closes");
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.state == State::kHalfOpen) closes.Increment();
+  entry.state = State::kClosed;
+  entry.consecutive_failures = 0;
+  entry.probe_in_flight = false;
+}
+
+void CircuitBreaker::RecordInternalError(const std::string& key) {
+  static const obs::Counter trips("service.breaker.trips");
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.state == State::kHalfOpen) {
+    // Failed probe: straight back to open for another full cooldown.
+    entry.state = State::kOpen;
+    entry.opened_at_ms = NowMs();
+    entry.probe_in_flight = false;
+    ++entry.trips;
+    trips.Increment();
+    return;
+  }
+  if (entry.state == State::kOpen) return;  // raced rejections; already open
+  if (++entry.consecutive_failures >= options_.failure_threshold) {
+    entry.state = State::kOpen;
+    entry.opened_at_ms = NowMs();
+    ++entry.trips;
+    trips.Increment();
+  }
+}
+
+std::vector<CircuitBreaker::KeyState> CircuitBreaker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<KeyState> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    KeyState state;
+    state.key = key;
+    state.state = StateName(static_cast<int>(entry.state));
+    state.consecutive_failures = entry.consecutive_failures;
+    state.trips = entry.trips;
+    state.rejected = entry.rejected;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+}  // namespace service
+}  // namespace rpqi

@@ -1,0 +1,92 @@
+#ifndef RPQI_SERVICE_BREAKER_H_
+#define RPQI_SERVICE_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rpqi {
+namespace service {
+
+/// A per-operation circuit breaker for the serve path. Each key (op name)
+/// carries the classic three-state machine:
+///
+///   closed    — requests pass; K consecutive *internal* errors trip it.
+///   open      — requests fast-fail (`unavailable`) without touching the
+///               engine; after `cooldown_ms` the next request half-opens.
+///   half-open — exactly one probe request passes; success closes the
+///               breaker, failure re-opens it for another cooldown.
+///
+/// "Internal error" means the engine gave out (resource exhaustion, injected
+/// faults) — caller mistakes (invalid_request) and per-request deadlines are
+/// the client's problem and never count. Time is injected via `now_ms` so
+/// tests drive the open→half-open transition with a fake clock.
+///
+/// Disabled by default (failure_threshold == 0): every method is a cheap
+/// no-op and the serve path behaves exactly as before.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive internal errors that trip a key; 0 disables the breaker.
+    int failure_threshold = 0;
+    /// How long a tripped key fast-fails before allowing a probe.
+    int64_t cooldown_ms = 1000;
+    /// Monotonic clock in milliseconds; defaults to steady_clock. Tests
+    /// substitute a fake to step time deterministically.
+    std::function<int64_t()> now_ms;
+  };
+
+  struct KeyState {
+    std::string key;
+    /// "closed", "open", or "half_open".
+    std::string state;
+    int consecutive_failures = 0;
+    int64_t trips = 0;
+    int64_t rejected = 0;
+  };
+
+  explicit CircuitBreaker(const Options& options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  /// Pre-flight gate. True => fast-fail the request as `unavailable` without
+  /// executing it. False either means the key is closed, or this request was
+  /// elected the half-open probe (exactly one per cooldown expiry).
+  bool ShouldReject(const std::string& key);
+
+  /// Report the outcome of a request that was allowed through.
+  void RecordSuccess(const std::string& key);
+  void RecordInternalError(const std::string& key);
+
+  /// Point-in-time view of every key ever touched (for `admin stats`).
+  std::vector<KeyState> Snapshot() const;
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int64_t opened_at_ms = 0;
+    bool probe_in_flight = false;
+    int64_t trips = 0;
+    int64_t rejected = 0;
+  };
+
+  int64_t NowMs() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace service
+}  // namespace rpqi
+
+#endif  // RPQI_SERVICE_BREAKER_H_

@@ -1,0 +1,39 @@
+#ifndef RPQI_SERVICE_ERRORS_H_
+#define RPQI_SERVICE_ERRORS_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace rpqi {
+namespace service {
+
+/// The protocol's `unavailable` error class: the serving layer is (possibly
+/// temporarily) unable to execute an otherwise-valid request — no snapshot
+/// loaded, a reload that failed on transient I/O, a tripped circuit breaker.
+/// Encoded as a message prefix on kInvalidArgument so the per-op plumbing can
+/// stay a plain Status (adding a Status code would ripple into the CLI exit
+/// code mapping); StatusErrorCode in server.cc peels it back off.
+inline constexpr char kUnavailablePrefix[] = "unavailable: ";
+
+inline Status Unavailable(const std::string& message) {
+  return Status::InvalidArgument(kUnavailablePrefix + message);
+}
+
+inline bool IsUnavailable(const Status& status) {
+  return status.code() == Status::Code::kInvalidArgument &&
+         status.message().rfind(kUnavailablePrefix, 0) == 0;
+}
+
+/// The message without the prefix (identity for non-unavailable statuses).
+inline std::string StripUnavailable(const Status& status) {
+  if (IsUnavailable(status)) {
+    return status.message().substr(sizeof(kUnavailablePrefix) - 1);
+  }
+  return status.message();
+}
+
+}  // namespace service
+}  // namespace rpqi
+
+#endif  // RPQI_SERVICE_ERRORS_H_

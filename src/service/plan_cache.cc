@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/hash.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace rpqi {
@@ -77,7 +78,15 @@ void PlanCache::Put(const std::string& key,
                     std::shared_ptr<const CachedPlan> plan) {
   static const obs::Counter inserts("service.plan_cache.insert");
   static const obs::Counter evictions("service.plan_cache.evict");
+  static const obs::Counter dropped("service.plan_cache.insert_dropped");
   if (plan == nullptr) return;
+  // Models an allocation/admission failure inside the cache: the insert is
+  // silently dropped. Correctness must never depend on a Put landing — the
+  // next Get simply misses and recomputes.
+  if (RPQI_FAULT_FIRED("plan_cache.insert")) {
+    dropped.Increment();
+    return;
+  }
   int64_t bytes = plan->ApproxBytes() + static_cast<int64_t>(key.size());
   Shard& shard = ShardFor(key);
   int64_t evicted = 0;
@@ -86,10 +95,13 @@ void PlanCache::Put(const std::string& key,
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Replace in place (two racing misses computed the same plan); the
-      // refresh also bumps recency.
+      // refresh also bumps recency. The displaced entry counts as an
+      // eviction so `inserts - evictions` always balances the entry count.
       shard.bytes -= it->second->bytes;
       shard.lru.erase(it->second);
       shard.index.erase(it);
+      ++shard.evictions;
+      ++evicted;
     }
     shard.lru.push_front(Entry{key, std::move(plan), bytes});
     shard.index[key] = shard.lru.begin();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "answer/oda.h"
 #include "answer/views.h"
 #include "base/thread_pool.h"
+#include "fault/fault.h"
 #include "graphdb/eval.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -19,6 +21,7 @@
 #include "rewrite/exactness.h"
 #include "rewrite/rewriter.h"
 #include "rpq/compile.h"
+#include "service/errors.h"
 
 namespace rpqi {
 namespace service {
@@ -30,23 +33,12 @@ constexpr size_t kMaxLineBytes = size_t{1} << 20;
 
 constexpr int64_t kMaxSleepMs = 10000;
 
-/// Marks a Status as the protocol's `unavailable` error class (no snapshot
-/// loaded). Encoded as a message prefix so the per-op code can stay a plain
-/// Status; StatusErrorCode below peels it back off.
-const char kUnavailablePrefix[] = "unavailable: ";
-
-Status Unavailable(const std::string& message) {
-  return Status::InvalidArgument(kUnavailablePrefix + message);
-}
-
 const char* StatusErrorCode(const Status& status) {
   switch (status.code()) {
     case Status::Code::kOk:
       return "ok";
     case Status::Code::kInvalidArgument:
-      return status.message().rfind(kUnavailablePrefix, 0) == 0
-                 ? "unavailable"
-                 : "invalid_request";
+      return IsUnavailable(status) ? "unavailable" : "invalid_request";
     case Status::Code::kResourceExhausted:
       return "resource_exhausted";
     case Status::Code::kDeadlineExceeded:
@@ -55,14 +47,6 @@ const char* StatusErrorCode(const Status& status) {
       return "cancelled";
   }
   return "invalid_request";
-}
-
-std::string StatusErrorMessage(const Status& status) {
-  const std::string& message = status.message();
-  if (message.rfind(kUnavailablePrefix, 0) == 0) {
-    return message.substr(sizeof(kUnavailablePrefix) - 1);
-  }
-  return message;
 }
 
 std::string RenderResponse(const Json& id, const char* status_word,
@@ -217,13 +201,28 @@ struct Server::Request {
   bool is_shutdown = false;
 };
 
+namespace {
+
+CircuitBreaker::Options BreakerOptions(const ServerOptions& options) {
+  CircuitBreaker::Options breaker;
+  breaker.failure_threshold = options.breaker_failure_threshold;
+  breaker.cooldown_ms = options.breaker_cooldown_ms;
+  breaker.now_ms = options.breaker_now_ms;
+  return breaker;
+}
+
+}  // namespace
+
 Server::Server(const ServerOptions& options)
     : options_(options),
-      plan_cache_(options.plan_cache_bytes, options.plan_cache_shards) {}
+      plan_cache_(options.plan_cache_bytes, options.plan_cache_shards),
+      breaker_(BreakerOptions(options)) {}
 
 Status Server::Init() {
   if (options_.initial_db_path.empty()) return Status::Ok();
-  return snapshot_store_.Reload(options_.initial_db_path).status();
+  return snapshot_store_.Reload(options_.initial_db_path,
+                                options_.reload_retry)
+      .status();
 }
 
 bool Server::ParseRequest(const std::string& line, Request* request,
@@ -234,7 +233,13 @@ bool Server::ParseRequest(const std::string& line, Request* request,
         "request line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
     return false;
   }
-  StatusOr<Json> parsed = ParseJson(line);
+  std::string_view payload = line;
+  // Models a request cut mid-line by the transport: the parser must fail it
+  // as a clean invalid_request, never crash or stall.
+  if (RPQI_FAULT_FIRED("service.request_truncate")) {
+    payload = payload.substr(0, payload.size() / 2);
+  }
+  StatusOr<Json> parsed = ParseJson(payload);
   if (!parsed.ok()) {
     *error_response = ErrorResponse(Json::Null(), "invalid_request",
                                     parsed.status().message());
@@ -293,19 +298,41 @@ std::string Server::ExecuteToResponse(const Request& request) {
     fields = Status::DeadlineExceeded(
         "deadline expired while the request was queued");
   } else {
-    Budget budget = request.admission.MakeBudget();
-    if (request.op == "eval") {
-      cacheable_op = true;
-      fields = OpEval(request, &budget, &cache_hit);
-    } else if (request.op == "rewrite") {
-      cacheable_op = true;
-      fields = OpRewrite(request, &budget, &cache_hit);
-    } else if (request.op == "answer") {
-      fields = OpAnswer(request, &budget);
-    } else if (request.op == "admin") {
-      fields = OpAdmin(request);
+    // The breaker guards the query ops only: `admin` must stay reachable so
+    // an `admin reload` can repair whatever tripped it. A fast-failed
+    // request never reaches the engine, so it reports no outcome either.
+    bool breaker_guarded = request.op == "eval" || request.op == "rewrite" ||
+                           request.op == "answer";
+    if (breaker_guarded && breaker_.ShouldReject(request.op)) {
+      breaker_guarded = false;
+      fields = Unavailable("circuit breaker open for op '" + request.op +
+                           "'; retrying after cooldown");
     } else {
-      fields = Status::InvalidArgument("unknown op '" + request.op + "'");
+      Budget budget = request.admission.MakeBudget();
+      if (request.op == "eval") {
+        cacheable_op = true;
+        fields = OpEval(request, &budget, &cache_hit);
+      } else if (request.op == "rewrite") {
+        cacheable_op = true;
+        fields = OpRewrite(request, &budget, &cache_hit);
+      } else if (request.op == "answer") {
+        fields = OpAnswer(request, &budget);
+      } else if (request.op == "admin") {
+        fields = OpAdmin(request);
+      } else {
+        fields = Status::InvalidArgument("unknown op '" + request.op + "'");
+      }
+    }
+    if (breaker_guarded) {
+      // Only internal exhaustion counts against the breaker: the engine gave
+      // out. Any other outcome — success, a caller mistake, a caller-chosen
+      // deadline — proves the engine is reachable and resets the streak.
+      if (!fields.ok() &&
+          fields.status().code() == Status::Code::kResourceExhausted) {
+        breaker_.RecordInternalError(request.op);
+      } else {
+        breaker_.RecordSuccess(request.op);
+      }
     }
   }
 
@@ -335,7 +362,7 @@ std::string Server::ExecuteToResponse(const Request& request) {
     error_fields.emplace_back("code",
                               Json::Str(StatusErrorCode(fields.status())));
     error_fields.emplace_back(
-        "message", Json::Str(StatusErrorMessage(fields.status())));
+        "message", Json::Str(StripUnavailable(fields.status())));
     for (auto& field : tail) error_fields.push_back(std::move(field));
     return RenderResponse(request.id, "error", std::move(error_fields));
   }
@@ -604,7 +631,18 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
   if (action == "reload") {
     RPQI_ASSIGN_OR_RETURN(std::string db_path,
                           RequireString(request.body, "db"));
-    RPQI_ASSIGN_OR_RETURN(int64_t version, snapshot_store_.Reload(db_path));
+    bool transient = false;
+    StatusOr<int64_t> reloaded =
+        snapshot_store_.Reload(db_path, options_.reload_retry, &transient);
+    if (!reloaded.ok()) {
+      // A transient failure (open/read error, injected abort) is the
+      // environment's fault, not the request's: report `unavailable` so the
+      // client knows the same request may succeed on retry. Content errors
+      // stay invalid_request. Either way the old snapshot keeps serving.
+      if (transient) return Unavailable(reloaded.status().message());
+      return reloaded.status();
+    }
+    int64_t version = reloaded.value();
     std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
     fields.emplace_back("snapshot_version", Json::Int(version));
     fields.emplace_back("nodes", Json::Int(snapshot->db.NumNodes()));
@@ -637,6 +675,34 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
     admission.emplace_back("default_max_states",
                            Json::Int(options_.admission.default_max_states));
     fields.emplace_back("admission", Json::Obj(std::move(admission)));
+    JsonObject breaker;
+    breaker.emplace_back("enabled", Json::Bool(breaker_.enabled()));
+    breaker.emplace_back("failure_threshold",
+                         Json::Int(options_.breaker_failure_threshold));
+    breaker.emplace_back("cooldown_ms",
+                         Json::Int(options_.breaker_cooldown_ms));
+    JsonArray breaker_keys;
+    for (const CircuitBreaker::KeyState& key : breaker_.Snapshot()) {
+      breaker_keys.push_back(Json::Obj(
+          {{"op", Json::Str(key.key)},
+           {"state", Json::Str(key.state)},
+           {"consecutive_failures", Json::Int(key.consecutive_failures)},
+           {"trips", Json::Int(key.trips)},
+           {"rejected", Json::Int(key.rejected)}}));
+    }
+    breaker.emplace_back("keys", Json::Arr(std::move(breaker_keys)));
+    fields.emplace_back("breaker", Json::Obj(std::move(breaker)));
+    if (fault::Enabled()) {
+      JsonArray faults;
+      for (const fault::SiteInfo& site : fault::ListSites()) {
+        faults.push_back(Json::Obj({{"site", Json::Str(site.name)},
+                                    {"policy", Json::Str(site.policy)},
+                                    {"armed", Json::Bool(site.armed)},
+                                    {"hits", Json::Int(site.hits)},
+                                    {"fires", Json::Int(site.fires)}}));
+      }
+      fields.emplace_back("faults", Json::Arr(std::move(faults)));
+    }
     return fields;
   }
   if (action == "sleep") {
@@ -696,9 +762,12 @@ Status Server::Serve(std::istream& in, std::ostream& out) {
         shutdown_requested_.store(true, std::memory_order_relaxed);
       }
       Json id = request->id;  // for the rejection path below
-      bool submitted = pool.TrySubmit([this, &out, &out_mu, request] {
-        WriteLine(&out, &out_mu, ExecuteToResponse(*request));
-      });
+      // Models a queue-full burst without needing real backpressure: the
+      // request takes the exact `overloaded` rejection path below.
+      bool submitted = !RPQI_FAULT_FIRED("service.queue_full") &&
+                       pool.TrySubmit([this, &out, &out_mu, request] {
+                         WriteLine(&out, &out_mu, ExecuteToResponse(*request));
+                       });
       if (submitted) {
         accepted.Increment();
       } else {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 
 #include "base/status.h"
 #include "service/admission.h"
+#include "service/breaker.h"
 #include "service/json.h"
 #include "service/plan_cache.h"
 #include "service/snapshot.h"
@@ -31,6 +33,16 @@ struct ServerOptions {
   /// Graph database loaded at Init(); empty = start without a snapshot (eval
   /// requests fail with `unavailable` until an `admin reload`).
   std::string initial_db_path;
+  /// Circuit breaker over the query ops (eval/rewrite/answer, keyed per op).
+  /// 0 disables it. `admin` deliberately bypasses the breaker so an
+  /// `admin reload` can repair the condition that tripped it.
+  int breaker_failure_threshold = 0;
+  int64_t breaker_cooldown_ms = 1000;
+  /// Test hook: fake monotonic clock (ms) for the breaker's cooldown timer.
+  std::function<int64_t()> breaker_now_ms;
+  /// Retry schedule applied to `admin reload` (and Init); transient I/O
+  /// failures are retried, content errors are not.
+  ReloadRetryPolicy reload_retry;
 };
 
 /// The long-lived query-serving engine behind `rpqi serve`: reads NDJSON
@@ -101,6 +113,7 @@ class Server {
   ServerOptions options_;
   PlanCache plan_cache_;
   SnapshotStore snapshot_store_;
+  CircuitBreaker breaker_;
   std::atomic<bool> shutdown_requested_{false};
 };
 

@@ -2,6 +2,7 @@
 #define RPQI_SERVICE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,9 +39,25 @@ struct GraphSnapshot {
 /// Both the one-shot CLI commands and the serving layer load graphs through
 /// here. `base_alphabet` lets a caller that already registered query/view
 /// relations keep its relation ids stable (the CLI `rewrite --db` path); pass
-/// a default-constructed alphabet otherwise.
+/// a default-constructed alphabet otherwise. Parse errors carry the file
+/// name, line number, and byte offset of the offending line.
 StatusOr<std::shared_ptr<const GraphSnapshot>> LoadGraphSnapshot(
     const std::string& path, const SignedAlphabet& base_alphabet = {});
+
+/// Retry schedule for SnapshotStore::Reload. Only *transient* failures — the
+/// file could not be opened or the read was cut short, i.e. nothing about the
+/// content was judged yet — are retried; a parse or validation error is a
+/// property of the file and retrying it would just re-fail.
+struct ReloadRetryPolicy {
+  /// Total load attempts (>= 1); 1 means no retry.
+  int attempts = 1;
+  /// Sleep before the first retry; doubles per subsequent retry (capped only
+  /// by `attempts`). 0 retries immediately.
+  int64_t backoff_ms = 0;
+  /// Sleep hook; defaults to std::this_thread::sleep_for. Tests substitute a
+  /// recording fake so retry schedules are asserted without wall-clock time.
+  std::function<void(int64_t)> sleeper;
+};
 
 /// Holds the serving layer's current snapshot; Reload() atomically replaces
 /// it (last write wins) while readers keep whatever they pinned. Thread-safe.
@@ -52,8 +69,14 @@ class SnapshotStore {
   SnapshotStore& operator=(const SnapshotStore&) = delete;
 
   /// Loads `path` and, on success, swaps it in as the current snapshot with
-  /// the next version number. On failure the current snapshot is untouched.
-  StatusOr<int64_t> Reload(const std::string& path);
+  /// the next version number. On failure the current snapshot is untouched
+  /// and no version number is consumed. When `policy.attempts` > 1,
+  /// transient failures are retried with exponential backoff; `transient`
+  /// (optional) reports whether the *final* failure was transient, so the
+  /// caller can surface it as `unavailable` rather than a content error.
+  StatusOr<int64_t> Reload(const std::string& path,
+                           const ReloadRetryPolicy& policy = {},
+                           bool* transient = nullptr);
 
   /// The current snapshot, or nullptr when nothing was ever loaded.
   std::shared_ptr<const GraphSnapshot> Current() const;

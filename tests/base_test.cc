@@ -11,6 +11,8 @@
 #include "base/status.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 
 namespace rpqi {
 namespace {
@@ -349,6 +351,84 @@ TEST(WorkerPoolTest, DrainIsIdempotentAndImmediateWhenIdle) {
   pool.Drain();
   EXPECT_FALSE(pool.TrySubmit([] {}));
   EXPECT_EQ(pool.QueuedNow(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn-failure degradation (fault-injected; satellite of the fault layer)
+
+struct FaultGuard {
+  FaultGuard() { fault::DisarmAll(); }
+  ~FaultGuard() { fault::DisarmAll(); }
+};
+
+TEST(ThreadPoolTest, SpawnFailureDegradesToSerialParallelFor) {
+  FaultGuard guard;
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  // Every spawn attempt fails: the pool degrades to zero workers and
+  // ParallelFor runs entirely on the caller — correct, just serial. No
+  // exception may escape the constructor or ParallelFor.
+  ASSERT_TRUE(fault::Configure("thread_pool.spawn=every:1").ok());
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&sum](int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("thread_pool.spawn_failures"), 1);
+}
+
+TEST(ThreadPoolTest, PartialSpawnFailureKeepsEarlierWorkers) {
+  FaultGuard guard;
+  // The second spawn fails; the pool keeps the first worker (1 + caller).
+  ASSERT_TRUE(fault::Configure("thread_pool.spawn=once:2").ok());
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 2);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(50, [&count](int64_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(WorkerPoolTest, TotalSpawnFailureRunsTasksInlineOnSubmitter) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::Configure("worker_pool.spawn=every:1").ok());
+  WorkerPool pool(3, 4);
+  EXPECT_EQ(pool.num_threads(), 0);
+  // Degraded to inline execution: TrySubmit still accepts and runs every
+  // task (on this thread), so the serving loop stays live instead of
+  // wedging with an always-full queue.
+  std::atomic<int> ran{0};
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&ran, &ran_on] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      ran_on = std::this_thread::get_id();
+    }));
+  }
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(ran_on, submitter);
+  pool.Drain();
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // drained pools stay closed
+}
+
+TEST(WorkerPoolTest, PartialSpawnFailureStillUsesWorkers) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::Configure("worker_pool.spawn=once:2").ok());
+  WorkerPool pool(3, 16);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    while (!pool.TrySubmit(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); })) {
+      std::this_thread::yield();  // bounded queue may momentarily fill
+    }
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <random>
 
 #include "automata/random.h"
+#include "fault/fault.h"
 #include "graphdb/eval.h"
 #include "graphdb/graph.h"
 #include "graphdb/io.h"
@@ -161,6 +162,44 @@ TEST(IoTest, RejectsMalformedLines) {
   SignedAlphabet alphabet;
   EXPECT_FALSE(LoadGraphText("a b\n", &alphabet).ok());
   EXPECT_FALSE(LoadGraphText("a b c d\n", &alphabet).ok());
+}
+
+TEST(IoTest, ErrorsCarryLineAndByteOffsetContext) {
+  // The message shape is a contract: "<source>: line N (byte B): <what>",
+  // with N 1-based (counting blank/comment lines) and B the 0-based byte
+  // offset of the offending line's start — what an operator pastes into
+  // `tail -c +B` to see the bad spot in a multi-gigabyte graph file.
+  SignedAlphabet alphabet;
+  GraphTextLimits limits;
+  limits.source_name = "g.txt";
+  Status bad = LoadGraphText("a r b\n# ok\nbroken line here x\n", &alphabet,
+                             limits)
+                   .status();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.message().rfind("g.txt: line 3 (byte 11): ", 0), 0u)
+      << bad.message();
+
+  // Without a source name the prefix is dropped, not left dangling.
+  SignedAlphabet alphabet2;
+  Status anonymous = LoadGraphText("a r\n", &alphabet2).status();
+  ASSERT_FALSE(anonymous.ok());
+  EXPECT_EQ(anonymous.message().rfind("line 1 (byte 0): ", 0), 0u)
+      << anonymous.message();
+}
+
+TEST(IoTest, InjectedParseIoFaultCarriesTheSameContext) {
+  fault::DisarmAll();
+  ASSERT_TRUE(fault::Configure("graphdb.parse_io=once:2").ok());
+  SignedAlphabet alphabet;
+  GraphTextLimits limits;
+  limits.source_name = "g.txt";
+  Status injected =
+      LoadGraphText("a r b\nb r c\nc r d\n", &alphabet, limits).status();
+  fault::DisarmAll();
+  ASSERT_FALSE(injected.ok());
+  // Fired on the second parsed line: same context shape as a real error.
+  EXPECT_EQ(injected.message(),
+            "g.txt: line 2 (byte 6): injected I/O error while parsing");
 }
 
 TEST(ViewsTest, MaterializedViewsAreExactByConstruction) {

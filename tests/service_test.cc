@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -15,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "service/admission.h"
+#include "service/breaker.h"
 #include "service/json.h"
 #include "service/plan_cache.h"
 #include "service/server.h"
@@ -165,6 +168,10 @@ TEST(PlanCacheTest, ReplaceInPlaceKeepsOneEntry) {
   std::shared_ptr<const CachedPlan> plan = cache.Get("k");
   ASSERT_NE(plan, nullptr);
   EXPECT_EQ(plan->eval_answers->size(), 5u);
+  // The displaced plan counts as an eviction: inserts - evictions must
+  // always equal the resident entry count, even across replacements.
+  EXPECT_EQ(cache.stats().inserts, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
 }
 
 TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
@@ -670,6 +677,333 @@ TEST(ServerStressTest, PlanCacheAndSnapshotStoreUnderConcurrentTraffic) {
   EXPECT_EQ(delta.CounterValue("service.plan_cache.insert"), inserts);
   EXPECT_EQ(delta.CounterValue("service.plan_cache.evict"), evictions);
   EXPECT_EQ(inserts - evictions, stats.entries - stats_before.entries);
+}
+
+// ---------------------------------------------------------------------------
+// breaker.h (deterministic fake clock throughout)
+
+TEST(CircuitBreakerTest, DisabledBreakerIsTransparent) {
+  CircuitBreaker breaker(CircuitBreaker::Options{});  // threshold 0
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(breaker.ShouldReject("eval"));
+    breaker.RecordInternalError("eval");
+  }
+  EXPECT_FALSE(breaker.ShouldReject("eval"));
+  EXPECT_TRUE(breaker.Snapshot().empty());
+}
+
+CircuitBreaker::Options FakeClockOptions(int threshold, int64_t cooldown_ms,
+                                         int64_t* now_ms) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = threshold;
+  options.cooldown_ms = cooldown_ms;
+  options.now_ms = [now_ms] { return *now_ms; };
+  return options;
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndFastFails) {
+  int64_t now_ms = 0;
+  CircuitBreaker breaker(FakeClockOptions(3, 100, &now_ms));
+  breaker.RecordInternalError("eval");
+  breaker.RecordInternalError("eval");
+  EXPECT_FALSE(breaker.ShouldReject("eval"));  // 2 < 3: still closed
+  breaker.RecordInternalError("eval");
+  EXPECT_TRUE(breaker.ShouldReject("eval"));  // tripped
+  // Keys are independent: a tripped eval never blocks rewrite.
+  EXPECT_FALSE(breaker.ShouldReject("rewrite"));
+  now_ms += 99;
+  EXPECT_TRUE(breaker.ShouldReject("eval"));  // cooldown not yet over
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheStreak) {
+  int64_t now_ms = 0;
+  CircuitBreaker breaker(FakeClockOptions(2, 100, &now_ms));
+  breaker.RecordInternalError("eval");
+  breaker.RecordSuccess("eval");
+  breaker.RecordInternalError("eval");
+  EXPECT_FALSE(breaker.ShouldReject("eval"));  // never 2 in a row
+}
+
+TEST(CircuitBreakerTest, HalfOpenElectsOneProbeThenClosesOnSuccess) {
+  int64_t now_ms = 0;
+  CircuitBreaker breaker(FakeClockOptions(1, 100, &now_ms));
+  breaker.RecordInternalError("eval");
+  EXPECT_TRUE(breaker.ShouldReject("eval"));
+  now_ms = 100;
+  // Cooldown over: exactly one request becomes the probe, the rest still
+  // fast-fail until it reports back.
+  EXPECT_FALSE(breaker.ShouldReject("eval"));
+  EXPECT_TRUE(breaker.ShouldReject("eval"));
+  breaker.RecordSuccess("eval");
+  EXPECT_FALSE(breaker.ShouldReject("eval"));  // closed again
+  std::vector<CircuitBreaker::KeyState> keys = breaker.Snapshot();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].state, "closed");
+  EXPECT_EQ(keys[0].trips, 1);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  int64_t now_ms = 0;
+  CircuitBreaker breaker(FakeClockOptions(1, 100, &now_ms));
+  breaker.RecordInternalError("eval");
+  now_ms = 100;
+  EXPECT_FALSE(breaker.ShouldReject("eval"));  // probe elected
+  breaker.RecordInternalError("eval");         // probe failed
+  EXPECT_TRUE(breaker.ShouldReject("eval"));   // back to open
+  now_ms = 150;
+  EXPECT_TRUE(breaker.ShouldReject("eval"));  // new cooldown from reopen
+  now_ms = 200;
+  EXPECT_FALSE(breaker.ShouldReject("eval"));  // next probe
+  breaker.RecordSuccess("eval");
+  EXPECT_FALSE(breaker.ShouldReject("eval"));
+}
+
+// ---------------------------------------------------------------------------
+// Server + breaker integration (fake clock; resource_exhausted generated by
+// an injected automata fault, recovery by disarming it)
+
+TEST(ServerTest, BreakerTripsOnInternalErrorsAndRecoversViaProbe) {
+  fault::DisarmAll();
+  std::string path = WriteTempGraph("breaker.txt", "a r b\n");
+  int64_t now_ms = 0;
+  ServerOptions options = OptionsWithDb(path);
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_ms = 100;
+  options.breaker_now_ms = [&now_ms] { return now_ms; };
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+
+  const std::string rewrite_line =
+      R"({"id":1,"op":"rewrite","query":"r r","views":{"v":"r"}})";
+  ASSERT_TRUE(
+      fault::Configure("automata.determinize_state=every:1").ok());
+  for (int i = 0; i < 2; ++i) {
+    Json response = Handle(server, rewrite_line);
+    EXPECT_EQ(FindField(response, "code")->string_value(),
+              "resource_exhausted");
+  }
+  // Tripped: fast-fail without touching the engine (the armed fault tallies
+  // no further hits), while other ops and admin stay reachable.
+  int64_t hits_when_tripped = fault::HitCount("automata.determinize_state");
+  Json rejected = Handle(server, rewrite_line);
+  EXPECT_EQ(FindField(rejected, "code")->string_value(), "unavailable");
+  EXPECT_NE(FindField(rejected, "message")
+                ->string_value()
+                .find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_EQ(fault::HitCount("automata.determinize_state"), hits_when_tripped);
+  Json eval = Handle(server, R"({"id":2,"op":"eval","query":"r"})");
+  EXPECT_EQ(FindField(eval, "status")->string_value(), "ok");
+  Json stats = Handle(server, R"({"id":3,"op":"admin","action":"stats"})");
+  EXPECT_EQ(FindField(stats, "status")->string_value(), "ok");
+  const Json* breaker = FindField(stats, "breaker");
+  EXPECT_TRUE(FindField(*breaker, "enabled")->bool_value());
+
+  // Fault repaired + cooldown over: the probe request closes the breaker.
+  fault::DisarmAll();
+  now_ms = 100;
+  Json probe = Handle(server, rewrite_line);
+  EXPECT_EQ(FindField(probe, "status")->string_value(), "ok");
+  Json after = Handle(server, rewrite_line);
+  EXPECT_EQ(FindField(after, "status")->string_value(), "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Reload retry + transient classification (snapshot fault sites)
+
+TEST(SnapshotStoreTest, TransientOpenFaultRecoversWithRetry) {
+  fault::DisarmAll();
+  std::string path = WriteTempGraph("retry_ok.txt", "a r b\n");
+  SnapshotStore store;
+  ASSERT_TRUE(fault::Configure("snapshot.open=once").ok());
+  std::vector<int64_t> sleeps;
+  ReloadRetryPolicy policy;
+  policy.attempts = 2;
+  policy.backoff_ms = 7;
+  policy.sleeper = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+  bool transient = true;
+  auto version = store.Reload(path, policy, &transient);
+  fault::DisarmAll();
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 1);  // the failed attempt burned no version number
+  EXPECT_FALSE(transient);
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{7}));
+}
+
+TEST(SnapshotStoreTest, PersistentTransientFaultFailsWithBackoffSchedule) {
+  fault::DisarmAll();
+  std::string path = WriteTempGraph("retry_fail.txt", "a r b\n");
+  SnapshotStore store;
+  ASSERT_TRUE(fault::Configure("snapshot.read=every:1").ok());
+  std::vector<int64_t> sleeps;
+  ReloadRetryPolicy policy;
+  policy.attempts = 4;
+  policy.backoff_ms = 10;
+  policy.sleeper = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+  bool transient = false;
+  auto version = store.Reload(path, policy, &transient);
+  fault::DisarmAll();
+  ASSERT_FALSE(version.ok());
+  EXPECT_TRUE(transient);
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{10, 20, 40}));  // exponential
+  EXPECT_EQ(store.version(), 0);  // still no snapshot, no version burned
+  // With the fault gone the same store loads normally at version 1.
+  ASSERT_TRUE(store.Reload(path).ok());
+  EXPECT_EQ(store.version(), 1);
+}
+
+TEST(SnapshotStoreTest, PermanentParseFailureIsNotRetried) {
+  fault::DisarmAll();
+  std::string bad = WriteTempGraph("retry_bad.txt", "a r\n");
+  SnapshotStore store;
+  std::vector<int64_t> sleeps;
+  ReloadRetryPolicy policy;
+  policy.attempts = 5;
+  policy.backoff_ms = 10;
+  policy.sleeper = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+  bool transient = true;
+  auto version = store.Reload(bad, policy, &transient);
+  ASSERT_FALSE(version.ok());
+  EXPECT_FALSE(transient);          // content error: the file's fault
+  EXPECT_TRUE(sleeps.empty());      // zero retries burned on it
+  // The error carries file/line/byte context from the parser.
+  EXPECT_NE(version.status().message().find("line 1 (byte 0)"),
+            std::string::npos)
+      << version.status().ToString();
+}
+
+TEST(SnapshotStoreTest, ReloadSwapFaultBurnsNoVersionAndRecovers) {
+  fault::DisarmAll();
+  std::string path = WriteTempGraph("swap_fault.txt", "a r b\n");
+  SnapshotStore store;
+  ASSERT_TRUE(store.Reload(path).ok());
+  ASSERT_TRUE(fault::Configure("snapshot.reload_swap=once").ok());
+  bool transient = false;
+  auto failed = store.Reload(path, ReloadRetryPolicy{}, &transient);
+  fault::DisarmAll();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(transient);
+  EXPECT_EQ(store.version(), 1);  // old snapshot still serving, no burn
+  auto recovered = store.Reload(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 2);  // the failed attempt left no gap
+}
+
+TEST(ServerTest, TransientReloadFaultIsUnavailableAndCacheStaysWarm) {
+  fault::DisarmAll();
+  std::string path = WriteTempGraph("reload_fault.txt", "a r b\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  Json warm = Handle(server, R"({"id":1,"op":"eval","query":"r"})");
+  EXPECT_EQ(FindField(warm, "cache")->string_value(), "miss");
+
+  ASSERT_TRUE(fault::Configure("snapshot.open=once").ok());
+  const std::string reload_line =
+      R"({"id":2,"op":"admin","action":"reload","db":")" + path + R"("})";
+  Json failed = Handle(server, reload_line);
+  EXPECT_EQ(FindField(failed, "code")->string_value(), "unavailable");
+  // Structurally invalid reload requests stay invalid_request even with
+  // faults armed: the classifier must not blur client and environment.
+  Json bad_request =
+      Handle(server, R"({"id":3,"op":"admin","action":"reload"})");
+  EXPECT_EQ(FindField(bad_request, "code")->string_value(),
+            "invalid_request");
+
+  // The one-shot fault is spent: the retried request succeeds, and the old
+  // snapshot kept serving the cache in the meantime (identical content ⇒
+  // same fingerprint ⇒ warm).
+  Json retried = Handle(server, reload_line);
+  EXPECT_EQ(FindField(retried, "status")->string_value(), "ok");
+  fault::DisarmAll();
+  Json hit = Handle(server, R"({"id":4,"op":"eval","query":"r"})");
+  EXPECT_EQ(FindField(hit, "cache")->string_value(), "hit");
+}
+
+TEST(ServerTest, AdminStatsListsArmedFaultSites) {
+  fault::DisarmAll();
+  Server server{ServerOptions{}};
+  Json without = Handle(server, R"({"id":1,"op":"admin","action":"stats"})");
+  EXPECT_EQ(without.Find("faults"), nullptr);  // absent when disabled
+  ASSERT_TRUE(fault::Configure("snapshot.open=once").ok());
+  Json with = Handle(server, R"({"id":2,"op":"admin","action":"stats"})");
+  const Json* faults = FindField(with, "faults");
+  fault::DisarmAll();
+  ASSERT_TRUE(faults->is_array());
+  bool found = false;
+  for (const Json& site : faults->array()) {
+    if (site.Find("site")->string_value() != "snapshot.open") continue;
+    found = true;
+    EXPECT_TRUE(site.Find("armed")->bool_value());
+    EXPECT_EQ(site.Find("policy")->string_value(), "once");
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Admission edge cases
+
+TEST(AdmissionTest, AbsurdTimeoutIsClampedNotOverflowed) {
+  // A timeout near INT64_MAX used to overflow the deadline arithmetic and
+  // wrap into the past, expiring every request instantly.
+  Admission admission =
+      AdmitRequest(AdmissionPolicy{}, std::numeric_limits<int64_t>::max(), 0);
+  EXPECT_TRUE(admission.has_deadline);
+  EXPECT_GT(admission.deadline, admission.admitted_at);
+  EXPECT_FALSE(admission.ExpiredInQueue());
+  EXPECT_TRUE(admission.MakeBudget().Check().ok());
+}
+
+TEST(AdmissionTest, ZeroTimeoutMeansNoDeadlineNotInstantExpiry) {
+  Admission admission = AdmitRequest(AdmissionPolicy{}, 0, 0);
+  EXPECT_FALSE(admission.has_deadline);
+  EXPECT_FALSE(admission.ExpiredInQueue());
+}
+
+TEST(ServerTest, HugeProtocolTimeoutStillExecutes) {
+  std::string path = WriteTempGraph("huge_timeout.txt", "a r b\n");
+  Server server(OptionsWithDb(path));
+  ASSERT_TRUE(server.Init().ok());
+  Json response = Handle(
+      server,
+      R"({"id":1,"op":"eval","query":"r","timeout_ms":9223372036854775807})");
+  EXPECT_EQ(FindField(response, "status")->string_value(), "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown with queued work and a reload in flight
+
+TEST(ServerTest, ShutdownDrainsQueuedRequestsAndInFlightReload) {
+  std::string path1 = WriteTempGraph("drain_v1.txt", "a r b\n");
+  std::string path2 = WriteTempGraph("drain_v2.txt", "a r b\nb r c\n");
+  ServerOptions options = OptionsWithDb(path1);
+  options.threads = 2;
+  options.admission.queue_depth = 64;
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+  // Sleeps occupy both workers so the reload and evals genuinely queue;
+  // shutdown arrives with all of them still pending. Every accepted request
+  // must still be answered, and nothing after shutdown may be read.
+  std::istringstream in(
+      R"({"id":1,"op":"admin","action":"sleep","ms":30})" "\n"
+      R"({"id":2,"op":"admin","action":"sleep","ms":30})" "\n"
+      R"({"id":3,"op":"admin","action":"reload","db":")" + path2 + "\"}\n" +
+      R"({"id":4,"op":"eval","query":"r r"})" "\n"
+      R"({"id":5,"op":"admin","action":"shutdown"})" "\n"
+      R"({"id":6,"op":"eval","query":"r"})" "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(server.Serve(in, out).ok());
+  std::istringstream lines(out.str());
+  std::string line;
+  std::set<std::string> ids;
+  while (std::getline(lines, line)) {
+    Json response = MustParse(line);
+    ids.insert(response.Find("id")->Dump());
+    EXPECT_EQ(response.Find("status")->string_value(), "ok") << line;
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"1", "2", "3", "4", "5"}));
+  // The drained reload really landed before Serve returned.
+  EXPECT_EQ(server.snapshot_store().version(), 2);
 }
 
 }  // namespace

@@ -14,7 +14,12 @@ Drives the built `rpqi` binary end to end:
     after the swap all answered, snapshot_version advances;
   * `admin shutdown` stops reading further input and still drains cleanly;
   * the ParseFlags regression: a trailing flag with no value exits 2 with a
-    "requires a value" diagnostic (not "unexpected argument").
+    "requires a value" diagnostic (not "unexpected argument");
+  * fault injection end to end: `--fault snapshot.open=once:2` makes the
+    first reload fail with a structured `unavailable` response, the retry
+    succeeds and serving recovers; `--reload-retries` absorbs the same fault
+    inside one request; RPQI_FAULT in the environment behaves like the flag;
+    a malformed spec exits 2 before serving starts.
 """
 
 import json
@@ -34,12 +39,16 @@ def check(label, condition, detail=""):
         print(f"FAIL: {label} {detail}")
 
 
-def serve(binary, lines, *flags):
+def serve(binary, lines, *flags, env=None):
     """Runs `rpqi serve` with the given stdin lines; returns (proc, records)."""
+    run_env = None
+    if env:
+        run_env = dict(os.environ)
+        run_env.update(env)
     proc = subprocess.run(
         [binary, "serve"] + list(flags),
         input="".join(line + "\n" for line in lines),
-        capture_output=True, text=True, timeout=120)
+        capture_output=True, text=True, timeout=120, env=run_env)
     records = []
     for line in proc.stdout.splitlines():
         if line.strip():
@@ -182,6 +191,60 @@ def main():
                           input="", capture_output=True, text=True,
                           timeout=60)
     check("unreadable --db exits 2", proc.returncode == 2, proc.stderr)
+
+    # --- fault injection end to end --------------------------------------
+    # once:2 — the initial --db load is the first hit on snapshot.open, so
+    # the *reload* is the one that fails. Single attempt (default): the
+    # failure surfaces as a structured `unavailable`, no version is burned,
+    # and the retried request succeeds.
+    fault_batch = [
+        '{"id":1,"op":"eval","query":"r* s"}',
+        '{"id":2,"op":"admin","action":"reload","db":"%s"}' % db2,
+        '{"id":3,"op":"admin","action":"reload","db":"%s"}' % db2,
+        '{"id":4,"op":"eval","query":"r* s"}',
+    ]
+    proc, records = serve(binary, fault_batch, "--db", db1, "--threads", "1",
+                          "--fault", "snapshot.open=once:2")
+    check("faulted run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("eval before the fault is ok", ids[1][0]["status"] == "ok")
+    check("injected reload failure is `unavailable`",
+          ids[2][0]["status"] == "error"
+          and ids[2][0]["code"] == "unavailable", proc.stdout)
+    check("injected failure names the fault",
+          "injected" in ids[2][0].get("message", ""), proc.stdout)
+    check("retried reload succeeds without a burned version",
+          ids[3][0]["status"] == "ok"
+          and ids[3][0]["snapshot_version"] == 2, proc.stdout)
+    check("serving recovers after the fault", ids[4][0]["status"] == "ok")
+
+    # With --reload-retries the same transient fault is absorbed inside the
+    # one request; the counter delta records the retry.
+    proc, records = serve(binary, [
+        '{"id":1,"op":"admin","action":"reload","db":"%s"}' % db2,
+    ], "--db", db1, "--threads", "1", "--reload-retries", "3",
+        "--fault", "snapshot.open=once:2")
+    check("reload retry absorbs a transient fault", proc.returncode == 0
+          and by_id(records)[1][0]["status"] == "ok", proc.stdout)
+    check("retry shows up in the counter delta",
+          by_id(records)[1][0]["counters"]
+          .get("service.snapshot.retries") == 1, proc.stdout)
+
+    # RPQI_FAULT in the environment arms the same spec as the flag.
+    proc, records = serve(binary, [
+        '{"id":1,"op":"admin","action":"reload","db":"%s"}' % db2,
+    ], "--db", db1, "--threads", "1",
+        env={"RPQI_FAULT": "snapshot.open=once:2"})
+    check("RPQI_FAULT env arms fault sites",
+          by_id(records)[1][0].get("code") == "unavailable", proc.stdout)
+
+    # A malformed spec is a usage error: exit 2 before serving starts.
+    proc = subprocess.run(
+        [binary, "serve", "--db", db1, "--fault", "snapshot.open=sometimes"],
+        input="", capture_output=True, text=True, timeout=60)
+    check("malformed --fault spec exits 2", proc.returncode == 2, proc.stderr)
+    check("malformed --fault spec is diagnosed",
+          "snapshot.open" in proc.stderr, proc.stderr)
 
     # --- ParseFlags regression (satellite): trailing flag ----------------
     proc = subprocess.run([binary, "eval", "--db"], capture_output=True,

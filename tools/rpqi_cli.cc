@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +40,7 @@
 #include "base/flags.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
+#include "fault/fault.h"
 #include "graphdb/eval.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,6 +81,8 @@ int Usage() {
   rpqi serve [--db FILE] [--queue-depth N] [--plan-cache-mb MB]
              [--default-timeout-ms MS] [--max-timeout-ms MS]
              [--default-max-states N] [--max-states-cap N]
+             [--breaker-failures K] [--breaker-cooldown-ms MS]
+             [--reload-retries N] [--reload-backoff-ms MS]
               long-lived server: NDJSON requests on stdin, one response line
               per request on stdout (protocol reference in README); worker
               count comes from the global --threads flag; exits 0 after a
@@ -96,6 +100,12 @@ global flags (any subcommand):
   --metrics-out FILE  write the process-wide counter/gauge/histogram snapshot
                       as NDJSON when the command finishes; unusable FILE is
                       exit 2
+  --fault SPEC        arm deterministic fault injection (testing only):
+                      comma-separated site=policy entries, policy one of
+                      every:N | once[:N] | prob:P[:SEED], optionally ;ms=N
+                      for stall sites; also read from the RPQI_FAULT
+                      environment variable (flag entries append to it);
+                      a malformed SPEC is exit 2 (see DESIGN.md §13)
 
 expression syntax: identifiers, juxtaposition = concatenation, |, *, +, ?,
 ^- (inverse), %%eps, %%empty. Example: "(hasSubmodule^-)* (containsVar | hasSubmodule)"
@@ -543,6 +553,8 @@ StatusOr<int> CmdServe(const FlagMap& flags) {
   };
   int64_t queue_depth = options.admission.queue_depth;
   int64_t plan_cache_mb = options.plan_cache_bytes >> 20;
+  int64_t breaker_failures = options.breaker_failure_threshold;
+  int64_t reload_retries = options.reload_retry.attempts;
   const IntFlag int_flags[] = {
       {"queue-depth", 1, int64_t{1} << 16, &queue_depth},
       {"plan-cache-mb", 0, int64_t{1} << 16, &plan_cache_mb},
@@ -554,6 +566,12 @@ StatusOr<int> CmdServe(const FlagMap& flags) {
        &options.admission.default_max_states},
       {"max-states-cap", 1, int64_t{1} << 50,
        &options.admission.max_states_cap},
+      {"breaker-failures", 0, int64_t{1} << 20, &breaker_failures},
+      {"breaker-cooldown-ms", 1, int64_t{1} << 40,
+       &options.breaker_cooldown_ms},
+      {"reload-retries", 1, 100, &reload_retries},
+      {"reload-backoff-ms", 0, int64_t{1} << 20,
+       &options.reload_retry.backoff_ms},
   };
   for (const IntFlag& spec : int_flags) {
     if (!flags.count(spec.name)) continue;
@@ -564,6 +582,8 @@ StatusOr<int> CmdServe(const FlagMap& flags) {
   }
   options.admission.queue_depth = static_cast<int>(queue_depth);
   options.plan_cache_bytes = plan_cache_mb << 20;
+  options.breaker_failure_threshold = static_cast<int>(breaker_failures);
+  options.reload_retry.attempts = static_cast<int>(reload_retries);
 
   service::Server server(options);
   RPQI_RETURN_IF_ERROR(server.Init());
@@ -604,6 +624,30 @@ int Main(int argc, char** argv) {
       return kExitInvalidInput;
     }
     flags->erase("trace-out");
+  }
+  {
+    // RPQI_FAULT arms the fault-injection layer for the whole process; a
+    // --fault flag appends to (never replaces) the environment's spec so a
+    // wrapper script's faults survive ad-hoc additions.
+    const char* env_spec = std::getenv("RPQI_FAULT");
+    std::string fault_spec = env_spec == nullptr ? "" : env_spec;
+    if (flags->count("fault")) {
+      StatusOr<std::string> spec = SingleFlag(*flags, "fault");
+      if (!spec.ok()) {
+        std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+        return ExitCodeForStatus(spec.status());
+      }
+      if (!fault_spec.empty()) fault_spec += ",";
+      fault_spec += *spec;
+      flags->erase("fault");
+    }
+    if (!fault_spec.empty()) {
+      Status configured = fault::Configure(fault_spec);
+      if (!configured.ok()) {
+        std::fprintf(stderr, "error: %s\n", configured.ToString().c_str());
+        return ExitCodeForStatus(configured);
+      }
+    }
   }
   std::string metrics_out;
   if (flags->count("metrics-out")) {

@@ -25,6 +25,16 @@ Checks that complement the compiler's own enforcement:
                  Unbounded construction loops are how the pipeline used to
                  hang before execution budgets existed (see base/budget.h).
 
+  fault-site     Every fault-injection site named in src/ via
+                 RPQI_FAULT_POINT / RPQI_FAULT_FIRED / RPQI_FAULT_STALL must
+                 (a) follow the [a-z0-9_.]+ grammar, (b) be unique across code
+                 locations (one name == one failure point, so chaos specs and
+                 obs counters stay unambiguous), (c) keep the site name on the
+                 same line as the macro so greps and this lint can find it,
+                 and (d) appear in the kKnownSites catalog in
+                 tests/fault_test.cc — and vice versa, so the catalog test
+                 cannot rot as sites come and go.
+
   service-io     Code under src/service/ must not write to stdout/stderr
                  directly (printf/fprintf/puts/fputs/std::cout/std::cerr):
                  the serving layer speaks NDJSON on stdout, and a stray
@@ -55,6 +65,11 @@ DIRECT_IO_RE = re.compile(
 ALLOW_DIRECT_IO_RE = re.compile(r"//\s*lint:\s*allow-direct-io\s+\S")
 LOOP_HEADER_RE = re.compile(r"(?<![\w.])(for|while)\s*\(")
 BUDGET_MENTION_RE = re.compile(r"[Bb]udget")
+FAULT_MACRO_RE = re.compile(r"\bRPQI_FAULT_(?:POINT|FIRED|STALL)\s*\(")
+FAULT_SITE_RE = re.compile(
+    r"\bRPQI_FAULT_(?:POINT|FIRED|STALL)\s*\(\s*\"([^\"]*)\"")
+FAULT_NAME_RE = re.compile(r"[a-z0-9_.]+\Z")
+FAULT_CATALOG_PATH = os.path.join("tests", "fault_test.cc")
 
 
 def strip_code_line(line):
@@ -231,10 +246,82 @@ def check_budget_loops(rel, raw_lines, code_lines, findings):
             pending_loop_header = False
 
 
+def check_fault_sites(rel, raw_lines, code_lines, fault_sites, findings):
+    """Collects RPQI_FAULT_* site names into `fault_sites` (name -> (rel,
+    lineno) of first sighting), flagging grammar breaks, duplicates, and
+    names split off the macro line. Matches run on the raw line (string
+    literals survive there) gated on the stripped line (so the worked
+    example in fault.h's doc comment is not a site)."""
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        macro = FAULT_MACRO_RE.search(code)
+        if not macro:
+            continue
+        m = FAULT_SITE_RE.search(raw)
+        if not m:
+            # The macro definitions themselves (`#define RPQI_FAULT_...`)
+            # take an unquoted parameter; only call sites must inline a
+            # string literal.
+            if not code.lstrip().startswith("#define"):
+                findings.append(
+                    (rel, lineno, "fault-site",
+                     "fault site name must be a string literal on the same "
+                     "line as the RPQI_FAULT_* macro"))
+            continue
+        name = m.group(1)
+        if not FAULT_NAME_RE.match(name):
+            findings.append(
+                (rel, lineno, "fault-site",
+                 f'site "{name}" breaks the [a-z0-9_.]+ grammar'))
+            continue
+        if name in fault_sites:
+            first_rel, first_line = fault_sites[name]
+            findings.append(
+                (rel, lineno, "fault-site",
+                 f'site "{name}" already used at {first_rel}:{first_line}; '
+                 "one name means one failure point"))
+        else:
+            fault_sites[name] = (rel, lineno)
+
+
+def check_fault_catalog(root, fault_sites, findings):
+    """Cross-checks code sites against kKnownSites in tests/fault_test.cc."""
+    rel = FAULT_CATALOG_PATH
+    try:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        findings.append(
+            (rel, 1, "fault-site",
+             "missing fault-site catalog (kKnownSites) test file"))
+        return
+    m = re.search(r"kKnownSites\[\]\s*=\s*\{(.*?)\}", text, re.DOTALL)
+    if not m:
+        findings.append(
+            (rel, 1, "fault-site", "kKnownSites array not found"))
+        return
+    start_line = text[:m.start()].count("\n") + 1
+    catalog = {}
+    for offset, line in enumerate(m.group(1).splitlines()):
+        for name in re.findall(r'"([^"]*)"', line):
+            catalog[name] = start_line + offset
+    for name, (site_rel, site_line) in sorted(fault_sites.items()):
+        if name not in catalog:
+            findings.append(
+                (site_rel, site_line, "fault-site",
+                 f'site "{name}" is missing from kKnownSites in {rel}'))
+    for name, lineno in sorted(catalog.items()):
+        if name not in fault_sites:
+            findings.append(
+                (rel, lineno, "fault-site",
+                 f'catalog entry "{name}" has no RPQI_FAULT_* call site '
+                 "under src/"))
+
+
 def main(argv):
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     findings = []
+    fault_sites = {}
 
     for rel in iter_source_files(root, ["src", "tools"], {".h", ".cc"}):
         with open(os.path.join(root, rel), encoding="utf-8") as f:
@@ -243,6 +330,8 @@ def main(argv):
         check_discards(rel, raw_lines, code_lines, findings)
         if rel.startswith("src" + os.sep):
             check_terminate(rel, code_lines, findings)
+            check_fault_sites(rel, raw_lines, code_lines, fault_sites,
+                              findings)
             if rel.endswith(".h"):
                 check_include_guard(rel, code_lines, findings)
             if rel.endswith(".cc"):
@@ -251,6 +340,7 @@ def main(argv):
                 check_service_io(rel, raw_lines, code_lines, findings)
 
     check_nodiscard_annotations(root, findings)
+    check_fault_catalog(root, fault_sites, findings)
 
     for rel, lineno, rule, message in sorted(findings):
         print(f"{rel}:{lineno}: {rule}: {message}")
