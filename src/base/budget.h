@@ -60,6 +60,8 @@ class Budget {
   /// loops of every potentially-exponential construction.
   Status Check() {
     if (!sticky_.ok()) return sticky_;
+    // order: cancellation is best-effort; observing the flag one inner-loop
+    // iteration late is within contract, and no data rides on the edge
     if (cancel_flag_ != nullptr &&
         cancel_flag_->load(std::memory_order_relaxed)) {
       sticky_ = Status::Cancelled("execution cancelled by caller");

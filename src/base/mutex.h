@@ -1,0 +1,87 @@
+#ifndef RPQI_BASE_MUTEX_H_
+#define RPQI_BASE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace rpqi {
+
+/// A std::mutex annotated as a thread-safety capability, so Clang's
+/// -Wthread-safety analysis can connect RPQI_GUARDED_BY fields to the lock
+/// scopes that protect them (std::mutex itself carries no annotations, which
+/// makes std::lock_guard invisible to the analysis). Every mutex owned by a
+/// concurrent component uses this wrapper; each instance's member name must
+/// appear in the declared lock hierarchy (base/thread_annotations.h) so the
+/// `lock-order` lint can rank its acquisitions.
+class RPQI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RPQI_ACQUIRE() { mu_.lock(); }
+  void Unlock() RPQI_RELEASE() { mu_.unlock(); }
+  bool TryLock() RPQI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, annotated as a scoped capability: the analysis
+/// treats the constructor as acquiring and the destructor as releasing, so a
+/// guarded field touched outside a MutexLock scope is a compile error under
+/// Clang. Prefer this over manual Lock/Unlock pairs everywhere.
+class RPQI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RPQI_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RPQI_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with base::Mutex. Wait() atomically releases the
+/// mutex and reacquires it before returning, like std::condition_variable —
+/// the RPQI_REQUIRES annotation tells the analysis the lock is held across
+/// the call, so waiting loops that re-test guarded predicates stay analyzable:
+///
+///   MutexLock lock(&queue_mu_);
+///   while (queue_.empty() && !draining_) work_cv_.Wait(&queue_mu_);
+///
+/// Always wait in a predicate loop (spurious wakeups are real; clang-tidy's
+/// bugprone-spuriously-wake-up-functions enforces it).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks until notified (or spuriously woken),
+  /// and reacquires *mu before returning.
+  void Wait(Mutex* mu) RPQI_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so its destructor leaves the mutex held —
+    // the caller's MutexLock scope remains the one true owner.
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // leave the mutex held: the caller's scope owns it
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_MUTEX_H_

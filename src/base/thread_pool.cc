@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <system_error>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.h"
@@ -25,10 +26,12 @@ const obs::Counter& SpawnFailures() {
 }  // namespace
 
 int GlobalThreadCount() {
+  // order: plain configuration cell; no data is published through it
   return global_thread_count.load(std::memory_order_relaxed);
 }
 
 void SetGlobalThreadCount(int threads) {
+  // order: plain configuration cell; no data is published through it
   global_thread_count.store(std::max(1, threads), std::memory_order_relaxed);
 }
 
@@ -55,15 +58,24 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&pool_mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Drain() {
+// Reads count_/body_ without pool_mu_: both are frozen for the whole batch —
+// written under pool_mu_ before the epoch bump that wakes the workers
+// (acquiring pool_mu_ in WorkerLoop orders those writes before the reads
+// here), and run_mu_ blocks the next batch until every reader has reported
+// done via busy_.
+//
+// lint: allow-no-tsa the epoch/busy protocol above freezes count_/body_
+void ThreadPool::Drain() RPQI_NO_THREAD_SAFETY_ANALYSIS {
   while (true) {
+    // order: iteration claims need no ordering, only atomicity; the body's
+    // own results are published by the busy_ handshake under pool_mu_
     int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count_) return;
     (*body_)(i);
@@ -83,48 +95,54 @@ void ThreadPool::ParallelFor(int64_t count,
   }
   // One batch at a time: the epoch/busy/cursor protocol below assumes a
   // single in-flight submission, so concurrent callers queue up here.
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&pool_mu_);
     body_ = &body;
     count_ = count;
+    // order: the workers synchronize on pool_mu_ (epoch_), not on the cursor
     cursor_.store(0, std::memory_order_relaxed);
     busy_ = static_cast<int>(workers_.size());
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   Drain();  // the caller participates
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return busy_ == 0; });
-  body_ = nullptr;
+  {
+    MutexLock lock(&pool_mu_);
+    while (busy_ != 0) done_cv_.Wait(&pool_mu_);
+    body_ = nullptr;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   while (true) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock,
-                  [&] { return shutdown_ || epoch_ != seen_epoch; });
-    if (shutdown_) return;
-    seen_epoch = epoch_;
-    lock.unlock();
+    {
+      MutexLock lock(&pool_mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(&pool_mu_);
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
     Drain();
-    lock.lock();
-    if (--busy_ == 0) done_cv_.notify_all();
+    {
+      MutexLock lock(&pool_mu_);
+      if (--busy_ == 0) done_cv_.NotifyAll();
+    }
   }
 }
 
 WorkerPool::WorkerPool(int num_threads, int max_queued)
     : max_queued_(static_cast<size_t>(std::max(0, max_queued))) {
   int count = std::max(1, num_threads);
-  threads_.reserve(count);
+  std::vector<std::thread> spawned;
+  spawned.reserve(count);
   for (int i = 0; i < count; ++i) {
     if (RPQI_FAULT_FIRED("worker_pool.spawn")) {
       SpawnFailures().Increment();
       break;
     }
     try {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      spawned.emplace_back([this] { WorkerLoop(); });
     } catch (const std::system_error&) {
       SpawnFailures().Increment();
       break;
@@ -132,15 +150,23 @@ WorkerPool::WorkerPool(int num_threads, int max_queued)
   }
   // With zero spawned workers the pool degrades to synchronous execution:
   // TrySubmit runs tasks inline on the submitting thread (see below), so the
-  // serving loop keeps answering — slower, but never wedged.
+  // serving loop keeps answering — slower, but never wedged. The freshly
+  // spawned workers take queue_mu_ themselves, so publish under the lock.
+  MutexLock lock(&queue_mu_);
+  threads_ = std::move(spawned);
 }
 
 WorkerPool::~WorkerPool() { Drain(); }
 
+int WorkerPool::num_threads() const {
+  MutexLock lock(&queue_mu_);
+  return static_cast<int>(threads_.size());
+}
+
 bool WorkerPool::TrySubmit(std::function<void()> task) {
   bool inline_run = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&queue_mu_);
     if (draining_) return false;
     if (threads_.empty()) {
       inline_run = true;  // degraded pool: every worker spawn failed
@@ -153,23 +179,28 @@ bool WorkerPool::TrySubmit(std::function<void()> task) {
     task();
     return true;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void WorkerPool::Drain() {
+  // Detach the thread handles under the lock, join them outside it (a join
+  // can block arbitrarily long; holding queue_mu_ through it would deadlock
+  // the workers it waits for). Clearing the member off-lock instead would
+  // race concurrent num_threads()/TrySubmit readers.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&queue_mu_);
     if (draining_ && threads_.empty()) return;
     draining_ = true;
+    to_join.swap(threads_);
   }
-  work_cv_.notify_all();
-  for (std::thread& thread : threads_) thread.join();
-  threads_.clear();
+  work_cv_.NotifyAll();
+  for (std::thread& thread : to_join) thread.join();
 }
 
 int64_t WorkerPool::QueuedNow() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&queue_mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
@@ -177,8 +208,8 @@ void WorkerPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      MutexLock lock(&queue_mu_);
+      while (!draining_ && queue_.empty()) work_cv_.Wait(&queue_mu_);
       if (queue_.empty()) return;  // draining and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -192,12 +223,14 @@ void WorkerPool::WorkerLoop() {
 
 ThreadPool* ThreadPool::Shared(int num_threads) {
   static const obs::Counter pools_created("thread_pool.pools_created");
-  static std::mutex mu;
+  static Mutex shared_pools_mu;
   // Growth appends instead of replacing: a pool handed out by an earlier call
   // may be mid-ParallelFor on another thread, so no pool is ever destroyed
   // before process exit. The vector stays tiny (one entry per strict growth).
+  // (Guarded by shared_pools_mu; local statics cannot carry RPQI_GUARDED_BY
+  // on the Clang versions the CI floor supports.)
   static std::vector<std::unique_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&shared_pools_mu);
   for (const auto& pool : pools) {
     if (pool->num_threads() >= num_threads) return pool.get();
   }

@@ -2,13 +2,14 @@
 #define RPQI_BASE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace rpqi {
 
@@ -32,6 +33,12 @@ void SetGlobalThreadCount(int threads);
 /// degrades the pool to the workers already spawned — possibly zero, in which
 /// case ParallelFor runs serially on the caller — and bumps the
 /// `thread_pool.spawn_failures` counter; no exception escapes the pool.
+///
+/// Lock discipline: `run_mu_` serializes batches and is always acquired
+/// before `pool_mu_`, which guards the epoch/cursor handoff state (see the
+/// hierarchy in base/thread_annotations.h). The batch body/count fields are
+/// guarded by `pool_mu_` for writers; workers read them lock-free under the
+/// epoch protocol (see Drain's waiver).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -40,6 +47,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Workers plus the participating caller. `workers_` is immutable after
+  /// construction, so this needs no lock.
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs body(i) for every i in [0, count), distributing iterations over the
@@ -48,7 +57,8 @@ class ThreadPool {
   /// claimed from an atomic cursor, so no ordering is guaranteed. Concurrent
   /// ParallelFor calls on one pool are serialized by a submission mutex: safe
   /// from any thread, one batch at a time.
-  void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& body)
+      RPQI_EXCLUDES(run_mu_, pool_mu_);
 
   /// Process-wide pool with at least `num_threads` threads. The first call
   /// creates one lazily; a later call asking for more threads creates a
@@ -59,20 +69,27 @@ class ThreadPool {
   static ThreadPool* Shared(int num_threads);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() RPQI_EXCLUDES(pool_mu_);
   void Drain();
 
-  std::mutex run_mu_;  // serializes ParallelFor submissions
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
-  uint64_t epoch_ = 0;   // bumped per ParallelFor; wakes the workers
-  int busy_ = 0;         // workers still draining the current epoch
-  int64_t count_ = 0;
+  Mutex run_mu_;   // serializes ParallelFor submissions; outer to pool_mu_
+  Mutex pool_mu_;  // guards the epoch/busy handoff state below
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_;  // immutable after construction
+  bool shutdown_ RPQI_GUARDED_BY(pool_mu_) = false;
+  /// Bumped per ParallelFor; wakes the workers.
+  uint64_t epoch_ RPQI_GUARDED_BY(pool_mu_) = 0;
+  /// Workers still draining the current epoch.
+  int busy_ RPQI_GUARDED_BY(pool_mu_) = 0;
+  /// Written under pool_mu_ by ParallelFor; read lock-free by Drain under the
+  /// epoch protocol (workers observe the epoch bump inside pool_mu_, which
+  /// orders these writes before their reads; run_mu_ keeps the fields frozen
+  /// until every reader reports done via busy_).
+  int64_t count_ RPQI_GUARDED_BY(pool_mu_) = 0;
+  const std::function<void(int64_t)>* body_ RPQI_GUARDED_BY(pool_mu_) =
+      nullptr;
   std::atomic<int64_t> cursor_{0};
-  const std::function<void(int64_t)>* body_ = nullptr;
 };
 
 /// A long-lived worker pool with a *bounded* task queue — the execution
@@ -92,6 +109,10 @@ class ThreadPool {
 /// fewer workers (counted by `thread_pool.spawn_failures`). If *every* spawn
 /// failed, TrySubmit degrades to running accepted tasks inline on the
 /// submitting thread, so the serving loop stays live instead of wedging.
+///
+/// Every mutable field — including the worker thread handles, which Drain
+/// detaches under the lock before joining them outside it — is guarded by
+/// `queue_mu_`.
 class WorkerPool {
  public:
   WorkerPool(int num_threads, int max_queued);
@@ -100,28 +121,33 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  int num_threads() const { return static_cast<int>(threads_.size()); }
+  /// Workers currently attached (0 after Drain, or when every spawn failed).
+  int num_threads() const RPQI_EXCLUDES(queue_mu_);
 
   /// Enqueues `task` unless the pool is draining or the queue is at capacity.
   /// Tasks must not throw; they run exactly once, on an arbitrary worker.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) RPQI_EXCLUDES(queue_mu_);
 
   /// Closes admission, waits for every accepted task to finish, and joins the
   /// workers. Idempotent; after Drain(), TrySubmit always returns false.
-  void Drain();
+  void Drain() RPQI_EXCLUDES(queue_mu_);
 
   /// Tasks currently accepted but not yet started (for stats endpoints).
-  int64_t QueuedNow() const;
+  int64_t QueuedNow() const RPQI_EXCLUDES(queue_mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() RPQI_EXCLUDES(queue_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  size_t max_queued_;
-  bool draining_ = false;
+  mutable Mutex queue_mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ RPQI_GUARDED_BY(queue_mu_);
+  /// Drain swaps this vector out under queue_mu_, then joins the detached
+  /// handles lock-free; it used to clear() the member off-lock, racing
+  /// num_threads()/TrySubmit readers (pinned by
+  /// WorkerPoolTest.DrainRacingSubmittersAndStatsReaders).
+  std::vector<std::thread> threads_ RPQI_GUARDED_BY(queue_mu_);
+  const size_t max_queued_;
+  bool draining_ RPQI_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace rpqi

@@ -4,10 +4,11 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace rpqi {
@@ -45,10 +46,13 @@ struct Site {
   int fire_metric_slot = -1;
 };
 
+/// `fault_mu` sits just above `registry_mu` in the lock hierarchy
+/// (base/thread_annotations.h): SiteIndexLocked registers obs counters while
+/// holding it, so the obs registry lock nests inside.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Site>> sites;
-  std::map<std::string, int> index_by_name;
+  Mutex fault_mu;
+  std::vector<std::unique_ptr<Site>> sites RPQI_GUARDED_BY(fault_mu);
+  std::map<std::string, int> index_by_name RPQI_GUARDED_BY(fault_mu);
 };
 
 Registry& Reg() {
@@ -71,8 +75,9 @@ uint64_t SeedFor(const Policy& policy, const std::string& name) {
   return h == 0 ? 1 : h;
 }
 
-/// Registers (or finds) the site under `name`; caller holds reg.mu.
-int SiteIndexLocked(Registry& reg, const std::string& name) {
+/// Registers (or finds) the site under `name`; caller holds reg.fault_mu.
+int SiteIndexLocked(Registry& reg, const std::string& name)
+    RPQI_REQUIRES(reg.fault_mu) {
   auto it = reg.index_by_name.find(name);
   if (it != reg.index_by_name.end()) return it->second;
   auto site = std::make_unique<Site>();
@@ -87,7 +92,9 @@ int SiteIndexLocked(Registry& reg, const std::string& name) {
   return index;
 }
 
-/// Tallies one hit on `site` and evaluates its policy; caller holds reg.mu.
+/// Tallies one hit on `site` and evaluates its policy; the caller holds the
+/// registry's fault_mu (which keeps the per-site policy state consistent —
+/// the Site itself carries no lock of its own).
 bool HitLocked(Site& site) {
   static const obs::Counter total_hits("fault.hits");
   static const obs::Counter total_fires("fault.fires");
@@ -119,10 +126,14 @@ bool HitLocked(Site& site) {
   return fire;
 }
 
-Site* ResolveSite(const char* name, std::atomic<int>* slot, Registry& reg) {
+Site* ResolveSite(const char* name, std::atomic<int>* slot, Registry& reg)
+    RPQI_REQUIRES(reg.fault_mu) {
+  // order: the slot is a per-callsite memo of an immutable index; a stale -1
+  // just repeats the (idempotent) lookup under fault_mu
   int index = slot->load(std::memory_order_relaxed);
   if (index < 0) {
     index = SiteIndexLocked(reg, name);
+    // order: publishes nothing but the index; sites are never removed
     slot->store(index, std::memory_order_relaxed);
   }
   return reg.sites[index].get();
@@ -227,7 +238,7 @@ namespace internal {
 
 bool SiteFires(const char* name, std::atomic<int>* slot) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
   return HitLocked(*ResolveSite(name, slot, reg));
 }
 
@@ -235,7 +246,7 @@ void MaybeStall(const char* name, std::atomic<int>* slot) {
   Registry& reg = Reg();
   int64_t stall_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(&reg.fault_mu);
     Site* site = ResolveSite(name, slot, reg);
     if (HitLocked(*site)) stall_ms = site->policy.stall_ms;
   }
@@ -268,7 +279,7 @@ Status Configure(const std::string& spec) {
     armed.emplace_back(std::move(site), std::move(policy));
   }
   if (armed.empty()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
   for (auto& [name, policy] : armed) {
     Site& site = *reg.sites[SiteIndexLocked(reg, name)];
     site.armed = true;
@@ -277,13 +288,16 @@ Status Configure(const std::string& spec) {
     site.one_shot_spent = false;
     site.policy = std::move(policy);
   }
+  // order: the gate is advisory (see fault.h); arming happens-before the
+  // threads that matter in every supported configuration
   internal::g_enabled.store(true, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 void DisarmAll() {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
+  // order: same advisory-gate contract as Configure
   internal::g_enabled.store(false, std::memory_order_relaxed);
   for (auto& site : reg.sites) {
     site->armed = false;
@@ -297,12 +311,13 @@ void DisarmAll() {
 }
 
 bool Enabled() {
+  // order: advisory gate; a stale read only delays/anticipates arming by a hit
   return internal::g_enabled.load(std::memory_order_relaxed);
 }
 
 std::vector<SiteInfo> ListSites() {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
   std::vector<SiteInfo> out;
   out.reserve(reg.sites.size());
   for (const auto& [name, index] : reg.index_by_name) {
@@ -320,14 +335,14 @@ std::vector<SiteInfo> ListSites() {
 
 int64_t HitCount(const std::string& site) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
   auto it = reg.index_by_name.find(site);
   return it == reg.index_by_name.end() ? 0 : reg.sites[it->second]->hits;
 }
 
 int64_t FireCount(const std::string& site) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.fault_mu);
   auto it = reg.index_by_name.find(site);
   return it == reg.index_by_name.end() ? 0 : reg.sites[it->second]->fires;
 }

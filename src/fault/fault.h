@@ -100,35 +100,38 @@ int64_t FireCount(const std::string& site);
 /// returning Status or StatusOr<T>:
 ///   RPQI_FAULT_POINT("automata.determinize_state",
 ///                    Status::ResourceExhausted("injected ..."));
-#define RPQI_FAULT_POINT(site, status_expr)                                   \
-  do {                                                                        \
-    if (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed)) { \
-      static std::atomic<int> _rpqi_fault_slot{-1};                           \
-      if (::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot)) {      \
-        return (status_expr);                                                 \
-      }                                                                       \
-    }                                                                         \
+#define RPQI_FAULT_POINT(site, status_expr)                              \
+  do {                                                                     \
+    if (::rpqi::fault::internal::g_enabled.load(                           \
+            std::memory_order_relaxed /* order: gate; see g_enabled */)) { \
+      static std::atomic<int> _rpqi_fault_slot{-1};                        \
+      if (::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot)) {   \
+        return (status_expr);                                              \
+      }                                                                    \
+    }                                                                      \
   } while (0)
 
 /// Boolean injection site for paths that cannot propagate a Status (thread
 /// spawn, cache insert, queue admission). Evaluates to true when the site
 /// fires; false whenever the layer is disabled.
-#define RPQI_FAULT_FIRED(site)                                               \
-  (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed) &&     \
-   []() -> bool {                                                            \
-     static std::atomic<int> _rpqi_fault_slot{-1};                           \
-     return ::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot);     \
+#define RPQI_FAULT_FIRED(site)                                          \
+  (::rpqi::fault::internal::g_enabled.load(                               \
+       std::memory_order_relaxed /* order: gate; see g_enabled */) &&     \
+   []() -> bool {                                                         \
+     static std::atomic<int> _rpqi_fault_slot{-1};                        \
+     return ::rpqi::fault::internal::SiteFires(site, &_rpqi_fault_slot);  \
    }())
 
 /// Stall injection site: when the policy fires, sleeps the site's `ms=`
 /// duration (default 1 ms) on the calling thread. Models worker stalls and
 /// scheduling hiccups without touching any result.
-#define RPQI_FAULT_STALL(site)                                                \
-  do {                                                                        \
-    if (::rpqi::fault::internal::g_enabled.load(std::memory_order_relaxed)) { \
-      static std::atomic<int> _rpqi_fault_slot{-1};                           \
-      ::rpqi::fault::internal::MaybeStall(site, &_rpqi_fault_slot);           \
-    }                                                                         \
+#define RPQI_FAULT_STALL(site)                                           \
+  do {                                                                     \
+    if (::rpqi::fault::internal::g_enabled.load(                           \
+            std::memory_order_relaxed /* order: gate; see g_enabled */)) { \
+      static std::atomic<int> _rpqi_fault_slot{-1};                        \
+      ::rpqi::fault::internal::MaybeStall(site, &_rpqi_fault_slot);        \
+    }                                                                      \
   } while (0)
 
 #endif  // RPQI_FAULT_FAULT_H_

@@ -3,9 +3,10 @@
 #include <atomic>
 #include <bit>
 #include <memory>
-#include <mutex>
 
 #include "base/logging.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace rpqi {
 namespace obs {
@@ -28,19 +29,25 @@ struct MetricInfo {
   int first_slot;  // slot index (counter/histogram) or gauge index
 };
 
+/// The process-wide registry. `registry_mu` is the innermost lock of the
+/// declared hierarchy (base/thread_annotations.h): every layer bumps counters
+/// while holding its own locks, so nothing may be acquired under it. The hot
+/// write path (AddToSlot) never takes it — shard slots are atomics reached
+/// through a thread_local handle.
 struct Registry {
-  std::mutex mu;
-  std::vector<MetricInfo> metrics;
-  std::map<std::string, int> index_by_name;  // -> index into `metrics`
-  int next_slot = 0;
-  int next_gauge = 0;
+  Mutex registry_mu;
+  std::vector<MetricInfo> metrics RPQI_GUARDED_BY(registry_mu);
+  /// -> index into `metrics`.
+  std::map<std::string, int> index_by_name RPQI_GUARDED_BY(registry_mu);
+  int next_slot RPQI_GUARDED_BY(registry_mu) = 0;
+  int next_gauge RPQI_GUARDED_BY(registry_mu) = 0;
   std::array<std::atomic<int64_t>, kMaxGauges> gauges{};
   // Every shard ever created, owned forever so scrapes never race a thread
   // teardown; exited threads fold their totals into `retired` and donate
   // their (zeroed) shard back through `free_shards` for reuse.
-  std::vector<std::unique_ptr<Shard>> shards;
-  std::vector<int> free_shards;
-  std::array<int64_t, kMaxSlots> retired{};
+  std::vector<std::unique_ptr<Shard>> shards RPQI_GUARDED_BY(registry_mu);
+  std::vector<int> free_shards RPQI_GUARDED_BY(registry_mu);
+  std::array<int64_t, kMaxSlots> retired RPQI_GUARDED_BY(registry_mu) = {};
 };
 
 Registry& Reg() {
@@ -57,7 +64,7 @@ struct ShardHandle {
 
   ShardHandle() {
     Registry& reg = Reg();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(&reg.registry_mu);
     if (!reg.free_shards.empty()) {
       index = reg.free_shards.back();
       reg.free_shards.pop_back();
@@ -70,8 +77,10 @@ struct ShardHandle {
 
   ~ShardHandle() {
     Registry& reg = Reg();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(&reg.registry_mu);
     for (int i = 0; i < kMaxSlots; ++i) {
+      // order: the exiting thread's own writes are already visible to it;
+      // cross-thread visibility of the folded total comes from registry_mu
       int64_t value = shard->slots[i].exchange(0, std::memory_order_relaxed);
       if (value != 0) reg.retired[i] += value;
     }
@@ -96,9 +105,14 @@ int SlotsFor(MetricKind kind) {
   return 0;
 }
 
-int64_t SumSlot(const Registry& reg, int slot) {
+/// Merged total for one slot across live and retired shards; the caller holds
+/// the registry lock for the shard-table walk.
+int64_t SumSlot(const Registry& reg, int slot)
+    RPQI_REQUIRES(reg.registry_mu) {
   int64_t total = reg.retired[slot];
   for (const auto& shard : reg.shards) {
+    // order: scrapes are statistical reads; each slot is independently
+    // atomic and monotonic, so a torn cross-slot view is acceptable
     total += shard->slots[slot].load(std::memory_order_relaxed);
   }
   return total;
@@ -117,7 +131,7 @@ namespace internal {
 
 int RegisterMetric(const char* name, MetricKind kind) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.registry_mu);
   auto it = reg.index_by_name.find(name);
   if (it != reg.index_by_name.end()) {
     const MetricInfo& info = reg.metrics[it->second];
@@ -143,22 +157,28 @@ int RegisterMetric(const char* name, MetricKind kind) {
 
 void AddToSlot(int slot, int64_t delta) {
   if (slot < 0) return;
+  // order: the lock-free hot path; totals are summed under registry_mu, and
+  // per-slot atomicity is all a monotonic counter needs
   LocalShard().slots[slot].fetch_add(delta, std::memory_order_relaxed);
 }
 
 void SetGaugeValue(int gauge_index, int64_t value) {
   if (gauge_index < 0) return;
+  // order: last-write-wins cell; readers tolerate any interleaving
   Reg().gauges[gauge_index].store(value, std::memory_order_relaxed);
 }
 
 void RecordHistogramUs(int first_slot, int64_t us) {
   if (first_slot < 0) return;
   Shard& shard = LocalShard();
+  // order: same contract as AddToSlot — independent monotonic slots
   shard.slots[first_slot].fetch_add(1, std::memory_order_relaxed);
+  // order: same contract as AddToSlot — independent monotonic slots
   shard.slots[first_slot + 1].fetch_add(us < 0 ? 0 : us,
                                         std::memory_order_relaxed);
   int bucket = us <= 0 ? 0 : std::bit_width(static_cast<uint64_t>(us));
   if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+  // order: same contract as AddToSlot — independent monotonic slots
   shard.slots[first_slot + 2 + bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -167,11 +187,12 @@ std::vector<int64_t> ThreadCounterValues() {
   Shard& shard = LocalShard();
   int watermark;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(&reg.registry_mu);
     watermark = reg.next_slot;
   }
   std::vector<int64_t> values(watermark);
   for (int i = 0; i < watermark; ++i) {
+    // order: reading this thread's own shard; no cross-thread edge needed
     values[i] = shard.slots[i].load(std::memory_order_relaxed);
   }
   return values;
@@ -182,7 +203,7 @@ void AppendCounterDeltasSince(
     std::vector<std::pair<std::string, int64_t>>* out) {
   Registry& reg = Reg();
   Shard& shard = LocalShard();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.registry_mu);
   for (const MetricInfo& info : reg.metrics) {
     if (info.kind != MetricKind::kCounter) continue;
     int slot = info.first_slot;
@@ -192,6 +213,7 @@ void AppendCounterDeltasSince(
     // under-report the first request that ever touches a subsystem.
     int64_t base =
         slot < static_cast<int>(baseline.size()) ? baseline[slot] : 0;
+    // order: reading this thread's own shard; no cross-thread edge needed
     int64_t delta = shard.slots[slot].load(std::memory_order_relaxed) - base;
     if (delta != 0) out->emplace_back(info.name, delta);
   }
@@ -260,7 +282,7 @@ void MetricsSnapshot::WriteNdjson(std::ostream& out) const {
 MetricsSnapshot TakeMetricsSnapshot() {
   Registry& reg = Reg();
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.registry_mu);
   for (const MetricInfo& info : reg.metrics) {
     if (info.first_slot < 0) continue;
     switch (info.kind) {
@@ -269,6 +291,7 @@ MetricsSnapshot TakeMetricsSnapshot() {
         break;
       case MetricKind::kGauge:
         snapshot.gauges_[info.name] =
+            // order: last-write-wins cell; see SetGaugeValue
             reg.gauges[info.first_slot].load(std::memory_order_relaxed);
         break;
       case MetricKind::kHistogram: {

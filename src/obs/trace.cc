@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <fstream>
-#include <mutex>
 
 #include "base/logging.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace rpqi {
@@ -16,10 +17,16 @@ std::atomic<bool> g_enabled{false};
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<int> g_next_thread_id{0};
 
-std::mutex g_sink_mu;
-std::ofstream g_file;             // backing storage for file sinks
-std::ostream* g_out = nullptr;    // the active sink (file or borrowed)
-std::chrono::steady_clock::time_point g_epoch;
+/// Guards the sink below. `g_enabled` is the lock-free fast-path gate: Span
+/// open/close check it before ever touching the sink, and Stop() clears it
+/// before taking the lock so in-flight spans bail out instead of queueing on
+/// a closing sink.
+Mutex g_sink_mu;
+// Backing storage for file sinks.
+std::ofstream g_file RPQI_GUARDED_BY(g_sink_mu);
+// The active sink (file or borrowed).
+std::ostream* g_out RPQI_GUARDED_BY(g_sink_mu) = nullptr;
+std::chrono::steady_clock::time_point g_epoch RPQI_GUARDED_BY(g_sink_mu);
 
 int LocalThreadId() {
   thread_local int id = g_next_thread_id.fetch_add(1);
@@ -38,37 +45,46 @@ void EscapeTo(std::ostream& out, const char* text) {
 }  // namespace
 
 bool Tracer::StartToFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(&g_sink_mu);
   g_file.open(path, std::ios::trunc);
   if (!g_file) return false;
   g_out = &g_file;
   g_epoch = std::chrono::steady_clock::now();
+  // order: release pairs with the acquire implied by g_sink_mu in the span
+  // writer — a span that sees enabled==true then sees the sink set up
   g_enabled.store(true, std::memory_order_release);
   return true;
 }
 
 void Tracer::StartToStream(std::ostream* out) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(&g_sink_mu);
   g_out = out;
   g_epoch = std::chrono::steady_clock::now();
+  // order: release pairs with the acquire implied by g_sink_mu in the span
+  // writer — a span that sees enabled==true then sees the sink set up
   g_enabled.store(true, std::memory_order_release);
 }
 
 void Tracer::Stop() {
-  g_enabled.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  // order: clearing the gate needs no payload edge of its own — spans that
+  // still see true serialize on g_sink_mu and re-check g_out under it
+  g_enabled.store(false, std::memory_order_relaxed);
+  MutexLock lock(&g_sink_mu);
   if (g_out != nullptr) g_out->flush();
   if (g_file.is_open()) g_file.close();
   g_out = nullptr;
 }
 
 bool Tracer::IsEnabled() {
+  // order: a stale read only costs one dropped/attempted span; the sink
+  // itself is reached under g_sink_mu
   return g_enabled.load(std::memory_order_relaxed);
 }
 
 Span::Span(const char* name) : name_(name) {
   if (!Tracer::IsEnabled()) return;
   active_ = true;
+  // order: ids need only uniqueness, not ordering across threads
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back()->id();
   t_span_stack.push_back(this);
@@ -90,7 +106,7 @@ Span::~Span() {
   std::vector<std::pair<std::string, int64_t>> deltas;
   internal::AppendCounterDeltasSince(baseline_, &deltas);
 
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(&g_sink_mu);
   if (g_out == nullptr) return;
   std::ostream& out = *g_out;
   out << "{\"type\":\"span\",\"name\":\"";

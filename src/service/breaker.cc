@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "base/mutex.h"
 #include "obs/metrics.h"
 
 namespace rpqi {
@@ -34,7 +35,7 @@ bool CircuitBreaker::ShouldReject(const std::string& key) {
   static const obs::Counter rejected("service.breaker.rejected");
   static const obs::Counter probes("service.breaker.probes");
   if (!enabled()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&breaker_mu_);
   Entry& entry = entries_[key];
   if (entry.state == State::kClosed) return false;
   if (entry.state == State::kOpen) {
@@ -64,7 +65,7 @@ bool CircuitBreaker::ShouldReject(const std::string& key) {
 void CircuitBreaker::RecordSuccess(const std::string& key) {
   static const obs::Counter closes("service.breaker.closes");
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&breaker_mu_);
   Entry& entry = entries_[key];
   if (entry.state == State::kHalfOpen) closes.Increment();
   entry.state = State::kClosed;
@@ -75,7 +76,7 @@ void CircuitBreaker::RecordSuccess(const std::string& key) {
 void CircuitBreaker::RecordInternalError(const std::string& key) {
   static const obs::Counter trips("service.breaker.trips");
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&breaker_mu_);
   Entry& entry = entries_[key];
   if (entry.state == State::kHalfOpen) {
     // Failed probe: straight back to open for another full cooldown.
@@ -96,7 +97,7 @@ void CircuitBreaker::RecordInternalError(const std::string& key) {
 }
 
 std::vector<CircuitBreaker::KeyState> CircuitBreaker::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&breaker_mu_);
   std::vector<KeyState> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {

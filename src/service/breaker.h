@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace rpqi {
 namespace service {
@@ -81,9 +83,11 @@ class CircuitBreaker {
 
   int64_t NowMs() const;
 
+  /// Immutable after construction (including the injected clock), so reading
+  /// it off-lock in enabled()/NowMs() is safe.
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex breaker_mu_;
+  std::map<std::string, Entry> entries_ RPQI_GUARDED_BY(breaker_mu_);
 };
 
 }  // namespace service

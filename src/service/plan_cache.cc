@@ -61,7 +61,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
   static const obs::Counter hits("service.plan_cache.hit");
   static const obs::Counter misses("service.plan_cache.miss");
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -91,7 +91,7 @@ void PlanCache::Put(const std::string& key,
   Shard& shard = ShardFor(key);
   int64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.shard_mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Replace in place (two racing misses computed the same plan); the
@@ -123,8 +123,10 @@ void PlanCache::Put(const std::string& key,
 
 PlanCache::Stats PlanCache::stats() const {
   Stats stats;
+  // Shard locks are taken one at a time (sequentially, never nested), so the
+  // totals are a per-shard-consistent sum, not a single atomic snapshot.
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->shard_mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.inserts += shard->inserts;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -12,6 +11,8 @@
 #include <vector>
 
 #include "automata/nfa.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "rewrite/rewriter.h"
 
 namespace rpqi {
@@ -85,14 +86,16 @@ class PlanCache {
     int64_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    int64_t bytes = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t inserts = 0;
-    int64_t evictions = 0;
+    mutable Mutex shard_mu;
+    // Front = most recently used.
+    std::list<Entry> lru RPQI_GUARDED_BY(shard_mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        RPQI_GUARDED_BY(shard_mu);
+    int64_t bytes RPQI_GUARDED_BY(shard_mu) = 0;
+    int64_t hits RPQI_GUARDED_BY(shard_mu) = 0;
+    int64_t misses RPQI_GUARDED_BY(shard_mu) = 0;
+    int64_t inserts RPQI_GUARDED_BY(shard_mu) = 0;
+    int64_t evictions RPQI_GUARDED_BY(shard_mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);

@@ -723,9 +723,8 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
       "' (reload|stats|sleep|shutdown)");
 }
 
-void Server::WriteLine(std::ostream* out, std::mutex* out_mu,
-                       const std::string& line) {
-  std::lock_guard<std::mutex> lock(*out_mu);
+void Server::WriteLine(std::ostream* out, const std::string& line) {
+  MutexLock lock(&writer_mu_);
   *out << line << '\n';
   out->flush();
 }
@@ -741,11 +740,14 @@ Status Server::Serve(std::istream& in, std::ostream& out) {
   static const obs::Counter accepted("service.requests.accepted");
   static const obs::Counter rejected("service.rejected.queue_full");
   static const obs::Counter invalid("service.rejected.invalid");
+  // order: only the serve loop's own getline condition reads this flag; the
+  // worker that sets it synchronizes with the loop via the pool queue
   shutdown_requested_.store(false, std::memory_order_relaxed);
-  std::mutex out_mu;
   {
     WorkerPool pool(options_.threads, options_.admission.queue_depth);
     std::string line;
+    // order: see the store above — the flag is a loop-exit hint, not a
+    // payload publication
     while (!shutdown_requested_.load(std::memory_order_relaxed) &&
            std::getline(in, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -753,31 +755,31 @@ Status Server::Serve(std::istream& in, std::ostream& out) {
       std::string error_response;
       if (!ParseRequest(line, request.get(), &error_response)) {
         invalid.Increment();
-        WriteLine(&out, &out_mu, error_response);
+        WriteLine(&out, error_response);
         continue;
       }
       if (request->is_shutdown) {
         // Stop reading after this request; it still goes through the queue so
         // its response serializes behind everything accepted before it.
+        // order: same flag-only contract as the loop condition above
         shutdown_requested_.store(true, std::memory_order_relaxed);
       }
       Json id = request->id;  // for the rejection path below
       // Models a queue-full burst without needing real backpressure: the
       // request takes the exact `overloaded` rejection path below.
       bool submitted = !RPQI_FAULT_FIRED("service.queue_full") &&
-                       pool.TrySubmit([this, &out, &out_mu, request] {
-                         WriteLine(&out, &out_mu, ExecuteToResponse(*request));
+                       pool.TrySubmit([this, &out, request] {
+                         WriteLine(&out, ExecuteToResponse(*request));
                        });
       if (submitted) {
         accepted.Increment();
       } else {
         rejected.Increment();
-        WriteLine(&out, &out_mu,
-                  ErrorResponse(id, "overloaded",
-                                "request queue full (depth " +
-                                    std::to_string(
-                                        options_.admission.queue_depth) +
-                                    ")"));
+        WriteLine(&out, ErrorResponse(
+                            id, "overloaded",
+                            "request queue full (depth " +
+                                std::to_string(options_.admission.queue_depth) +
+                                ")"));
       }
     }
     pool.Drain();

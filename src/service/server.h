@@ -6,11 +6,12 @@
 #include <functional>
 #include <istream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "service/admission.h"
 #include "service/breaker.h"
 #include "service/json.h"
@@ -107,13 +108,19 @@ class Server {
   StatusOr<JsonObject> OpAnswer(const Request& request, Budget* budget);
   StatusOr<JsonObject> OpAdmin(const Request& request);
 
-  void WriteLine(std::ostream* out, std::mutex* out_mu,
-                 const std::string& line);
+  /// Emits one response line + flush atomically, so concurrent workers can
+  /// never interleave partial lines on the shared output stream.
+  void WriteLine(std::ostream* out, const std::string& line)
+      RPQI_EXCLUDES(writer_mu_);
 
   ServerOptions options_;
   PlanCache plan_cache_;
   SnapshotStore snapshot_store_;
   CircuitBreaker breaker_;
+  /// Serializes whole-line writes to the output stream borrowed by Serve().
+  /// A member (not a Serve-local) so the capability has a name the analysis
+  /// and the lock-order lint can track across WriteLine callers.
+  Mutex writer_mu_;
   std::atomic<bool> shutdown_requested_{false};
 };
 

@@ -8,6 +8,7 @@
 
 #include "analysis/validate.h"
 #include "base/hash.h"
+#include "base/mutex.h"
 #include "fault/fault.h"
 #include "graphdb/io.h"
 #include "obs/metrics.h"
@@ -117,7 +118,7 @@ StatusOr<int64_t> SnapshotStore::Reload(const std::string& path,
       *transient = true;
       if (!RPQI_FAULT_FIRED("snapshot.reload_swap")) {
         *transient = false;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&snapshot_mu_);
         int64_t version = ++versions_issued_;
         (*loaded)->version = version;
         current_ = std::move(loaded).value();
@@ -150,12 +151,12 @@ StatusOr<int64_t> SnapshotStore::Reload(const std::string& path,
 }
 
 std::shared_ptr<const GraphSnapshot> SnapshotStore::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&snapshot_mu_);
   return current_;
 }
 
 int64_t SnapshotStore::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&snapshot_mu_);
   return current_ == nullptr ? 0 : current_->version;
 }
 

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "graphdb/graph.h"
 #include "rpq/alphabet.h"
 
@@ -85,9 +86,11 @@ class SnapshotStore {
   int64_t version() const;
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const GraphSnapshot> current_;
-  int64_t versions_issued_ = 0;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const GraphSnapshot> current_
+      RPQI_GUARDED_BY(snapshot_mu_);
+  /// Counts successful publishes only: a failed reload consumes no version.
+  int64_t versions_issued_ RPQI_GUARDED_BY(snapshot_mu_) = 0;
 };
 
 }  // namespace service

@@ -353,6 +353,38 @@ TEST(WorkerPoolTest, DrainIsIdempotentAndImmediateWhenIdle) {
   EXPECT_EQ(pool.QueuedNow(), 0);
 }
 
+TEST(WorkerPoolTest, DrainRacingSubmittersAndStatsReaders) {
+  // Pins the swap-under-lock fix in Drain: it used to clear() the worker
+  // vector off-lock, racing concurrent num_threads()/TrySubmit readers of
+  // `threads_` (a data race TSan flags; on libstdc++ a size() read during
+  // clear() could also return garbage). Drain now swaps the vector out under
+  // queue_mu_ and joins the detached handles lock-free.
+  for (int round = 0; round < 20; ++round) {
+    WorkerPool pool(3, 64);
+    std::atomic<bool> stop{false};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 2; ++t) {
+      hammers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          pool.TrySubmit([&ran] { ran.fetch_add(1); });
+          // Stats reads must stay well-defined mid-drain: 0..3 workers,
+          // non-negative queue depth, never garbage.
+          int n = pool.num_threads();
+          EXPECT_GE(n, 0);
+          EXPECT_LE(n, 3);
+          EXPECT_GE(pool.QueuedNow(), 0);
+        }
+      });
+    }
+    pool.Drain();  // races the hammer threads by design
+    EXPECT_EQ(pool.num_threads(), 0);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : hammers) th.join();
+    EXPECT_FALSE(pool.TrySubmit([] {}));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Spawn-failure degradation (fault-injected; satellite of the fault layer)
 

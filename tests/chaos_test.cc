@@ -15,15 +15,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "service/breaker.h"
 #include "service/json.h"
 #include "service/server.h"
 
@@ -224,6 +227,77 @@ TEST(ChaosTest, EveryRequestStallsStillDrainCleanly) {
   while (std::getline(responses, line)) ++count;
   EXPECT_EQ(count, 50);
   EXPECT_EQ(fault::FireCount("worker_pool.task_start"), 50);
+}
+
+TEST(ChaosTest, BreakerSnapshotRacesRecordersWithoutTearing) {
+  // Pins the off-lock stats read: Snapshot() used to copy `entries_` without
+  // holding the breaker mutex, racing concurrent ShouldReject/Record* writers
+  // — a std::map data race (UB; TSan flags it, and a rebalancing insert can
+  // derail an unlocked tree walk entirely). The CI chaos job runs this test
+  // under TSan; here the assertions are on snapshot integrity: every entry
+  // well-formed, counters non-negative, no crash.
+  std::atomic<int64_t> fake_ms{0};
+  service::CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 2;
+  options.now_ms = [&fake_ms] {
+    return fake_ms.load(std::memory_order_relaxed);
+  };
+  service::CircuitBreaker breaker(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&breaker, &fake_ms, t] {
+      const std::string key = "op_" + std::to_string(t % 2);
+      uint64_t rng = static_cast<uint64_t>(t) * 0x9e3779b97f4a7c15ULL + 7;
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        if (breaker.ShouldReject(key)) {
+          fake_ms.fetch_add(1, std::memory_order_relaxed);  // advance cooldown
+          continue;
+        }
+        if (NextRandom(&rng) % 3 == 0) {
+          breaker.RecordInternalError(key);
+        } else {
+          breaker.RecordSuccess(key);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&breaker, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<service::CircuitBreaker::KeyState> snapshot =
+            breaker.Snapshot();
+        EXPECT_LE(snapshot.size(), 2u);
+        for (const service::CircuitBreaker::KeyState& key_state : snapshot) {
+          EXPECT_TRUE(key_state.state == "closed" ||
+                      key_state.state == "open" ||
+                      key_state.state == "half_open")
+              << key_state.state;
+          EXPECT_GE(key_state.consecutive_failures, 0);
+          EXPECT_GE(key_state.trips, 0);
+          EXPECT_GE(key_state.rejected, 0);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+
+  // Errors were injected well past the threshold, so both keys tripped at
+  // least once and the trips survived into the final snapshot.
+  int64_t total_trips = 0;
+  for (const service::CircuitBreaker::KeyState& key_state :
+       breaker.Snapshot()) {
+    total_trips += key_state.trips;
+  }
+  EXPECT_GT(total_trips, 0);
 }
 
 }  // namespace

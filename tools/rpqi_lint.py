@@ -43,6 +43,34 @@ Checks that complement the compiler's own enforcement:
                      // lint: allow-direct-io <why>
                  (In-memory formatting like snprintf is fine.)
 
+  lock-order     src/base/thread_annotations.h declares the project lock
+                 hierarchy between the RPQI_LOCK_ORDER_BEGIN/END markers
+                 (one mutex name per line, outermost first). Within a
+                 function, nested lock scopes (MutexLock, std::lock_guard,
+                 std::unique_lock, std::scoped_lock) over *ranked* mutexes
+                 must acquire strictly downward in that order — acquiring
+                 upward or acquiring the same rank twice is how AB/BA
+                 deadlocks are born. RPQI_REQUIRES(mu) annotations count as
+                 already holding `mu` for the whole function body. Unranked
+                 mutex names are ignored (rank yours by adding it to the
+                 hierarchy). Waiver, on the acquisition line or the line
+                 above:
+                     // lint: allow-lock-order <why>
+                 The rule also polices the analysis escape hatch: every
+                 RPQI_NO_THREAD_SAFETY_ANALYSIS use needs a written waiver
+                 on the same or the preceding line:
+                     // lint: allow-no-tsa <why>
+
+  memory-order   Every non-default std::memory_order_* argument in src/ must
+                 justify itself with an `order: <why>` comment on the same
+                 line, an earlier line of the same statement, or a comment
+                 block immediately above the statement (either `//` or
+                 `/* */` form — macro bodies can only use the latter).
+                 Explicit memory_order_seq_cst is exempt (it is the
+                 default); memory_order_consume is banned outright — its
+                 specification is unimplementable and every compiler
+                 silently promotes it.
+
 Usage: tools/rpqi_lint.py [REPO_ROOT]
 Exit status: 0 clean, 1 findings (one `file:line: rule: message` per line).
 """
@@ -70,6 +98,17 @@ FAULT_SITE_RE = re.compile(
     r"\bRPQI_FAULT_(?:POINT|FIRED|STALL)\s*\(\s*\"([^\"]*)\"")
 FAULT_NAME_RE = re.compile(r"[a-z0-9_.]+\Z")
 FAULT_CATALOG_PATH = os.path.join("tests", "fault_test.cc")
+LOCK_HIERARCHY_PATH = os.path.join("src", "base", "thread_annotations.h")
+ACQUIRE_RE = re.compile(
+    r"\b(?:MutexLock|std::lock_guard|std::unique_lock|std::scoped_lock)"
+    r"\s*(?:<[^<>]*>)?\s+\w+\s*[({]\s*([^(),;{}]+)")
+REQUIRES_RE = re.compile(r"\bRPQI_REQUIRES\s*\(([^()]*)\)")
+TRAILING_IDENT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*$")
+ALLOW_LOCK_ORDER_RE = re.compile(r"//\s*lint:\s*allow-lock-order\s+\S")
+NO_TSA_RE = re.compile(r"\bRPQI_NO_THREAD_SAFETY_ANALYSIS\b")
+ALLOW_NO_TSA_RE = re.compile(r"//\s*lint:\s*allow-no-tsa\s+\S")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order_(\w+)")
+ORDER_COMMENT_RE = re.compile(r"(?://|/\*)\s*order:\s*\S")
 
 
 def strip_code_line(line):
@@ -317,11 +356,165 @@ def check_fault_catalog(root, fault_sites, findings):
                  "under src/"))
 
 
+def load_lock_hierarchy(root, findings):
+    """Parses the declared lock order from thread_annotations.h.
+
+    Returns {mutex_name: rank} with 0 = outermost. A missing file or marker
+    block is itself a finding: the hierarchy is the rule's source of truth,
+    so losing it must fail the lint rather than silently disable it.
+    """
+    rel = LOCK_HIERARCHY_PATH
+    try:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        findings.append(
+            (rel, 1, "lock-order", "missing lock-hierarchy header"))
+        return {}
+    ranks = {}
+    in_block = False
+    for line in lines:
+        if "RPQI_LOCK_ORDER_BEGIN" in line:
+            in_block = True
+            continue
+        if "RPQI_LOCK_ORDER_END" in line:
+            return ranks
+        if in_block:
+            tokens = line.lstrip("/ \t").split()
+            if tokens:
+                ranks[tokens[0]] = len(ranks)
+    findings.append(
+        (rel, 1, "lock-order",
+         "RPQI_LOCK_ORDER_BEGIN/END hierarchy block not found"))
+    return {}
+
+
+def line_has_waiver(raw_lines, index, waiver_re):
+    """True when `waiver_re` matches line `index` (0-based) or the line
+    immediately above it (the 80-column escape)."""
+    if waiver_re.search(raw_lines[index]):
+        return True
+    return index > 0 and waiver_re.search(raw_lines[index - 1])
+
+
+def ranked_names(arg_text, ranks):
+    """Mutex names from an annotation/constructor argument list, keeping only
+    ranked ones. `&reg.fault_mu, shard->shard_mu` -> [fault_mu, shard_mu]."""
+    names = []
+    for arg in arg_text.split(","):
+        m = TRAILING_IDENT_RE.search(arg.strip())
+        if m and m.group(1) in ranks:
+            names.append(m.group(1))
+    return names
+
+
+def check_lock_order(rel, raw_lines, code_lines, ranks, findings):
+    """Lexically tracks nested lock scopes per brace depth and flags
+    acquisitions that violate the declared hierarchy, plus unjustified
+    RPQI_NO_THREAD_SAFETY_ANALYSIS waivers."""
+    held = []  # (name, rank, depth) — popped when depth drops below `depth`
+    depth = 0
+    pending_requires = []  # REQUIRES names awaiting the function's open brace
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        stripped = code.lstrip()
+        if stripped.startswith("#"):
+            continue  # the macros' own definitions are not uses
+        if NO_TSA_RE.search(code) and not line_has_waiver(
+                raw_lines, lineno - 1, ALLOW_NO_TSA_RE):
+            findings.append(
+                (rel, lineno, "lock-order",
+                 "RPQI_NO_THREAD_SAFETY_ANALYSIS without "
+                 "`// lint: allow-no-tsa <why>` on this or the line above"))
+        for m in REQUIRES_RE.finditer(code):
+            pending_requires.extend(ranked_names(m.group(1), ranks))
+        acquisitions = []
+        for m in ACQUIRE_RE.finditer(code):
+            acquisitions.extend(ranked_names(m.group(1), ranks))
+        waived = line_has_waiver(raw_lines, lineno - 1, ALLOW_LOCK_ORDER_RE)
+        for name in acquisitions:
+            rank = ranks[name]
+            for held_name, held_rank, _ in held:
+                if waived:
+                    continue
+                if held_name == name:
+                    findings.append(
+                        (rel, lineno, "lock-order",
+                         f"acquires `{name}` while already holding it "
+                         "(double acquisition of a non-reentrant mutex)"))
+                elif rank <= held_rank:
+                    findings.append(
+                        (rel, lineno, "lock-order",
+                         f"acquires `{name}` (rank {rank}) while holding "
+                         f"`{held_name}` (rank {held_rank}); the declared "
+                         "order in base/thread_annotations.h is "
+                         "outermost-first"))
+            held.append((name, rank, depth))
+        for c in code:
+            if c == "{":
+                depth += 1
+                if pending_requires:
+                    for name in pending_requires:
+                        held.append((name, ranks[name], depth))
+                    pending_requires = []
+            elif c == "}":
+                depth = max(0, depth - 1)
+                held = [h for h in held if h[2] <= depth]
+        # A declaration (`... RPQI_REQUIRES(mu);`) has no body to hold the
+        # lock in: a `;` that arrives before the open brace cancels it.
+        if pending_requires and ";" in code:
+            pending_requires = []
+
+
+def statement_start(code_lines, index):
+    """First line (0-based) of the statement containing line `index`: walks
+    up while the previous line is a non-terminated code line."""
+    while index > 0:
+        prev = code_lines[index - 1].strip()
+        if not prev or prev[-1] in ";{}" or prev.startswith("#"):
+            return index
+        index -= 1
+    return index
+
+
+def has_order_comment(raw_lines, code_lines, index):
+    """True when an `order: <why>` comment covers line `index` (0-based):
+    on any line of the enclosing statement, or in the comment block
+    immediately above it."""
+    start = statement_start(code_lines, index)
+    for i in range(start, index + 1):
+        if ORDER_COMMENT_RE.search(raw_lines[i]):
+            return True
+    i = start - 1
+    while i >= 0 and code_lines[i].strip() == "" and raw_lines[i].strip():
+        if ORDER_COMMENT_RE.search(raw_lines[i]):
+            return True
+        i -= 1
+    return False
+
+
+def check_memory_order(rel, raw_lines, code_lines, findings):
+    for lineno, code in enumerate(code_lines, 1):
+        for m in MEMORY_ORDER_RE.finditer(code):
+            order = m.group(1)
+            if order == "consume":
+                findings.append(
+                    (rel, lineno, "memory-order",
+                     "memory_order_consume is banned (unimplementable; "
+                     "compilers silently promote it) — use acquire"))
+            elif order != "seq_cst" and not has_order_comment(
+                    raw_lines, code_lines, lineno - 1):
+                findings.append(
+                    (rel, lineno, "memory-order",
+                     f"memory_order_{order} without an `order: <why>` "
+                     "comment on the statement or immediately above it"))
+
+
 def main(argv):
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     findings = []
     fault_sites = {}
+    lock_ranks = load_lock_hierarchy(root, findings)
 
     for rel in iter_source_files(root, ["src", "tools"], {".h", ".cc"}):
         with open(os.path.join(root, rel), encoding="utf-8") as f:
@@ -332,6 +525,9 @@ def main(argv):
             check_terminate(rel, code_lines, findings)
             check_fault_sites(rel, raw_lines, code_lines, fault_sites,
                               findings)
+            check_lock_order(rel, raw_lines, code_lines, lock_ranks,
+                             findings)
+            check_memory_order(rel, raw_lines, code_lines, findings)
             if rel.endswith(".h"):
                 check_include_guard(rel, code_lines, findings)
             if rel.endswith(".cc"):
