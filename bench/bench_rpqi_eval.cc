@@ -64,6 +64,36 @@ void BM_EvalSingleSource(benchmark::State& state,
   state.counters["nodes"] = options.num_nodes;
 }
 
+// Label-skew scenario: 16 relations at ~128 average out-degree, querying a
+// single label. The filtered row scan touches all ~128 out-edges per visited
+// node and keeps ~8; the CSR label index (DESIGN.md §15) jumps straight to
+// the per-(node,relation) span. The csr/filtered_scan median ratio is the
+// headline number for the columnar snapshot work in EXPERIMENTS.md.
+void BM_EvalLabelSkew(benchmark::State& state, bool use_csr) {
+  std::mt19937_64 rng(42);
+  RandomGraphOptions options;
+  options.num_nodes = static_cast<int>(state.range(0));
+  options.num_relations = 16;
+  options.average_out_degree = 128.0;
+  GraphDb db = RandomGraph(rng, options);
+  SignedAlphabet alphabet;
+  for (int r = 0; r < options.num_relations; ++r) {
+    alphabet.AddRelation("r" + std::to_string(r));
+  }
+  Nfa query = MustCompileRegex(MustParseRegex("r0*"), alphabet);
+  if (use_csr) db.BuildLabelIndex(alphabet.NumRelations());
+
+  int64_t answers = 0;
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    answers = static_cast<int64_t>(EvalRpqiAllPairs(db, query).size());
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["nodes"] = options.num_nodes;
+  state.counters["edges"] = db.NumEdges();
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
 BENCHMARK_CAPTURE(BM_EvalAllPairs, forward_star, std::string("r0*"))
     ->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
 BENCHMARK_CAPTURE(BM_EvalAllPairs, with_inverse,
@@ -77,6 +107,10 @@ BENCHMARK_CAPTURE(BM_EvalSingleSource, forward_star, std::string("r0*"))
 BENCHMARK_CAPTURE(BM_EvalSingleSource, with_inverse,
                   std::string("(r0 r1^-)* r0"))
     ->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK_CAPTURE(BM_EvalLabelSkew, filtered_scan, false)
+    ->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_EvalLabelSkew, csr, true)
+    ->Arg(128)->Arg(512);
 
 }  // namespace
 }  // namespace rpqi

@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "graphdb/columnar.h"
 #include "graphdb/io.h"
 #include "rpq/alphabet.h"
 #include "service/server.h"
+#include "service/snapshot.h"
 #include "workload/graph_gen.h"
 
 #include "bench_main.h"
@@ -58,6 +60,75 @@ service::ServerOptions BaseOptions() {
   options.initial_db_path = GraphPath();
   return options;
 }
+
+// A larger graph for the snapshot-open benches: 4096 nodes / out-degree 8,
+// written once in both formats. Text parsing re-tokenizes and re-interns
+// every line; the columnar open is an mmap plus a checksum pass, so its
+// median must sit far (>= 10x) below the text median at this size.
+struct SnapshotOpenFixture {
+  std::string text_path;
+  std::string columnar_path;
+};
+
+const SnapshotOpenFixture& OpenFixture() {
+  static const SnapshotOpenFixture* fixture = [] {
+    std::mt19937_64 rng(11);
+    RandomGraphOptions options;
+    options.num_nodes = 4096;
+    options.num_relations = 4;
+    options.average_out_degree = 8.0;
+    GraphDb db = RandomGraph(rng, options);
+    SignedAlphabet alphabet;
+    for (int r = 0; r < options.num_relations; ++r) {
+      alphabet.AddRelation("r" + std::to_string(r));
+    }
+    auto* out = new SnapshotOpenFixture;
+    auto dir = std::filesystem::temp_directory_path();
+    out->text_path = (dir / "rpqi_bench_open.txt").string();
+    std::string text = SaveGraphText(db, alphabet);
+    std::ofstream(out->text_path) << text;
+    out->columnar_path = (dir / "rpqi_bench_open.rpqicol").string();
+    Status written = WriteColumnarFile(out->columnar_path, db, alphabet,
+                                       FingerprintGraphText(text));
+    if (!written.ok()) out->columnar_path.clear();
+    return out;
+  }();
+  return *fixture;
+}
+
+// One full LoadGraphSnapshot per iteration — read, parse/validate, intern —
+// through exactly the code path `admin reload` takes.
+void BM_SnapshotOpenText(benchmark::State& state) {
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    auto snapshot = service::LoadGraphSnapshot(OpenFixture().text_path);
+    if (!snapshot.ok()) {
+      state.SkipWithError("text snapshot load failed");
+      break;
+    }
+    benchmark::DoNotOptimize((*snapshot)->db.NumEdges());
+  }
+}
+BENCHMARK(BM_SnapshotOpenText);
+
+// Same graph through the mmap path: open + header/checksum validation +
+// pointer-cast CSR views; no per-edge parsing, no interning.
+void BM_SnapshotOpenColumnar(benchmark::State& state) {
+  if (OpenFixture().columnar_path.empty()) {
+    state.SkipWithError("columnar fixture write failed");
+    return;
+  }
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    auto snapshot = service::LoadGraphSnapshot(OpenFixture().columnar_path);
+    if (!snapshot.ok()) {
+      state.SkipWithError("columnar snapshot load failed");
+      break;
+    }
+    benchmark::DoNotOptimize((*snapshot)->db.NumEdges());
+  }
+}
+BENCHMARK(BM_SnapshotOpenColumnar);
 
 // Cold path: a fresh Server (empty plan cache) per iteration; only the
 // HandleLine call is timed, so the measurement is parse + compile + eval +

@@ -95,8 +95,8 @@ int main() {
                 db.NumNodes());
     for (int u = 0; u < db.NumNodes(); ++u) {
       for (const GraphDb::Edge& e : db.OutEdges(u)) {
-        std::printf("  %s --flight--> %s\n", db.NodeName(u).c_str(),
-                    db.NodeName(e.to).c_str());
+        std::string from(db.NodeName(u)), to(db.NodeName(e.to));
+        std::printf("  %s --flight--> %s\n", from.c_str(), to.c_str());
       }
     }
     std::printf(

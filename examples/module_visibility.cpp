@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
   // Direct evaluation: visibility sets per module.
   for (int m = 0; m < num_modules; ++m) {
     Bitset visible = EvalRpqiFrom(scenario.db, query, m);
-    std::printf("  visible in %-9s:", scenario.db.NodeName(m).c_str());
+    std::printf("  visible in %-9s:", std::string(scenario.db.NodeName(m)).c_str());
     for (int x = visible.NextSetBit(0); x >= 0; x = visible.NextSetBit(x + 1)) {
-      std::printf(" %s", scenario.db.NodeName(x).c_str());
+      std::printf(" %s", std::string(scenario.db.NodeName(x)).c_str());
     }
     std::printf("\n");
   }

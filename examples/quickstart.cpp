@@ -80,8 +80,8 @@ int main() {
   auto answers = EvaluateRewriting(rewriting->dfa, db->NumNodes(), extensions);
   std::printf("answers computed from the views:\n");
   for (const auto& [x, y] : answers) {
-    std::printf("  (%s, %s)\n", db->NodeName(x).c_str(),
-                db->NodeName(y).c_str());
+    std::string from(db->NodeName(x)), to(db->NodeName(y));
+    std::printf("  (%s, %s)\n", from.c_str(), to.c_str());
   }
 
   // --- 6. Sanity: compare with direct evaluation on the raw database.

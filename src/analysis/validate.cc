@@ -1,5 +1,7 @@
 #include "analysis/validate.h"
 
+#include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -336,11 +338,107 @@ Status ValidateRegexAst(const RegexPtr& root) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Invariants of a LabelCsr (built in memory or mapped from a columnar
+/// snapshot): offsets start at 0, never decrease, and end at the edge count;
+/// targets are in range and sorted within each span; relation ids beyond the
+/// alphabet have no edges; and the two directions mirror each other. The
+/// mirror check counts each out-run (from, r, to)×k against the in-span of
+/// `to` — containment with equal multiplicities plus equal totals is full
+/// multiset equality, without materializing a hash map of triples.
+Status ValidateLabelCsr(const GraphDb& db, int num_relations) {
+  const LabelCsr& csr = db.label_csr();
+  const int n = db.NumNodes();
+  if (csr.num_nodes != n) {
+    return Status::InvalidArgument("graphdb: label index covers " +
+                                   Id(csr.num_nodes) + " nodes, database has " +
+                                   Id(n));
+  }
+  const uint64_t rows = static_cast<uint64_t>(csr.num_relations) * n;
+  const uint64_t num_edges = static_cast<uint64_t>(db.NumEdges());
+  struct Direction {
+    const char* what;
+    const uint64_t* offsets;
+    const uint32_t* targets;
+  };
+  const Direction directions[2] = {
+      {"out", csr.out_offsets(), csr.out_targets()},
+      {"in", csr.in_offsets(), csr.in_targets()},
+  };
+  for (const Direction& d : directions) {
+    if (d.offsets[0] != 0 || d.offsets[rows] != num_edges) {
+      return Status::InvalidArgument(
+          "graphdb: " + std::string(d.what) + " label index spans [" +
+          Id(static_cast<int64_t>(d.offsets[0])) + ", " +
+          Id(static_cast<int64_t>(d.offsets[rows])) + "), expected [0, " +
+          Id(static_cast<int64_t>(num_edges)) + ")");
+    }
+    for (uint64_t row = 0; row < rows; ++row) {
+      if (d.offsets[row + 1] < d.offsets[row]) {
+        return Status::InvalidArgument("graphdb: " + std::string(d.what) +
+                                       " label index offsets decrease at row " +
+                                       Id(static_cast<int64_t>(row)));
+      }
+      for (uint64_t i = d.offsets[row]; i < d.offsets[row + 1]; ++i) {
+        if (d.targets[i] >= static_cast<uint64_t>(n)) {
+          return Status::InvalidArgument(
+              "graphdb: " + std::string(d.what) + " label index target " +
+              Id(d.targets[i]) + " out of range [0, " + Id(n) + ")");
+        }
+        if (i > d.offsets[row] && d.targets[i] < d.targets[i - 1]) {
+          return Status::InvalidArgument(
+              "graphdb: " + std::string(d.what) + " label index row " +
+              Id(static_cast<int64_t>(row)) + " is not sorted");
+        }
+      }
+      if (row >= static_cast<uint64_t>(num_relations) * n &&
+          d.offsets[row + 1] > d.offsets[row]) {
+        return Status::InvalidArgument(
+            "graphdb: label index names relation id " +
+            Id(static_cast<int64_t>(row / n)) + " beyond the alphabet's " +
+            Id(num_relations) + " relations");
+      }
+    }
+  }
+  for (int r = 0; r < csr.num_relations; ++r) {
+    for (int node = 0; node < n; ++node) {
+      std::span<const uint32_t> out = csr.Out(node, r);
+      for (size_t i = 0; i < out.size();) {
+        uint32_t to = out[i];
+        size_t run = i;
+        while (run < out.size() && out[run] == to) ++run;
+        std::span<const uint32_t> mirror = csr.In(static_cast<int>(to), r);
+        auto range = std::equal_range(mirror.begin(), mirror.end(),
+                                      static_cast<uint32_t>(node));
+        if (static_cast<size_t>(range.second - range.first) != run - i) {
+          return Status::InvalidArgument(
+              "graphdb: edge node " + Id(node) + " --" + Id(r) + "--> node " +
+              Id(to) + " out of sync between the label index directions");
+        }
+        i = run;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status ValidateGraphDb(const GraphDb& db, int num_relations) {
   if (num_relations <= 0 && db.NumEdges() > 0) {
     return Status::InvalidArgument(
         "graphdb: edges present but the alphabet declares " +
         Id(num_relations) + " relations");
+  }
+  if (db.columnar()) {
+    // Columnar databases carry adjacency only in the label index; the row
+    // checks below would be vacuous. The dictionary's sortedness and bounds
+    // were already enforced byte-by-byte by ParseColumnarView.
+    return ValidateLabelCsr(db, num_relations);
+  }
+  if (db.has_label_index()) {
+    RPQI_RETURN_IF_ERROR(ValidateLabelCsr(db, num_relations));
   }
   // Edge multiset symmetry: every out-edge from --r--> to must be mirrored by
   // exactly one in-edge at `to`. Key encodes (from, relation, to).
@@ -351,9 +449,9 @@ Status ValidateGraphDb(const GraphDb& db, int num_relations) {
     for (const GraphDb::Edge& e : db.OutEdges(node)) {
       if (e.relation < 0 || e.relation >= num_relations) {
         return Status::InvalidArgument(
-            "graphdb: edge " + db.NodeName(node) + " --" + Id(e.relation) +
-            "--> node " + Id(e.to) + ": relation id " + Id(e.relation) +
-            " out of range [0, " + Id(num_relations) + ")");
+            "graphdb: edge " + std::string(db.NodeName(node)) + " --" +
+            Id(e.relation) + "--> node " + Id(e.to) + ": relation id " +
+            Id(e.relation) + " out of range [0, " + Id(num_relations) + ")");
       }
       if (e.to < 0 || e.to >= db.NumNodes()) {
         return Status::InvalidArgument(

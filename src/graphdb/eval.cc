@@ -1,6 +1,7 @@
 #include "graphdb/eval.h"
 
 #include <algorithm>
+#include <span>
 
 #include "automata/ops.h"
 #include "obs/metrics.h"
@@ -24,6 +25,9 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
   // traffic would dominate the loop.
   static const obs::Counter bfs_runs("eval.bfs_runs");
   static const obs::Counter configurations("eval.configurations");
+  static const obs::Counter csr_runs("eval.csr_runs");
+  static const obs::Counter scan_runs("eval.scan_runs");
+  const bool use_csr = db.has_label_index();
   int64_t discovered = 0;
   const int num_states = query.NumStates();
   std::vector<char> visited(static_cast<size_t>(db.NumNodes()) * num_states,
@@ -44,6 +48,10 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
   auto flush = [&] {
     bfs_runs.Increment();
     configurations.Add(discovered);
+    // Which adjacency path this run took (CSR spans vs filtered row scan) —
+    // the pair partitions eval.bfs_runs, so a snapshot unexpectedly serving
+    // without its label index shows up in the counter dump.
+    (use_csr ? csr_runs : scan_runs).Increment();
   };
   while (!stack.empty()) {
     if (!charge_status.ok()) {
@@ -57,13 +65,23 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
     auto [state, node] = stack.back();
     stack.pop_back();
     for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
-      if (SignedAlphabet::IsInverseSymbol(t.symbol)) {
-        int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
+      int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
+      bool inverse = SignedAlphabet::IsInverseSymbol(t.symbol);
+      if (use_csr) {
+        // Contiguous span of exactly the edges carrying this label — the
+        // whole point of the CSR-by-(relation, direction) layout. Iteration
+        // order within a span is sorted rather than insertion order; the
+        // visited *set* is order-independent, so results are bit-identical
+        // to the scan path.
+        std::span<const uint32_t> targets = inverse
+                                                ? db.InTargets(node, relation)
+                                                : db.OutTargets(node, relation);
+        for (uint32_t other : targets) visit(t.to, static_cast<int>(other));
+      } else if (inverse) {
         for (const GraphDb::Edge& e : db.InEdges(node)) {
           if (e.relation == relation) visit(t.to, e.to);
         }
       } else {
-        int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
         for (const GraphDb::Edge& e : db.OutEdges(node)) {
           if (e.relation == relation) visit(t.to, e.to);
         }

@@ -1,13 +1,101 @@
 #ifndef RPQI_GRAPHDB_GRAPH_H_
 #define RPQI_GRAPHDB_GRAPH_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/interner.h"
 #include "base/logging.h"
 
 namespace rpqi {
+
+/// CSR adjacency indexed by (relation, direction): row `relation * num_nodes
+/// + node` of `offsets` brackets that node's targets for that relation, so
+/// the eval BFS iterates exactly the edges carrying the transition's label
+/// instead of filtering the node's whole edge list. Targets within a span are
+/// sorted ascending (binary-searchable membership; duplicates allowed — the
+/// database is a multigraph).
+///
+/// The arrays either live in the `_store` vectors (built in memory by
+/// GraphDb::BuildLabelIndex) or point into an mmapped columnar snapshot (the
+/// `ext_` pointers; the owning GraphDb holds the mapping alive through its
+/// backing handle). Accessors resolve external-first so the struct stays
+/// safely copyable: copying an owned index copies the vectors and leaves the
+/// external pointers null.
+struct LabelCsr {
+  int num_nodes = 0;
+  int num_relations = 0;
+
+  const uint64_t* ext_out_offsets = nullptr;
+  const uint32_t* ext_out_targets = nullptr;
+  const uint64_t* ext_in_offsets = nullptr;
+  const uint32_t* ext_in_targets = nullptr;
+
+  std::vector<uint64_t> out_offsets_store;  // num_relations * num_nodes + 1
+  std::vector<uint32_t> out_targets_store;  // num_edges
+  std::vector<uint64_t> in_offsets_store;
+  std::vector<uint32_t> in_targets_store;
+
+  const uint64_t* out_offsets() const {
+    return ext_out_offsets != nullptr ? ext_out_offsets
+                                      : out_offsets_store.data();
+  }
+  const uint32_t* out_targets() const {
+    return ext_out_targets != nullptr ? ext_out_targets
+                                      : out_targets_store.data();
+  }
+  const uint64_t* in_offsets() const {
+    return ext_in_offsets != nullptr ? ext_in_offsets
+                                     : in_offsets_store.data();
+  }
+  const uint32_t* in_targets() const {
+    return ext_in_targets != nullptr ? ext_in_targets
+                                     : in_targets_store.data();
+  }
+
+  /// Targets of `node`'s out-edges labeled `relation`. Relations registered
+  /// after the index was built (a query naming a relation absent from the
+  /// graph) have no edges, hence the empty span above num_relations.
+  std::span<const uint32_t> Out(int node, int relation) const {
+    if (relation >= num_relations) return {};
+    size_t row = static_cast<size_t>(relation) * num_nodes + node;
+    const uint64_t* offsets = out_offsets();
+    return {out_targets() + offsets[row],
+            static_cast<size_t>(offsets[row + 1] - offsets[row])};
+  }
+  /// Sources of `node`'s in-edges labeled `relation` (the inverse direction,
+  /// materialized — not recomputed by scanning out-edges).
+  std::span<const uint32_t> In(int node, int relation) const {
+    if (relation >= num_relations) return {};
+    size_t row = static_cast<size_t>(relation) * num_nodes + node;
+    const uint64_t* offsets = in_offsets();
+    return {in_targets() + offsets[row],
+            static_cast<size_t>(offsets[row + 1] - offsets[row])};
+  }
+};
+
+/// Zero-copy description of a columnar snapshot's graph sections, produced by
+/// graphdb/columnar.cc and consumed by GraphDb::FromColumnar. The node
+/// dictionary pointers always alias `backing`; the CSR inside `csr` may be
+/// external (identity relation mapping) or owned (remapped relation ids).
+struct ColumnarGraphView {
+  int num_nodes = 0;
+  int64_t num_edges = 0;
+  /// Node names concatenated in id order; name_offsets has num_nodes + 1
+  /// entries bracketing each name's bytes.
+  const char* name_blob = nullptr;
+  const uint64_t* name_offsets = nullptr;
+  /// Node ids permuted so names read in strictly increasing order — the
+  /// sorted dictionary that replaces the interner's hash map on the read
+  /// path (NodeId is a binary search).
+  const uint32_t* nodes_by_name = nullptr;
+  LabelCsr csr;
+  std::shared_ptr<const void> backing;
+};
 
 /// A semistructured database (Section 2): a finite directed graph whose edges
 /// are labeled with relation ids. Relation ids follow the convention of
@@ -17,6 +105,15 @@ namespace rpqi {
 /// Nodes are dense ids; named nodes are interned, anonymous nodes (the
 /// intermediate objects of canonical databases, Definition 12) get synthetic
 /// names.
+///
+/// Two storage modes share this interface:
+///   * row mode — the build/import path: an interner plus per-node edge
+///     vectors, grown by AddNode/AddEdge. BuildLabelIndex() additionally
+///     derives the LabelCsr view for the eval hot path.
+///   * columnar mode — the read path of an mmapped binary snapshot
+///     (graphdb/columnar.h): node names are a sorted dictionary view and
+///     adjacency lives only in the LabelCsr. Columnar databases are
+///     immutable; the mutators below reject them.
 class GraphDb {
  public:
   struct Edge {
@@ -31,8 +128,12 @@ class GraphDb {
   GraphDb(GraphDb&&) = default;
   GraphDb& operator=(GraphDb&&) = default;
 
+  /// Adopts a columnar snapshot's sections as an immutable database.
+  static GraphDb FromColumnar(ColumnarGraphView view);
+
   /// Returns the id of the named node, creating it if new.
   int AddNode(const std::string& name) {
+    RPQI_CHECK(!columnar_);
     int id = nodes_.Intern(name);
     if (id == static_cast<int>(out_.size())) {
       out_.emplace_back();
@@ -46,41 +147,96 @@ class GraphDb {
     return AddNode("_anon" + std::to_string(NumNodes()));
   }
 
-  int NodeId(const std::string& name) const { return nodes_.Find(name); }
-  const std::string& NodeName(int id) const { return nodes_.NameOf(id); }
-
-  int NumNodes() const { return static_cast<int>(out_.size()); }
-
-  int NumEdges() const {
-    int total = 0;
-    for (const auto& edges : out_) total += static_cast<int>(edges.size());
-    return total;
+  int NodeId(const std::string& name) const;
+  std::string_view NodeName(int id) const {
+    if (!columnar_) return nodes_.NameOf(id);
+    RPQI_CHECK(0 <= id && id < num_nodes_);
+    return {name_blob_ + name_offsets_[id],
+            static_cast<size_t>(name_offsets_[id + 1] - name_offsets_[id])};
   }
 
+  int NumNodes() const {
+    return columnar_ ? num_nodes_ : static_cast<int>(out_.size());
+  }
+
+  int NumEdges() const { return static_cast<int>(num_edges_); }
+
   void AddEdge(int from, int relation, int to) {
+    RPQI_CHECK(!columnar_);
     RPQI_CHECK(0 <= from && from < NumNodes());
     RPQI_CHECK(0 <= to && to < NumNodes());
     RPQI_CHECK_GE(relation, 0);
     out_[from].push_back({relation, to});
     in_[to].push_back({relation, from});
-  }
-
-  bool HasEdge(int from, int relation, int to) const {
-    for (const Edge& e : out_[from]) {
-      if (e.relation == relation && e.to == to) return true;
+    ++num_edges_;
+    // A mutation invalidates any derived label index rather than updating it
+    // (the index is built once, after the graph is complete).
+    if (has_csr_) {
+      has_csr_ = false;
+      csr_ = LabelCsr();
     }
-    return false;
   }
 
-  /// Outgoing edges of `node`: node --relation--> e.to.
-  const std::vector<Edge>& OutEdges(int node) const { return out_[node]; }
+  bool HasEdge(int from, int relation, int to) const;
+
+  /// Outgoing edges of `node`: node --relation--> e.to. Row mode only —
+  /// columnar databases carry adjacency exclusively in the label index.
+  const std::vector<Edge>& OutEdges(int node) const {
+    RPQI_CHECK(!columnar_);
+    return out_[node];
+  }
   /// Incoming edges of `node`: e.to --relation--> node (e.to is the source).
-  const std::vector<Edge>& InEdges(int node) const { return in_[node]; }
+  const std::vector<Edge>& InEdges(int node) const {
+    RPQI_CHECK(!columnar_);
+    return in_[node];
+  }
+
+  /// True when adjacency is available as per-(relation, direction) CSR spans
+  /// (always for columnar databases; after BuildLabelIndex for row ones).
+  bool has_label_index() const { return has_csr_; }
+  bool columnar() const { return columnar_; }
+
+  /// Sorted targets of `node`'s out-edges labeled `relation`. Requires
+  /// has_label_index().
+  std::span<const uint32_t> OutTargets(int node, int relation) const {
+    return csr_.Out(node, relation);
+  }
+  /// Sorted sources of `node`'s in-edges labeled `relation`.
+  std::span<const uint32_t> InTargets(int node, int relation) const {
+    return csr_.In(node, relation);
+  }
+  const LabelCsr& label_csr() const {
+    RPQI_CHECK(has_csr_);
+    return csr_;
+  }
+
+  /// Builds the LabelCsr view from the row adjacency, covering relation ids
+  /// [0, max(num_relations, highest relation seen + 1)). Row mode only; a
+  /// later AddEdge drops the index again.
+  void BuildLabelIndex(int num_relations);
 
  private:
+  // Row mode (build/import path); empty in columnar mode.
   StringInterner nodes_;
   std::vector<std::vector<Edge>> out_;
   std::vector<std::vector<Edge>> in_;
+  /// Cached edge count, maintained by AddEdge — NumEdges() is on the `admin
+  /// stats` and reload-response paths, where the old O(nodes) sum showed up.
+  int64_t num_edges_ = 0;
+
+  // Columnar mode: node dictionary views into backing_.
+  bool columnar_ = false;
+  int num_nodes_ = 0;
+  const char* name_blob_ = nullptr;
+  const uint64_t* name_offsets_ = nullptr;
+  const uint32_t* nodes_by_name_ = nullptr;
+
+  // Label index (always present in columnar mode, optional in row mode).
+  bool has_csr_ = false;
+  LabelCsr csr_;
+  /// Keeps an mmapped snapshot alive for as long as any copy of this
+  /// database aliases it.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace rpqi

@@ -1,5 +1,6 @@
 #include "graphdb/io.h"
 
+#include "base/hash.h"
 #include "base/strings.h"
 #include "fault/fault.h"
 
@@ -87,6 +88,25 @@ StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
 
 std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet) {
   std::string out;
+  if (db.columnar()) {
+    // Columnar databases carry adjacency only in the label index; emit each
+    // relation's spans. Isolated nodes are not representable in the text
+    // format either way (a line is an edge), so nothing extra is lost.
+    const int num_relations = db.label_csr().num_relations;
+    for (int node = 0; node < db.NumNodes(); ++node) {
+      for (int r = 0; r < num_relations; ++r) {
+        for (uint32_t to : db.OutTargets(node, r)) {
+          out += db.NodeName(node);
+          out += ' ';
+          out += alphabet.RelationName(r);
+          out += ' ';
+          out += db.NodeName(static_cast<int>(to));
+          out += '\n';
+        }
+      }
+    }
+    return out;
+  }
   for (int node = 0; node < db.NumNodes(); ++node) {
     for (const GraphDb::Edge& e : db.OutEdges(node)) {
       out += db.NodeName(node);
@@ -98,6 +118,27 @@ std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet) {
     }
   }
   return out;
+}
+
+uint64_t FingerprintGraphText(std::string_view text) {
+  // Hash 8 bytes at a time plus a length term; the tail bytes are folded in
+  // one by one. Content-addressed, so identical text => identical key space.
+  // The algorithm is part of the columnar format (headers persist the source
+  // text's fingerprint), so it must stay byte-stable across builds.
+  uint64_t h = HashCombine(0x5349474e41505348ULL, text.size());
+  size_t i = 0;
+  for (; i + 8 <= text.size(); i += 8) {
+    uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<uint64_t>(static_cast<unsigned char>(text[i + b]))
+              << (8 * b);
+    }
+    h = HashCombine(h, word);
+  }
+  for (; i < text.size(); ++i) {
+    h = HashCombine(h, static_cast<unsigned char>(text[i]));
+  }
+  return h;
 }
 
 }  // namespace rpqi

@@ -36,8 +36,15 @@ struct GraphTextLimits {
 StatusOr<GraphDb> LoadGraphText(std::string_view text, SignedAlphabet* alphabet,
                                 const GraphTextLimits& limits = {});
 
-/// Serializes back to the text format (stable node/relation names).
+/// Serializes back to the text format (stable node/relation names). Works for
+/// both storage modes: columnar databases emit their CSR spans.
 std::string SaveGraphText(const GraphDb& db, const SignedAlphabet& alphabet);
+
+/// Content fingerprint of a text snapshot — the plan-cache key component.
+/// Byte-stable across builds and platforms; a columnar snapshot's header
+/// persists the source text's fingerprint so both formats of the same graph
+/// share plan-cache keys (`rpqi compact` relies on this).
+uint64_t FingerprintGraphText(std::string_view text);
 
 }  // namespace rpqi
 

@@ -407,8 +407,9 @@ StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
   JsonArray answers;
   answers.reserve(plan->eval_answers->size());
   for (const auto& [x, y] : *plan->eval_answers) {
-    answers.push_back(Json::Arr({Json::Str(snapshot->db.NodeName(x)),
-                                 Json::Str(snapshot->db.NodeName(y))}));
+    answers.push_back(
+        Json::Arr({Json::Str(std::string(snapshot->db.NodeName(x))),
+                   Json::Str(std::string(snapshot->db.NodeName(y)))}));
   }
   JsonObject fields;
   fields.emplace_back("snapshot_version", Json::Int(snapshot->version));

@@ -7,9 +7,9 @@
 #include <utility>
 
 #include "analysis/validate.h"
-#include "base/hash.h"
 #include "base/mutex.h"
 #include "fault/fault.h"
+#include "graphdb/columnar.h"
 #include "graphdb/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,42 +18,69 @@ namespace rpqi {
 namespace service {
 namespace {
 
-uint64_t FingerprintText(const std::string& text) {
-  // Hash 8 bytes at a time plus a length term; the tail bytes are folded in
-  // one by one. Content-addressed, so identical text => identical key space.
-  uint64_t h = HashCombine(0x5349474e41505348ULL, text.size());
-  size_t i = 0;
-  for (; i + 8 <= text.size(); i += 8) {
-    uint64_t word = 0;
-    for (int b = 0; b < 8; ++b) {
-      word |= static_cast<uint64_t>(static_cast<unsigned char>(text[i + b]))
-              << (8 * b);
-    }
-    h = HashCombine(h, word);
-  }
-  for (; i < text.size(); ++i) {
-    h = HashCombine(h, static_cast<unsigned char>(text[i]));
-  }
-  return h;
-}
-
 /// Loads and validates; returns a still-mutable snapshot so SnapshotStore can
 /// stamp the version before publishing it as const. `*transient` is set true
 /// only for failures that happened before the content was judged (open/read
 /// errors) — those are worth retrying; parse and validation errors are not.
+/// Columnar files are one exception: every OpenColumnarFile failure
+/// (truncation, checksum, structure) stays transient, because `rpqi compact`
+/// publishes by atomic rename — a torn binary means a replace is in flight
+/// and a retry will see the complete file.
 StatusOr<std::shared_ptr<GraphSnapshot>> LoadMutable(
     const std::string& path, const SignedAlphabet& base_alphabet,
     bool* transient) {
   static const obs::Counter loads("service.snapshot.loads");
+  static const obs::Counter mmap_opens("service.snapshot.mmap_opens");
+  static const obs::Counter mmap_bytes("service.snapshot.mmap_bytes");
   obs::Span span("service.snapshot.load");
   *transient = true;  // until the content is in memory, failures are I/O
   RPQI_FAULT_POINT("snapshot.open",
                    Status::InvalidArgument("cannot open '" + path +
                                            "': injected open failure"));
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::InvalidArgument("cannot open '" + path + "'");
   }
+  // Sniff the magic: binary columnar snapshots take the mmap path, anything
+  // else stays on the text import path. A short read just means "too small
+  // to be columnar".
+  char prefix[8] = {};
+  in.read(prefix, sizeof(prefix));
+  if (IsColumnarSnapshot(std::string_view(prefix, sizeof(prefix)))) {
+    in.close();
+    // Models mmap(2)/open(2) failing on the binary path (ENOMEM, EACCES, a
+    // file swapped out from under us).
+    RPQI_FAULT_POINT("snapshot.mmap_open",
+                     Status::InvalidArgument("cannot mmap '" + path +
+                                             "': injected mmap failure"));
+    RPQI_ASSIGN_OR_RETURN(ColumnarParts parts, OpenColumnarFile(path));
+    *transient = false;  // a complete, checksummed file is in hand
+    auto snapshot = std::make_shared<GraphSnapshot>();
+    snapshot->alphabet = base_alphabet;
+    snapshot->source_path = path;
+    // The header carries the *source text's* fingerprint, so reloading the
+    // compacted twin of a text snapshot keeps the plan cache warm.
+    snapshot->fingerprint = parts.fingerprint;
+    std::vector<int> relation_ids;
+    relation_ids.reserve(parts.num_relations);
+    for (int r = 0; r < parts.num_relations; ++r) {
+      relation_ids.push_back(
+          snapshot->alphabet.AddRelation(std::string(parts.RelationName(r))));
+    }
+    int64_t bytes = parts.file_bytes;
+    snapshot->db = MakeColumnarGraphDb(parts, relation_ids,
+                                       snapshot->alphabet.NumRelations());
+    RPQI_RETURN_IF_ERROR(
+        ValidateGraphDb(snapshot->db, snapshot->alphabet.NumRelations()));
+    loads.Increment();
+    mmap_opens.Increment();
+    mmap_bytes.Add(bytes);
+    span.Note("nodes", snapshot->db.NumNodes());
+    span.Note("edges", snapshot->db.NumEdges());
+    return snapshot;
+  }
+  in.clear();
+  in.seekg(0);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string text = buffer.str();
@@ -71,11 +98,14 @@ StatusOr<std::shared_ptr<GraphSnapshot>> LoadMutable(
   auto snapshot = std::make_shared<GraphSnapshot>();
   snapshot->alphabet = base_alphabet;
   snapshot->source_path = path;
-  snapshot->fingerprint = FingerprintText(text);
+  snapshot->fingerprint = FingerprintGraphText(text);
   GraphTextLimits limits;
   limits.source_name = path;
   RPQI_ASSIGN_OR_RETURN(snapshot->db,
                         LoadGraphText(text, &snapshot->alphabet, limits));
+  // Text-loaded graphs get the in-memory CSR so eval takes the same span
+  // iteration path as mmapped snapshots.
+  snapshot->db.BuildLabelIndex(snapshot->alphabet.NumRelations());
   RPQI_RETURN_IF_ERROR(
       ValidateGraphDb(snapshot->db, snapshot->alphabet.NumRelations()));
   loads.Increment();

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "graphdb/columnar.h"
+#include "graphdb/io.h"
 #include "obs/metrics.h"
 #include "service/breaker.h"
 #include "service/json.h"
@@ -47,6 +49,20 @@ std::string WriteTempGraph(const std::string& name, const std::string& text) {
   return path;
 }
 
+/// Same graph, but compacted to the binary columnar format — reloads of this
+/// file exercise the snapshot.mmap_open path of the loader.
+std::string WriteTempColumnarGraph(const std::string& name,
+                                   const std::string& text) {
+  SignedAlphabet alphabet;
+  StatusOr<GraphDb> db = LoadGraphText(text, &alphabet);
+  RPQI_CHECK(db.ok());
+  std::string path = testing::TempDir() + name;
+  Status written =
+      WriteColumnarFile(path, *db, alphabet, FingerprintGraphText(text));
+  RPQI_CHECK(written.ok());
+  return path;
+}
+
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
@@ -66,6 +82,7 @@ std::string ChaosFaultSpec(int64_t seed) {
   std::string s = std::to_string(seed);
   return "snapshot.open=prob:0.2:" + s +
          ",snapshot.read=prob:0.1:" + s +
+         ",snapshot.mmap_open=prob:0.15:" + s +
          ",snapshot.reload_swap=prob:0.1:" + s +
          ",graphdb.parse_io=prob:0.05:" + s +
          ",plan_cache.insert=prob:0.3:" + s +
@@ -120,7 +137,9 @@ TEST(ChaosTest, SoakServeLoopUnderSeededFaults) {
   int64_t num_requests = EnvInt("RPQI_CHAOS_REQUESTS", 600);
 
   std::string db_a = WriteTempGraph("chaos_a.txt", "a r b\nb r c\nc s a\n");
-  std::string db_b = WriteTempGraph("chaos_b.txt", "a r b\nb s c\n");
+  // One of the two reload targets is a binary columnar snapshot, so the soak
+  // alternates the text parse path and the mmap path under the same faults.
+  std::string db_b = WriteTempColumnarGraph("chaos_b.rpqicol", "a r b\nb s c\n");
 
   ServerOptions options;
   options.threads = 4;
@@ -180,6 +199,7 @@ TEST(ChaosTest, SoakServeLoopUnderSeededFaults) {
   // tallied hits, and the probabilistic policies fired somewhere.
   EXPECT_GT(fault::HitCount("plan_cache.insert"), 0);
   EXPECT_GT(fault::HitCount("snapshot.open"), 0);
+  EXPECT_GT(fault::HitCount("snapshot.mmap_open"), 0);
   EXPECT_GT(fault::HitCount("service.request_truncate"), 0);
   EXPECT_GT(fault::HitCount("service.queue_full"), 0);
   EXPECT_GT(fault::HitCount("worker_pool.task_start"), 0);
@@ -201,6 +221,90 @@ TEST(ChaosTest, SoakServeLoopUnderSeededFaults) {
   std::string stats = server.HandleLine(
       "{\"id\":\"s\",\"op\":\"admin\",\"action\":\"stats\"}");
   EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+}
+
+TEST(ChaosTest, TornBinarySnapshotDegradesToUnavailable) {
+  // A binary snapshot truncated mid-write (or caught mid-atomic-replace) must
+  // come back as a structured `unavailable` reload error — the checksummed
+  // parse rejects it long before any pointer-cast view could read torn bytes
+  // — and the previous snapshot must keep serving. Restoring the full file
+  // then reloads cleanly.
+  FaultGuard guard;
+  std::string db_text = WriteTempGraph("chaos_torn.txt", "a r b\nb r c\n");
+  std::string db_bin =
+      WriteTempColumnarGraph("chaos_torn.rpqicol", "a r b\nb r c\n");
+  std::string full_bytes;
+  {
+    std::ifstream in(db_bin, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full_bytes = buffer.str();
+  }
+
+  ServerOptions options;
+  options.initial_db_path = db_text;
+  options.reload_retry.attempts = 1;  // no in-loop retry: surface the tear
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+
+  // Truncation lengths that retain the full magic (the loader only takes the
+  // columnar path once all 8 magic bytes are present; shorter prefixes fall
+  // to the text parser and get a plain invalid_request). All must be
+  // structured `unavailable` failures with the old snapshot still answering.
+  for (size_t keep : {size_t{8}, size_t{100}, size_t{199},
+                      full_bytes.size() / 2, full_bytes.size() - 1}) {
+    std::ofstream out(db_bin, std::ios::binary | std::ios::trunc);
+    out << full_bytes.substr(0, keep);
+    out.close();
+    std::string reload = server.HandleLine(
+        "{\"id\":1,\"op\":\"admin\",\"action\":\"reload\",\"db\":\"" + db_bin +
+        "\"}");
+    EXPECT_NE(reload.find("\"status\":\"error\""), std::string::npos)
+        << "keep=" << keep << ": " << reload;
+    EXPECT_NE(reload.find("\"code\":\"unavailable\""), std::string::npos)
+        << "keep=" << keep << ": " << reload;
+    std::string eval =
+        server.HandleLine("{\"id\":2,\"op\":\"eval\",\"query\":\"r\"}");
+    EXPECT_NE(eval.find("\"status\":\"ok\""), std::string::npos) << eval;
+  }
+
+  // A prefix shorter than the magic is sniffed as text; the binary header
+  // bytes fail the text parse as a structured invalid_request — never UB.
+  {
+    std::ofstream out(db_bin, std::ios::binary | std::ios::trunc);
+    out << full_bytes.substr(0, 7);
+    out.close();
+    std::string reload = server.HandleLine(
+        "{\"id\":5,\"op\":\"admin\",\"action\":\"reload\",\"db\":\"" + db_bin +
+        "\"}");
+    EXPECT_NE(reload.find("\"status\":\"error\""), std::string::npos) << reload;
+    EXPECT_NE(reload.find("\"code\":\"invalid_request\""), std::string::npos)
+        << reload;
+  }
+
+  // Bit flips in an intact-length file: checksum rejection, same contract.
+  for (size_t at : {size_t{24}, size_t{208}, full_bytes.size() - 3}) {
+    std::string corrupt = full_bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+    std::ofstream out(db_bin, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+    out.close();
+    std::string reload = server.HandleLine(
+        "{\"id\":3,\"op\":\"admin\",\"action\":\"reload\",\"db\":\"" + db_bin +
+        "\"}");
+    EXPECT_NE(reload.find("\"status\":\"error\""), std::string::npos)
+        << "flip at " << at << ": " << reload;
+  }
+
+  // The complete file reloads fine afterwards.
+  {
+    std::ofstream out(db_bin, std::ios::binary | std::ios::trunc);
+    out << full_bytes;
+  }
+  std::string reload = server.HandleLine(
+      "{\"id\":4,\"op\":\"admin\",\"action\":\"reload\",\"db\":\"" + db_bin +
+      "\"}");
+  EXPECT_NE(reload.find("\"status\":\"ok\""), std::string::npos) << reload;
 }
 
 TEST(ChaosTest, EveryRequestStallsStillDrainCleanly) {

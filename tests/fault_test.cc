@@ -26,10 +26,12 @@ namespace {
 const char* const kKnownSites[] = {
     "automata.determinize_state",
     "automata.materialize_state",
+    "graphdb.compact_write",
     "graphdb.parse_io",
     "plan_cache.insert",
     "service.queue_full",
     "service.request_truncate",
+    "snapshot.mmap_open",
     "snapshot.open",
     "snapshot.read",
     "snapshot.reload_swap",

@@ -12,6 +12,9 @@ Drives the built `rpqi` binary end to end:
     in-band, not a process exit;
   * `admin reload` hot-swapping the snapshot mid-batch: requests before and
     after the swap all answered, snapshot_version advances;
+  * binary columnar snapshots: `rpqi compact` conversion, live reload onto
+    the mmap path with identical answers, torn-file reloads degrading to
+    structured `unavailable` responses;
   * `admin shutdown` stops reading further input and still drains cleanly;
   * the ParseFlags regression: a trailing flag with no value exits 2 with a
     "requires a value" diagnostic (not "unexpected argument");
@@ -155,6 +158,57 @@ def main():
           versions <= {1, 2}, str(versions))
     check("all evals succeeded across the swap",
           all(ids[i][0]["status"] == "ok" for i in range(10)))
+
+    # --- binary columnar snapshot: compact + live reload ------------------
+    # `rpqi compact` converts the text graph to the mmap-loaded columnar
+    # format; `admin reload` hot-swaps to it and answers must be identical
+    # to the text snapshot's, with the mmap counters recording the open.
+    db2_bin = os.path.join(tmp, "g2.rpqicol")
+    proc = subprocess.run(
+        [binary, "compact", "--in", db2, "--out", db2_bin, "--validate", "1"],
+        capture_output=True, text=True, timeout=60)
+    check("compact text -> binary exits 0", proc.returncode == 0, proc.stderr)
+    check("compact reports validation", "validate: ok" in proc.stdout,
+          proc.stdout)
+
+    text_proc, text_records = serve(binary, [
+        '{"id":1,"op":"eval","query":"r* s"}'], "--db", db2)
+    bin_batch = [
+        '{"id":1,"op":"admin","action":"reload","db":"%s"}' % db2_bin,
+        '{"id":2,"op":"eval","query":"r* s"}',
+        '{"id":3,"op":"admin","action":"stats"}',
+    ]
+    proc, records = serve(binary, bin_batch, "--db", db1, "--threads", "2")
+    check("binary reload run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("reload onto a columnar snapshot succeeds",
+          ids[1][0]["status"] == "ok"
+          and ids[1][0]["snapshot_version"] == 2, proc.stdout)
+    check("columnar snapshot serves identical answers",
+          sorted(ids[2][0]["answers"])
+          == sorted(by_id(text_records)[1][0]["answers"]), proc.stdout)
+    check("mmap open is recorded in the reload counters",
+          ids[1][0]["counters"].get("service.snapshot.mmap_opens") == 1,
+          proc.stdout)
+
+    # A torn binary file (truncated mid-write) must surface as a structured
+    # `unavailable` reload error while the old snapshot keeps serving.
+    torn = os.path.join(tmp, "torn.rpqicol")
+    with open(db2_bin, "rb") as handle:
+        full = handle.read()
+    with open(torn, "wb") as handle:
+        handle.write(full[:len(full) // 2])
+    proc, records = serve(binary, [
+        '{"id":1,"op":"admin","action":"reload","db":"%s"}' % torn,
+        '{"id":2,"op":"eval","query":"r* s"}',
+    ], "--db", db2, "--threads", "1")
+    check("torn binary reload run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("torn binary reload is `unavailable`",
+          ids[1][0]["status"] == "error"
+          and ids[1][0]["code"] == "unavailable", proc.stdout)
+    check("old snapshot keeps serving after torn reload",
+          ids[2][0]["status"] == "ok", proc.stdout)
 
     # --- shutdown stops the reader ---------------------------------------
     proc, records = serve(binary, [
