@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
   std::mt19937_64 rng(seed);
   SoftwareModulesScenario scenario =
       MakeSoftwareModulesScenario(rng, num_modules, num_variables);
-  std::printf("modules: %d, variables: %d, edges: %d\n", num_modules,
-              num_variables, scenario.db.NumEdges());
+  std::printf("modules: %d, variables: %d, edges: %lld\n", num_modules,
+              num_variables, static_cast<long long>(scenario.db.NumEdges()));
   std::printf("query: %s\n",
               RegexToString(scenario.visibility_query).c_str());
 

@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
   };
 
   auto direct = EvalRpqiAllPairs(db, query);
-  std::printf("query: %s  — direct evaluation: %zu answers, %d edges scanned\n",
-              RegexToString(query_expr).c_str(), direct.size(), db.NumEdges());
+  std::printf(
+      "query: %s  — direct evaluation: %zu answers, %lld edges scanned\n",
+      RegexToString(query_expr).c_str(), direct.size(),
+      static_cast<long long>(db.NumEdges()));
 
   for (const Plan& plan : plans) {
     std::vector<Nfa> views;

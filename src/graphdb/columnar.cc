@@ -10,7 +10,6 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <utility>
 
 #include "base/hash.h"
@@ -259,26 +258,58 @@ Status WriteColumnarFile(const std::string& path, const GraphDb& db,
                    Status::InvalidArgument("cannot write '" + path +
                                            "': injected write failure"));
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
-    }
-    file.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    file.flush();
-    if (!file) {
-      return Status::InvalidArgument("error writing '" + tmp + "'");
-    }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open '" + tmp + "' for writing" +
+                                   ErrnoSuffix());
   }
-  // Atomic replace: a reader (or a crash) observes either the old file or
-  // the complete new one, never a prefix.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status failure = Status::InvalidArgument(
-        "cannot rename '" + tmp + "' to '" + path + "'" + ErrnoSuffix());
-    // The rename failure is the error being reported; removing the orphaned
+  auto fail = [&](const std::string& msg) {
+    Status failure = Status::InvalidArgument(msg + ErrnoSuffix());
+    if (fd >= 0) ::close(fd);
+    // The write failure is the error being reported; removing the orphaned
     // tmp file is best-effort cleanup.
     (void)std::remove(tmp.c_str());  // lint: allow-discard cleanup only
     return failure;
+  };
+  size_t written = 0;
+  while (written < encoded.size()) {
+    ssize_t n =
+        ::write(fd, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("error writing '" + tmp + "'");
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Durability before visibility: the data must reach the disk before the
+  // rename can, or a power loss could persist the rename alone and leave a
+  // garbage file under the final name.
+  if (::fsync(fd) != 0) {
+    return fail("cannot fsync '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail("error closing '" + tmp + "'");
+  }
+  fd = -1;
+  // Atomic replace: a reader (or a crash, thanks to the fsync ordering
+  // above) observes either the old file or the complete new one, never a
+  // prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  // Persist the rename itself: fsync the parent directory. Best-effort —
+  // the snapshot is already valid in this boot; a lost rename merely
+  // resurfaces the old file.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? std::string("/")
+                                            : path.substr(0, slash));
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);  // lint: allow-discard best-effort durability
+    ::close(dir_fd);
   }
   return Status::Ok();
 }
@@ -324,8 +355,16 @@ StatusOr<ColumnarParts> ParseColumnarView(const char* data, size_t size,
   const uint64_t n = header.num_nodes;
   const uint64_t r = header.num_relations;
   const uint64_t e = header.num_edges;
+  // The absolute caps keep every byte-size product below from wrapping
+  // uint64 (e < 2^61 so e*4 < 2^63; r, n <= 2^31 so r*n <= 2^62 computes
+  // exactly, and r*n+1 <= 2^60 so (r*n+1)*8 <= 2^63). Belt and suspenders:
+  // each count-derived section must also fit in the mapped file, so the
+  // counts are additionally capped by `size` — a crafted header cannot make
+  // the expected-size arithmetic wrap and then smuggle tiny sections past
+  // the table check below.
   if (n > (uint64_t{1} << 31) || r > (uint64_t{1} << 31) ||
-      e > (uint64_t{1} << 62) || r * n + 1 > (uint64_t{1} << 60)) {
+      e >= (uint64_t{1} << 61) || r * n + 1 > (uint64_t{1} << 60) ||
+      e > size / 4 || r * n + 1 > size / 8 || n + 1 > size / 8) {
     return Status::InvalidArgument(
         ctx + "byte " + Num(offsetof(ColumnarHeader, num_nodes)) +
         ": implausible counts (nodes " + Num(n) + ", relations " + Num(r) +

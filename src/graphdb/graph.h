@@ -159,7 +159,7 @@ class GraphDb {
     return columnar_ ? num_nodes_ : static_cast<int>(out_.size());
   }
 
-  int NumEdges() const { return static_cast<int>(num_edges_); }
+  int64_t NumEdges() const { return num_edges_; }
 
   void AddEdge(int from, int relation, int to) {
     RPQI_CHECK(!columnar_);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <random>
@@ -264,6 +265,30 @@ TEST(ColumnarTest, HeaderCorruptionIsRejectedWithFieldOffsets) {
     ASSERT_FALSE(parts.ok()) << c.expect;
     EXPECT_NE(parts.status().message().find(c.expect), std::string::npos)
         << parts.status().ToString();
+  }
+}
+
+TEST(ColumnarTest, OverflowingEdgeCountIsRejectedAsImplausible) {
+  SignedAlphabet alphabet;
+  GraphDb db = LoadFixture(&alphabet);
+  StatusOr<std::string> encoded = EncodeColumnar(db, alphabet, 1);
+  ASSERT_TRUE(encoded.ok());
+  // num_edges lives at bytes [48, 56). e = 2^62 made the expected-size
+  // arithmetic wrap (e * 4 == 0 mod 2^64), so a crafted file with empty
+  // target sections and a recomputed checksum could pass every size check
+  // and then read far out of bounds. The counts must be rejected up front,
+  // before any section-table or payload access.
+  const uint64_t kForged[] = {uint64_t{1} << 62, uint64_t{1} << 61,
+                              uint64_t{1} << 40};
+  for (uint64_t e : kForged) {
+    std::string corrupt = *encoded;
+    std::memcpy(corrupt.data() + 48, &e, 8);
+    auto bytes = std::make_shared<const std::string>(std::move(corrupt));
+    StatusOr<ColumnarParts> parts = DecodeColumnar(bytes, "forge");
+    ASSERT_FALSE(parts.ok()) << "num_edges=" << e << " went undetected";
+    EXPECT_NE(parts.status().message().find("implausible counts"),
+              std::string::npos)
+        << "num_edges=" << e << ": " << parts.status().ToString();
   }
 }
 

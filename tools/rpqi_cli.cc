@@ -543,8 +543,9 @@ StatusOr<int> CmdValidate(const FlagMap& flags) {
     RPQI_ASSIGN_OR_RETURN(std::string db_text, ReadFile(db_path));
     RPQI_ASSIGN_OR_RETURN(GraphDb db, LoadGraphText(db_text, &alphabet));
     RPQI_RETURN_IF_ERROR(ValidateGraphDb(db, alphabet.NumRelations()));
-    std::printf("db %s: ok (%d nodes, %d edges, %d relations)\n",
-                db_path.c_str(), db.NumNodes(), db.NumEdges(),
+    std::printf("db %s: ok (%d nodes, %lld edges, %d relations)\n",
+                db_path.c_str(), db.NumNodes(),
+                static_cast<long long>(db.NumEdges()),
                 alphabet.NumRelations());
   }
   return kExitOk;
@@ -644,9 +645,9 @@ StatusOr<int> CmdCompact(const FlagMap& flags) {
     }
     std::printf("validate: ok (round-trip equivalent, fingerprint stable)\n");
   }
-  std::printf("compact: %s -> %s (%d nodes, %d edges, %d relations, %s)\n",
-              in_path.c_str(), out_path.c_str(), db.NumNodes(), db.NumEdges(),
-              alphabet.NumRelations(),
+  std::printf("compact: %s -> %s (%d nodes, %lld edges, %d relations, %s)\n",
+              in_path.c_str(), out_path.c_str(), db.NumNodes(),
+              static_cast<long long>(db.NumEdges()), alphabet.NumRelations(),
               input_is_binary ? "binary -> text" : "text -> binary");
   return kExitOk;
 }
