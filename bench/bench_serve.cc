@@ -175,6 +175,53 @@ void BM_ServeEvalWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeEvalWarm);
 
+// Restart path: a fresh Server per iteration, but --plan-cache-dir points at
+// a directory pre-warmed with the persisted plan, so the timed HandleLine is
+// a disk hit — decode + validate the "RPQIPLAN1" payload, no compile, no BFS.
+// Its median must sit well below the cold median (that gap is the restart
+// win the persistent plan cache buys) while staying above the pure in-memory
+// warm median (the decode + admission-validation tax).
+void BM_ServeEvalWarmRestart(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "rpqi_bench_serve_plans";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    state.SkipWithError("plan dir setup failed");
+    return;
+  }
+  service::ServerOptions options = BaseOptions();
+  options.plan_cache_dir = dir.string();
+  {
+    service::Server warmer(options);
+    if (!warmer.Init().ok()) {
+      state.SkipWithError("snapshot init failed");
+      return;
+    }
+    std::string warmup = warmer.HandleLine(kEvalRequest);
+    benchmark::DoNotOptimize(warmup.data());
+  }
+  // Every iteration is one disk hit (fresh in-memory cache, persisted plan
+  // present), so the m_* columns are deterministic: expect
+  // service.plan_cache.disk_hit with no compile.* or eval.* work.
+  ScopedMetricsCounters metrics(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto server = std::make_unique<service::Server>(options);
+    if (!server->Init().ok()) {
+      state.SkipWithError("snapshot init failed");
+      break;
+    }
+    state.ResumeTiming();
+    std::string response = server->HandleLine(kEvalRequest);
+    benchmark::DoNotOptimize(response.data());
+    state.PauseTiming();
+    server.reset();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ServeEvalWarmRestart);
+
 // Full serve loop: a 1000-request mixed stream (eight distinct eval queries
 // cycling, an admin reload every 100 requests) drained by N workers. The
 // Server persists across iterations, so after the first pass the cache is

@@ -91,6 +91,124 @@ Status ValidateNfa(const Nfa& nfa, const NfaValidateOptions& options) {
   return Status::Ok();
 }
 
+Status ValidateFlatNfa(const FlatNfa& flat, int expected_num_symbols) {
+  const int num_symbols = flat.num_symbols();
+  if (num_symbols < 0) {
+    return Status::InvalidArgument("flat: negative alphabet size " +
+                                   Id(num_symbols));
+  }
+  if (expected_num_symbols >= 0 && num_symbols != expected_num_symbols) {
+    return Status::InvalidArgument(
+        "flat: alphabet has " + Id(num_symbols) + " symbols, stage expects " +
+        Id(expected_num_symbols));
+  }
+  const std::vector<uint32_t>& offsets = flat.offsets();
+  const std::vector<FlatNfa::Edge>& edges = flat.edges();
+  if (offsets.empty()) {
+    if (!edges.empty() || !flat.initial_list().empty()) {
+      return Status::InvalidArgument(
+          "flat: empty offset table but " + Id(static_cast<int>(edges.size())) +
+          " edges / " + Id(static_cast<int>(flat.initial_list().size())) +
+          " initial states");
+    }
+    return Status::Ok();
+  }
+  const int num_states = static_cast<int>(offsets.size()) - 1;
+  if (offsets[0] != 0) {
+    return Status::InvalidArgument("flat: offsets start at " +
+                                   Id(static_cast<int>(offsets[0])) +
+                                   ", expected 0");
+  }
+  if (offsets[num_states] != edges.size()) {
+    return Status::InvalidArgument(
+        "flat: offsets end at " + Id(static_cast<int>(offsets[num_states])) +
+        " but the edge array holds " + Id(static_cast<int>(edges.size())));
+  }
+  for (int s = 0; s < num_states; ++s) {
+    if (offsets[s + 1] < offsets[s]) {
+      return Status::InvalidArgument("flat: state " + Id(s) +
+                                     ": offset table decreases (" +
+                                     Id(static_cast<int>(offsets[s])) + " -> " +
+                                     Id(static_cast<int>(offsets[s + 1])) +
+                                     ")");
+    }
+    for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      const FlatNfa::Edge& e = edges[i];
+      // ε is banned outright: the flat form is defined as ε-closure-free,
+      // so kEpsilon (or any negative symbol) is malformed, not a transition.
+      if (e.symbol < 0 || e.symbol >= num_symbols) {
+        return Status::InvalidArgument(
+            "flat: state " + Id(s) + ", edge " + Id(static_cast<int>(i)) +
+            ": symbol " + Id(e.symbol) + " out of range [0, " +
+            Id(num_symbols) + ")");
+      }
+      if (e.to < 0 || e.to >= num_states) {
+        return Status::InvalidArgument(
+            "flat: state " + Id(s) + ", edge " + Id(static_cast<int>(i)) +
+            ": target state " + Id(e.to) + " out of range [0, " +
+            Id(num_states) + ")");
+      }
+      if (i > offsets[s] && !(edges[i - 1] < e)) {
+        return Status::InvalidArgument(
+            "flat: state " + Id(s) + ", edge " + Id(static_cast<int>(i)) +
+            ": span not strictly (symbol, target)-sorted at symbol " +
+            Id(e.symbol) + " -> " + Id(e.to));
+      }
+    }
+  }
+  const size_t expected_words = static_cast<size_t>((num_states + 63) / 64);
+  auto check_words = [&](const std::vector<uint64_t>& words,
+                         const char* what) -> Status {
+    if (words.size() != expected_words) {
+      return Status::InvalidArgument(
+          "flat: " + std::string(what) + " bitset holds " +
+          Id(static_cast<int>(words.size())) + " words, expected " +
+          Id(static_cast<int>(expected_words)));
+    }
+    const int tail = num_states & 63;
+    if (tail != 0 && !words.empty() &&
+        (words.back() & (~uint64_t{0} << tail)) != 0) {
+      return Status::InvalidArgument("flat: " + std::string(what) +
+                                     " bitset has bits set beyond state " +
+                                     Id(num_states - 1));
+    }
+    return Status::Ok();
+  };
+  RPQI_RETURN_IF_ERROR(check_words(flat.initial_words(), "initial"));
+  RPQI_RETURN_IF_ERROR(check_words(flat.accepting_words(), "accepting"));
+  // The explicit initial list must be exactly the bitset's set, in order:
+  // the BFS seeds from the list while membership tests read the bitset, so
+  // disagreement between them is a wrong-answer bug, not a style issue.
+  int64_t listed = 0;
+  int32_t previous = -1;
+  for (int32_t s : flat.initial_list()) {
+    if (s < 0 || s >= num_states) {
+      return Status::InvalidArgument("flat: initial list names state " +
+                                     Id(s) + " out of range [0, " +
+                                     Id(num_states) + ")");
+    }
+    if (s <= previous) {
+      return Status::InvalidArgument(
+          "flat: initial list not strictly ascending at state " + Id(s));
+    }
+    if (((flat.initial_words()[s >> 6] >> (s & 63)) & 1) == 0) {
+      return Status::InvalidArgument("flat: initial list names state " +
+                                     Id(s) +
+                                     " but the initial bitset does not");
+    }
+    previous = s;
+    ++listed;
+  }
+  int64_t set_bits = 0;
+  for (uint64_t w : flat.initial_words()) set_bits += __builtin_popcountll(w);
+  if (set_bits != listed) {
+    return Status::InvalidArgument(
+        "flat: initial bitset has " + Id(static_cast<int>(set_bits)) +
+        " states but the initial list names " + Id(static_cast<int>(listed)));
+  }
+  return Status::Ok();
+}
+
 Status ValidateBitsetHash(const Bitset& bits) {
   if (!bits.CachedHashCoherent()) {
     return Status::InvalidArgument(

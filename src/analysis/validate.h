@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "automata/dfa.h"
+#include "automata/flat.h"
 #include "automata/nfa.h"
 #include "automata/two_way.h"
 #include "base/bitset.h"
@@ -65,6 +66,21 @@ Status ValidateBitsetHash(const Bitset& bits);
 /// (state, symbol) — a duplicate edge is reported with both target ids. With
 /// `require_total`, every (state, symbol) must have exactly one successor.
 Status ValidateDeterministic(const Nfa& nfa, bool require_total = false);
+
+// ---------------------------------------------------------------------------
+// Flat compiled plans.
+
+/// Structural invariants of the flat plan form (automata/flat.h): offset
+/// table shaped NumStates()+1 / starts at 0 / monotone / ends at NumEdges();
+/// every edge's symbol in [0, num_symbols) (ε is banned — the flat form is
+/// ε-closure-free by construction) and target in [0, NumStates()); per-state
+/// spans strictly increasing by (symbol, target); initial/accepting bitset
+/// words sized ceil(states/64) with zero tail bits; and the initial-state
+/// list sorted, duplicate-free, and set-equal to the initial bitset. This is
+/// the admission gate for deserialized plans, so it reads only the raw part
+/// vectors — never the span accessors, which assume these invariants. With
+/// `expected_num_symbols >= 0` the alphabet width must match exactly.
+Status ValidateFlatNfa(const FlatNfa& flat, int expected_num_symbols = -1);
 
 // ---------------------------------------------------------------------------
 // Raw (untrusted) automaton descriptions.

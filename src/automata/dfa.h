@@ -37,7 +37,10 @@ class Dfa {
     accepting_[state] = value;
   }
   bool IsAccepting(int state) const {
-    RPQI_CHECK(0 <= state && state < num_states_);
+    // Interior hot-loop read (the subset-construction and rewriting inner
+    // loops call this per transition): bounds are established by the
+    // construction-time RPQI_CHECKs above, so release builds skip the check.
+    RPQI_DCHECK(0 <= state && state < num_states_);
     return accepting_[state];
   }
 
@@ -49,8 +52,11 @@ class Dfa {
   }
 
   int Next(int state, int symbol) const {
-    RPQI_CHECK(0 <= state && state < num_states_);
-    RPQI_CHECK(0 <= symbol && symbol < num_symbols_);
+    // Same contract as IsAccepting: two checks per transition dominated the
+    // release-mode rewriting loops, and SetNext/SetInitial already reject
+    // out-of-range ids at construction.
+    RPQI_DCHECK(0 <= state && state < num_states_);
+    RPQI_DCHECK(0 <= symbol && symbol < num_symbols_);
     return next_[static_cast<size_t>(state) * num_symbols_ + symbol];
   }
 

@@ -48,4 +48,23 @@ class FatalMessage {
 #define RPQI_CHECK_GT(a, b) RPQI_CHECK((a) > (b))
 #define RPQI_CHECK_GE(a, b) RPQI_CHECK((a) >= (b))
 
+/// Debug-only CHECK for bounds already guaranteed by construction-time
+/// validation: active without NDEBUG, compiled to nothing (condition
+/// unevaluated, but still parsed and type-checked) in release builds. Use on
+/// interior hot loops only — API boundaries and constructors keep RPQI_CHECK,
+/// so malformed data is still rejected where it enters.
+#ifdef NDEBUG
+#define RPQI_DCHECK(condition) \
+  while (false) RPQI_CHECK(condition)
+#else
+#define RPQI_DCHECK(condition) RPQI_CHECK(condition)
+#endif
+
+#define RPQI_DCHECK_EQ(a, b) RPQI_DCHECK((a) == (b))
+#define RPQI_DCHECK_NE(a, b) RPQI_DCHECK((a) != (b))
+#define RPQI_DCHECK_LT(a, b) RPQI_DCHECK((a) < (b))
+#define RPQI_DCHECK_LE(a, b) RPQI_DCHECK((a) <= (b))
+#define RPQI_DCHECK_GT(a, b) RPQI_DCHECK((a) > (b))
+#define RPQI_DCHECK_GE(a, b) RPQI_DCHECK((a) >= (b))
+
 #endif  // RPQI_BASE_LOGGING_H_

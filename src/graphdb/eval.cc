@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <span>
 
-#include "automata/ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpq/alphabet.h"
@@ -16,8 +15,12 @@ namespace {
 /// in all initial states. Returns visited flags indexed [node * states + s].
 /// Charges one budget unit per discovered configuration and checks the budget
 /// on every expansion; a null budget is unlimited.
+///
+/// The inner loop walks the plan's contiguous edge span for the expanded
+/// state against the graph's per-(relation, direction) CSR span — two flat
+/// arrays, no per-state pointer chasing on either side (DESIGN.md §16).
 StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
-                                                    const Nfa& query,
+                                                    const FlatNfa& plan,
                                                     int start_node,
                                                     Budget* budget) {
   // Counters are accumulated in locals and flushed once per BFS: this runs
@@ -29,7 +32,7 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
   static const obs::Counter scan_runs("eval.scan_runs");
   const bool use_csr = db.has_label_index();
   int64_t discovered = 0;
-  const int num_states = query.NumStates();
+  const int num_states = plan.NumStates();
   std::vector<char> visited(static_cast<size_t>(db.NumNodes()) * num_states,
                             0);
   std::vector<std::pair<int, int>> stack;  // (state, node)
@@ -43,7 +46,7 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
       stack.push_back({state, node});
     }
   };
-  for (int s : query.InitialStates()) visit(s, start_node);
+  for (int32_t s : plan.InitialStates()) visit(s, start_node);
 
   auto flush = [&] {
     bfs_runs.Increment();
@@ -64,7 +67,7 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
     }
     auto [state, node] = stack.back();
     stack.pop_back();
-    for (const Nfa::Transition& t : query.TransitionsFrom(state)) {
+    for (const FlatNfa::Edge& t : plan.Edges(state)) {
       int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
       bool inverse = SignedAlphabet::IsInverseSymbol(t.symbol);
       if (use_csr) {
@@ -95,20 +98,26 @@ StatusOr<std::vector<char>> ReachableConfigurations(const GraphDb& db,
 
 }  // namespace
 
-StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db,
-                                        const Nfa& query_input, int start_node,
-                                        Budget* budget) {
+FlatNfa CompileEvalPlan(const Nfa& query) {
+  // One compile per *query*, never per source node: the all-pairs sweep and
+  // the serving layer both hinge on this staying O(1) in the node count, and
+  // the counter is the regression tripwire.
+  static const obs::Counter plan_compiles("eval.plan_compiles");
+  plan_compiles.Increment();
+  return CompileFlat(query);
+}
+
+StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db, const FlatNfa& plan,
+                                        int start_node, Budget* budget) {
   RPQI_CHECK(0 <= start_node && start_node < db.NumNodes());
-  const Nfa query = RemoveEpsilon(query_input);
-  const int num_states = query.NumStates();
-  RPQI_ASSIGN_OR_RETURN(
-      std::vector<char> visited,
-      ReachableConfigurations(db, query, start_node, budget));
+  const int num_states = plan.NumStates();
+  RPQI_ASSIGN_OR_RETURN(std::vector<char> visited,
+                        ReachableConfigurations(db, plan, start_node, budget));
 
   Bitset answer(db.NumNodes());
   for (int node = 0; node < db.NumNodes(); ++node) {
     for (int s = 0; s < num_states; ++s) {
-      if (query.IsAccepting(s) &&
+      if (plan.IsAccepting(s) &&
           visited[static_cast<size_t>(node) * num_states + s]) {
         answer.Set(node);
         break;
@@ -119,16 +128,15 @@ StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db,
 }
 
 StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
-    const GraphDb& db, const Nfa& query_input, Budget* budget) {
+    const GraphDb& db, const FlatNfa& plan, Budget* budget) {
   // Per-pair/per-start spans would flood the trace (the CDA search calls the
   // single-source variants thousands of times); only the all-pairs sweep is
   // coarse enough to be worth a span.
   obs::Span span("eval.all_pairs");
-  const Nfa query = RemoveEpsilon(query_input);
   std::vector<std::pair<int, int>> answer;
   for (int x = 0; x < db.NumNodes(); ++x) {
     RPQI_ASSIGN_OR_RETURN(Bitset reachable,
-                          EvalRpqiFromWithBudget(db, query, x, budget));
+                          EvalRpqiFromWithBudget(db, plan, x, budget));
     for (int y = reachable.NextSetBit(0); y >= 0;
          y = reachable.NextSetBit(y + 1)) {
       answer.push_back({x, y});
@@ -138,12 +146,34 @@ StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
   return answer;
 }
 
-StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const Nfa& query,
+StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const FlatNfa& plan,
                                       int from, int to, Budget* budget) {
   RPQI_CHECK(0 <= to && to < db.NumNodes());
   RPQI_ASSIGN_OR_RETURN(Bitset reachable,
-                        EvalRpqiFromWithBudget(db, query, from, budget));
+                        EvalRpqiFromWithBudget(db, plan, from, budget));
   return reachable.Test(to);
+}
+
+StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db,
+                                        const Nfa& query_input, int start_node,
+                                        Budget* budget) {
+  const FlatNfa plan = CompileEvalPlan(query_input);
+  return EvalRpqiFromWithBudget(db, plan, start_node, budget);
+}
+
+StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
+    const GraphDb& db, const Nfa& query_input, Budget* budget) {
+  // Compile once, sweep every source with the same plan. (This used to
+  // re-run the ε-closure inside the per-source loop — O(nodes) redundant
+  // query setup per sweep.)
+  const FlatNfa plan = CompileEvalPlan(query_input);
+  return EvalRpqiAllPairsWithBudget(db, plan, budget);
+}
+
+StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const Nfa& query,
+                                      int from, int to, Budget* budget) {
+  const FlatNfa plan = CompileEvalPlan(query);
+  return EvalRpqiPairWithBudget(db, plan, from, to, budget);
 }
 
 Bitset EvalRpqiFrom(const GraphDb& db, const Nfa& query, int start_node) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "automata/flat.h"
 #include "automata/nfa.h"
 #include "base/bitset.h"
 #include "base/budget.h"
@@ -25,14 +26,36 @@ std::vector<std::pair<int, int>> EvalRpqiAllPairs(const GraphDb& db,
 /// Membership of one pair in ans(query, db).
 bool EvalRpqiPair(const GraphDb& db, const Nfa& query, int from, int to);
 
+/// CompileFlat plus the `eval.plan_compiles` counter: the one per-query
+/// compilation the Nfa entry points below perform before the BFS. Callers
+/// that evaluate repeatedly (the serving layer, the all-pairs sweep) compile
+/// once and use the FlatNfa overloads — the counter is how tests pin that
+/// per-query setup never scales with the number of source nodes.
+FlatNfa CompileEvalPlan(const Nfa& query);
+
 /// Budgeted variants: identical semantics, but the product-graph BFS charges
 /// one budget unit per discovered (state, node) configuration and honors the
-/// budget's deadline / cancellation / state quota. A null budget is unlimited.
+/// budget's deadline / cancellation / state quota. A null budget is
+/// unlimited. The Nfa overloads compile the query to its flat plan form
+/// (CompileEvalPlan) exactly once and delegate to the FlatNfa overloads.
 StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db, const Nfa& query,
                                         int start_node, Budget* budget);
 StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
     const GraphDb& db, const Nfa& query, Budget* budget);
 StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const Nfa& query,
+                                      int from, int to, Budget* budget);
+
+/// FlatNfa overloads — the eval hot path. The BFS inner loop iterates the
+/// plan's contiguous edge spans against the graph's LabelCsr spans; no
+/// per-query setup happens here, so a compiled plan is reusable across any
+/// number of source nodes and server requests. `plan` must satisfy the
+/// FlatNfa invariants (CompileFlat output, or a deserialized plan that
+/// passed ValidateFlatNfa).
+StatusOr<Bitset> EvalRpqiFromWithBudget(const GraphDb& db, const FlatNfa& plan,
+                                        int start_node, Budget* budget);
+StatusOr<std::vector<std::pair<int, int>>> EvalRpqiAllPairsWithBudget(
+    const GraphDb& db, const FlatNfa& plan, Budget* budget);
+StatusOr<bool> EvalRpqiPairWithBudget(const GraphDb& db, const FlatNfa& plan,
                                       int from, int to, Budget* budget);
 
 }  // namespace rpqi

@@ -1,6 +1,9 @@
 #include "service/plan_cache.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "base/hash.h"
 #include "fault/fault.h"
@@ -10,14 +13,14 @@ namespace rpqi {
 namespace service {
 namespace {
 
-int64_t NfaBytes(const Nfa& nfa) {
-  return 64 + static_cast<int64_t>(nfa.NumStates()) * 40 +
-         static_cast<int64_t>(nfa.NumTransitions()) * 8;
-}
-
+/// Exact heap footprint of a compiled rewriting DFA: its vectors are sized
+/// once at construction (capacity == size), one int cell per (state, symbol)
+/// plus the word-rounded accepting bits.
 int64_t DfaBytes(const Dfa& dfa) {
-  return 64 + static_cast<int64_t>(dfa.NumStates()) *
-                  (static_cast<int64_t>(dfa.num_symbols()) * 4 + 1);
+  return static_cast<int64_t>(sizeof(Dfa)) +
+         static_cast<int64_t>(dfa.NumStates()) * dfa.num_symbols() *
+             static_cast<int64_t>(sizeof(int)) +
+         static_cast<int64_t>((dfa.NumStates() + 63) / 64) * 8;
 }
 
 uint64_t HashKey(const std::string& key) {
@@ -28,13 +31,24 @@ uint64_t HashKey(const std::string& key) {
   return h;
 }
 
+/// The single `plan_cache.disk_io` injection site, shared by Load and Save:
+/// a fired fault models the disk failing (EIO, ENOSPC, a vanished file), and
+/// both directions must degrade to recompute-and-serve.
+bool DiskIoFaultFired() { return RPQI_FAULT_FIRED("plan_cache.disk_io"); }
+
 }  // namespace
 
 int64_t CachedPlan::ApproxBytes() const {
   int64_t bytes = 128;  // entry + bookkeeping overhead
-  if (query_nfa.has_value()) bytes += NfaBytes(*query_nfa);
+  // Heap blocks are counted at *capacity*: the byte budget bounds resident
+  // memory, and vector growth slack is resident whether or not it holds
+  // elements. (The old per-field estimates ignored the per-state vector heap
+  // blocks entirely, so --plan-cache-mb under-bounded actual usage.)
+  if (flat_plan.has_value()) bytes += flat_plan->ByteSize();
   if (eval_answers.has_value()) {
-    bytes += 24 + static_cast<int64_t>(eval_answers->size()) * 8;
+    bytes += static_cast<int64_t>(sizeof(*eval_answers)) +
+             static_cast<int64_t>(eval_answers->capacity()) *
+                 static_cast<int64_t>(sizeof(std::pair<int, int>));
   }
   if (rewriting.has_value()) bytes += DfaBytes(rewriting->dfa) + 128;
   for (const std::string& name : view_names) {
@@ -143,6 +157,119 @@ void PlanCache::PublishGauges() const {
   Stats now = stats();
   bytes_gauge.Set(now.bytes);
   entries_gauge.Set(now.entries);
+}
+
+PlanDiskStore::PlanDiskStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string PlanDiskStore::PathForKey(const std::string& key) const {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(HashKey(key)));
+  return dir_ + "/plan-" + buffer + ".rpqiplan";
+}
+
+std::shared_ptr<const CachedPlan> PlanDiskStore::Load(const std::string& key,
+                                                      int num_nodes) {
+  static const obs::Counter disk_hits("service.plan_cache.disk_hit");
+  static const obs::Counter disk_misses("service.plan_cache.disk_miss");
+  static const obs::Counter disk_rejects("service.plan_cache.disk_reject");
+  if (!enabled()) return nullptr;
+  const std::string path = PathForKey(key);
+  // A fired fault models read(2) failing mid-load; like every other failure
+  // below, the caller recompiles and re-persists.
+  if (DiskIoFaultFired()) {
+    disk_rejects.Increment();
+    return nullptr;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    disk_misses.Increment();
+    return nullptr;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    disk_rejects.Increment();
+    return nullptr;
+  }
+  StatusOr<FlatPlan> decoded = DecodeFlatPlan(buffer.str(), path);
+  // Tag mismatch = a filename-hash collision with another key, or a file
+  // from a different graph snapshot under a reused hash — either way this is
+  // not our plan. Treated as a rejection, not a miss, so the counter
+  // distinguishes "nothing persisted yet" from "persisted bytes unusable".
+  if (!decoded.ok() || decoded->tag != key || !decoded->has_answers) {
+    disk_rejects.Increment();
+    return nullptr;
+  }
+  auto plan = std::make_shared<CachedPlan>();
+  plan->eval_answers.emplace();
+  plan->eval_answers->reserve(decoded->answers.size());
+  for (const auto& [x, y] : decoded->answers) {
+    // The tag pins the snapshot fingerprint, so persisted node ids should
+    // always be in range; the check is the last line of defense against an
+    // encoder bug, since NodeName(id) on a stale id would abort the server.
+    if (x >= static_cast<uint32_t>(num_nodes) ||
+        y >= static_cast<uint32_t>(num_nodes)) {
+      disk_rejects.Increment();
+      return nullptr;
+    }
+    plan->eval_answers->push_back({static_cast<int>(x), static_cast<int>(y)});
+  }
+  plan->flat_plan = std::move(decoded->nfa);
+  disk_hits.Increment();
+  return plan;
+}
+
+void PlanDiskStore::Save(const std::string& key, const CachedPlan& plan) {
+  static const obs::Counter disk_writes("service.plan_cache.disk_write");
+  static const obs::Counter disk_write_failed(
+      "service.plan_cache.disk_write_failed");
+  if (!enabled()) return;
+  if (!plan.flat_plan.has_value() || !plan.eval_answers.has_value()) return;
+  FlatPlan payload;
+  payload.nfa = *plan.flat_plan;
+  payload.tag = key;
+  payload.has_answers = true;
+  payload.answers.reserve(plan.eval_answers->size());
+  for (const auto& [x, y] : *plan.eval_answers) {
+    payload.answers.push_back(
+        {static_cast<uint32_t>(x), static_cast<uint32_t>(y)});
+  }
+  const std::string encoded = EncodeFlatPlan(payload);
+  const std::string path = PathForKey(key);
+  const std::string tmp = path + ".tmp";
+  auto fail = [&] {
+    disk_write_failed.Increment();
+    // The failed write is already counted; the orphaned temp file is
+    // best-effort cleanup.
+    (void)std::remove(tmp.c_str());  // lint: allow-discard cleanup only
+  };
+  if (DiskIoFaultFired()) {
+    fail();
+    return;
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      fail();
+      return;
+    }
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out.good()) {
+      fail();
+      return;
+    }
+  }
+  // Atomic replace: a concurrent or post-restart reader observes either the
+  // old plan or the complete new one, never a prefix. No fsync — unlike the
+  // columnar snapshot writer, losing a plan to power loss is harmless (the
+  // checksum rejects any torn survivor and the server recompiles).
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail();
+    return;
+  }
+  disk_writes.Increment();
 }
 
 }  // namespace service

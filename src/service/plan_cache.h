@@ -10,7 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "automata/nfa.h"
+#include "automata/flat.h"
 #include "base/mutex.h"
 #include "base/thread_annotations.h"
 #include "rewrite/rewriter.h"
@@ -23,12 +23,14 @@ namespace service {
 /// shared via shared_ptr<const CachedPlan>, so an eviction never frees a plan
 /// a concurrent request is still executing against. Which fields are present
 /// depends on the op that built the plan:
-///   eval     query_nfa + eval_answers (node-id pairs over the keyed
-///            snapshot; sound to memoize because snapshots are immutable);
+///   eval     flat_plan (the compiled FlatNfa — also the serializable
+///            payload the persistent store writes) + eval_answers (node-id
+///            pairs over the keyed snapshot; sound to memoize because
+///            snapshots are immutable);
 ///   rewrite  rewriting (compiled maximal-rewriting DFA + stats) +
 ///            view_names + exactness verdict.
 struct CachedPlan {
-  std::optional<Nfa> query_nfa;
+  std::optional<FlatNfa> flat_plan;
   std::optional<std::vector<std::pair<int, int>>> eval_answers;
   std::optional<MaximalRewriting> rewriting;
   std::vector<std::string> view_names;
@@ -36,7 +38,9 @@ struct CachedPlan {
   /// exactness check is only meaningful against the full maximal rewriting).
   std::optional<bool> exact;
 
-  /// Rough heap footprint for the cache's byte accounting.
+  /// Exact heap footprint (vector capacities, not sizes): this is what the
+  /// cache's byte budget bounds, so it must track *resident* bytes —
+  /// undercounting here lets --plan-cache-mb quietly overshoot.
   int64_t ApproxBytes() const;
 };
 
@@ -104,6 +108,48 @@ class PlanCache {
   int64_t capacity_bytes_;
   int64_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Persistent twin of the in-memory cache (`--plan-cache-dir`): serialized
+/// RPQIPLAN1 payloads keyed by a hash of the canonical plan-cache key, so a
+/// restarted server serves its first repeated query at warm-cache latency.
+/// Strictly best-effort — every failure (missing file, torn write, checksum
+/// mismatch, tag collision) degrades to a recompile, never an error. The full
+/// key string is stored inside the payload (FlatPlan::tag) and compared on
+/// load, so filename-hash collisions cannot alias two plans.
+///
+/// Counters: service.plan_cache.{disk_hit,disk_miss,disk_reject,disk_write,
+/// disk_write_failed}. Carries the `plan_cache.disk_io` fault site (fired on
+/// both load and save, making disk I/O fail cleanly).
+class PlanDiskStore {
+ public:
+  /// An empty `dir` disables the store (Load always misses, Save drops).
+  /// The directory must already exist; it is shared state, so the store
+  /// never creates or removes it.
+  explicit PlanDiskStore(std::string dir);
+
+  PlanDiskStore(const PlanDiskStore&) = delete;
+  PlanDiskStore& operator=(const PlanDiskStore&) = delete;
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Where the plan for `key` lives: <dir>/plan-<16-hex-key-hash>.rpqiplan.
+  std::string PathForKey(const std::string& key) const;
+
+  /// Loads, checksum-validates, and tag-checks the persisted plan for `key`.
+  /// `num_nodes` bounds the answer node-ids (a plan whose answers name nodes
+  /// outside the snapshot is rejected, not served). nullptr on any miss or
+  /// rejection.
+  std::shared_ptr<const CachedPlan> Load(const std::string& key,
+                                         int num_nodes);
+
+  /// Persists `plan` (which must carry flat_plan + eval_answers) under
+  /// `key`, via write-to-temp + atomic rename. Best-effort: failures only
+  /// bump service.plan_cache.disk_write_failed.
+  void Save(const std::string& key, const CachedPlan& plan);
+
+ private:
+  std::string dir_;
 };
 
 }  // namespace service

@@ -216,6 +216,7 @@ CircuitBreaker::Options BreakerOptions(const ServerOptions& options) {
 Server::Server(const ServerOptions& options)
     : options_(options),
       plan_cache_(options.plan_cache_bytes, options.plan_cache_shards),
+      plan_disk_(options.plan_cache_dir),
       breaker_(BreakerOptions(options)) {}
 
 Status Server::Init() {
@@ -291,7 +292,7 @@ std::string Server::ExecuteToResponse(const Request& request) {
   requests.Increment();
 
   StatusOr<JsonObject> fields = Status::InvalidArgument("unreachable");
-  bool cache_hit = false;
+  const char* cache_source = "miss";
   bool cacheable_op = false;
   if (request.admission.ExpiredInQueue()) {
     expired.Increment();
@@ -311,10 +312,10 @@ std::string Server::ExecuteToResponse(const Request& request) {
       Budget budget = request.admission.MakeBudget();
       if (request.op == "eval") {
         cacheable_op = true;
-        fields = OpEval(request, &budget, &cache_hit);
+        fields = OpEval(request, &budget, &cache_source);
       } else if (request.op == "rewrite") {
         cacheable_op = true;
-        fields = OpRewrite(request, &budget, &cache_hit);
+        fields = OpRewrite(request, &budget, &cache_source);
       } else if (request.op == "answer") {
         fields = OpAnswer(request, &budget);
       } else if (request.op == "admin") {
@@ -344,7 +345,9 @@ std::string Server::ExecuteToResponse(const Request& request) {
 
   JsonObject tail;
   if (cacheable_op && fields.ok()) {
-    tail.emplace_back("cache", Json::Str(cache_hit ? "hit" : "miss"));
+    // "hit" = in-memory cache, "disk" = persistent store (eval only),
+    // "miss" = compiled fresh this request.
+    tail.emplace_back("cache", Json::Str(cache_source));
   }
   tail.emplace_back("us", Json::Int(us));
   // Same-thread counter deltas: the request ran entirely on this worker, so
@@ -372,7 +375,7 @@ std::string Server::ExecuteToResponse(const Request& request) {
 }
 
 StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
-                                    bool* cache_hit) {
+                                    const char** cache_source) {
   std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
   if (snapshot == nullptr) {
     return Unavailable(
@@ -390,17 +393,26 @@ StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
 
   std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
   if (plan != nullptr && plan->eval_answers.has_value()) {
-    *cache_hit = true;
+    *cache_source = "hit";
+  } else if ((plan = plan_disk_.Load(key, snapshot->db.NumNodes())) !=
+             nullptr) {
+    // Persistent store hit (typically the first repeated query after a
+    // restart): promote into the in-memory cache so the next request is a
+    // plain "hit".
+    *cache_source = "disk";
+    plan_cache_.Put(key, plan);
   } else {
     SignedAlphabet alphabet = snapshot->alphabet;
     RegisterRelations({expr}, &alphabet);
     RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
+    FlatNfa compiled = CompileEvalPlan(query);
     RPQI_ASSIGN_OR_RETURN(
-        auto pairs, EvalRpqiAllPairsWithBudget(snapshot->db, query, budget));
+        auto pairs, EvalRpqiAllPairsWithBudget(snapshot->db, compiled, budget));
     auto fresh = std::make_shared<CachedPlan>();
-    fresh->query_nfa = std::move(query);
+    fresh->flat_plan = std::move(compiled);
     fresh->eval_answers = std::move(pairs);
     plan_cache_.Put(key, fresh);
+    plan_disk_.Save(key, *fresh);
     plan = std::move(fresh);
   }
 
@@ -418,7 +430,7 @@ StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
 }
 
 StatusOr<JsonObject> Server::OpRewrite(const Request& request, Budget* budget,
-                                       bool* cache_hit) {
+                                       const char** cache_source) {
   RPQI_ASSIGN_OR_RETURN(std::string query_text,
                         RequireString(request.body, "query"));
   RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
@@ -431,7 +443,7 @@ StatusOr<JsonObject> Server::OpRewrite(const Request& request, Budget* budget,
 
   std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
   if (plan != nullptr && plan->rewriting.has_value()) {
-    *cache_hit = true;
+    *cache_source = "hit";
   } else {
     SignedAlphabet alphabet;
     RegisterRelations({query_expr}, &alphabet);

@@ -31,6 +31,11 @@ struct ServerOptions {
   /// Plan-cache capacity; <= 0 disables caching.
   int64_t plan_cache_bytes = int64_t{64} << 20;
   int plan_cache_shards = 8;
+  /// Directory for the persistent plan cache (--plan-cache-dir): compiled
+  /// eval plans are serialized here so a restarted server serves its first
+  /// repeated query at warm-cache latency. Empty disables persistence. The
+  /// directory must already exist.
+  std::string plan_cache_dir;
   /// Graph database loaded at Init(); empty = start without a snapshot (eval
   /// requests fail with `unavailable` until an `admin reload`).
   std::string initial_db_path;
@@ -101,10 +106,13 @@ class Server {
   /// Executes a parsed request and renders the full response line.
   std::string ExecuteToResponse(const Request& request);
 
+  /// `*cache_source` reports where the plan came from: "miss" (compiled
+  /// fresh), "hit" (in-memory cache), or "disk" (persistent store; eval
+  /// only). Echoed as the response's `cache` field.
   StatusOr<JsonObject> OpEval(const Request& request, Budget* budget,
-                              bool* cache_hit);
+                              const char** cache_source);
   StatusOr<JsonObject> OpRewrite(const Request& request, Budget* budget,
-                                 bool* cache_hit);
+                                 const char** cache_source);
   StatusOr<JsonObject> OpAnswer(const Request& request, Budget* budget);
   StatusOr<JsonObject> OpAdmin(const Request& request);
 
@@ -115,6 +123,7 @@ class Server {
 
   ServerOptions options_;
   PlanCache plan_cache_;
+  PlanDiskStore plan_disk_;
   SnapshotStore snapshot_store_;
   CircuitBreaker breaker_;
   /// Serializes whole-line writes to the output stream borrowed by Serve().

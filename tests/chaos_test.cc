@@ -86,6 +86,7 @@ std::string ChaosFaultSpec(int64_t seed) {
          ",snapshot.reload_swap=prob:0.1:" + s +
          ",graphdb.parse_io=prob:0.05:" + s +
          ",plan_cache.insert=prob:0.3:" + s +
+         ",plan_cache.disk_io=prob:0.3:" + s +
          ",automata.determinize_state=prob:0.02:" + s +
          ",automata.materialize_state=prob:0.02:" + s +
          ",service.request_truncate=prob:0.02:" + s +
@@ -145,6 +146,9 @@ TEST(ChaosTest, SoakServeLoopUnderSeededFaults) {
   options.threads = 4;
   options.admission.queue_depth = 256;
   options.initial_db_path = db_a;
+  // Persistent plan cache on, so the soak drives the disk save/load path
+  // (and its plan_cache.disk_io fault) alongside the in-memory cache.
+  options.plan_cache_dir = testing::TempDir();
   // Breaker on with a high threshold: exercised by the fault mix but rarely
   // tripping, so the request mix stays rich. Dedicated breaker tests pin the
   // state machine itself.
@@ -198,6 +202,7 @@ TEST(ChaosTest, SoakServeLoopUnderSeededFaults) {
   // The soak actually drove the fault layer: sites on deterministic paths
   // tallied hits, and the probabilistic policies fired somewhere.
   EXPECT_GT(fault::HitCount("plan_cache.insert"), 0);
+  EXPECT_GT(fault::HitCount("plan_cache.disk_io"), 0);
   EXPECT_GT(fault::HitCount("snapshot.open"), 0);
   EXPECT_GT(fault::HitCount("snapshot.mmap_open"), 0);
   EXPECT_GT(fault::HitCount("service.request_truncate"), 0);

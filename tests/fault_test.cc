@@ -28,6 +28,7 @@ const char* const kKnownSites[] = {
     "automata.materialize_state",
     "graphdb.compact_write",
     "graphdb.parse_io",
+    "plan_cache.disk_io",
     "plan_cache.insert",
     "service.queue_full",
     "service.request_truncate",

@@ -1,0 +1,433 @@
+// Flat compiled-plan automata (automata/flat.h, DESIGN.md §16): CompileFlat
+// structure, the RPQIPLAN1 wire format (round-trip, corrupt-every-byte
+// rejection, version/magic skew), ValidateFlatNfa as the deserialization
+// admission gate, and the differential guarantee the eval rewire rests on —
+// flat-plan evaluation is bit-identical to a direct Nfa product BFS.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "analysis/validate.h"
+#include "automata/flat.h"
+#include "automata/nfa.h"
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "graphdb/eval.h"
+#include "graphdb/graph.h"
+#include "obs/metrics.h"
+#include "rpq/alphabet.h"
+#include "workload/graph_gen.h"
+
+namespace rpqi {
+namespace {
+
+/// Independent reference: product BFS straight over the Nfa's per-state
+/// transition vectors (ε removed up front), row-scan adjacency only. This is
+/// the pre-flat evaluator, re-stated; the fuzz tests below hold the FlatNfa
+/// path to byte-for-byte agreement with it.
+std::vector<std::pair<int, int>> ReferenceAllPairs(const GraphDb& db,
+                                                   const Nfa& input) {
+  const Nfa nfa =
+      input.HasEpsilonTransitions() ? RemoveEpsilon(input) : input;
+  const int num_states = nfa.NumStates();
+  std::vector<std::pair<int, int>> answer;
+  for (int start = 0; start < db.NumNodes(); ++start) {
+    std::vector<char> visited(
+        static_cast<size_t>(db.NumNodes()) * num_states, 0);
+    std::vector<std::pair<int, int>> stack;
+    auto visit = [&](int state, int node) {
+      size_t index = static_cast<size_t>(node) * num_states + state;
+      if (!visited[index]) {
+        visited[index] = 1;
+        stack.push_back({state, node});
+      }
+    };
+    for (int s = 0; s < num_states; ++s) {
+      if (nfa.IsInitial(s)) visit(s, start);
+    }
+    while (!stack.empty()) {
+      auto [state, node] = stack.back();
+      stack.pop_back();
+      for (const Nfa::Transition& t : nfa.TransitionsFrom(state)) {
+        int relation = SignedAlphabet::RelationOfSymbol(t.symbol);
+        if (SignedAlphabet::IsInverseSymbol(t.symbol)) {
+          for (const GraphDb::Edge& e : db.InEdges(node)) {
+            if (e.relation == relation) visit(t.to, e.to);
+          }
+        } else {
+          for (const GraphDb::Edge& e : db.OutEdges(node)) {
+            if (e.relation == relation) visit(t.to, e.to);
+          }
+        }
+      }
+    }
+    for (int node = 0; node < db.NumNodes(); ++node) {
+      for (int s = 0; s < num_states; ++s) {
+        if (nfa.IsAccepting(s) &&
+            visited[static_cast<size_t>(node) * num_states + s]) {
+          answer.push_back({start, node});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(answer.begin(), answer.end());
+  return answer;
+}
+
+TEST(FlatNfaTest, CompileSortsDeduplicatesAndIndexes) {
+  Nfa nfa(3);
+  int a = nfa.AddState(), b = nfa.AddState(), c = nfa.AddState();
+  nfa.SetInitial(a);
+  nfa.SetAccepting(c);
+  // Deliberately unsorted with a duplicate.
+  nfa.AddTransition(a, 2, c);
+  nfa.AddTransition(a, 0, b);
+  nfa.AddTransition(a, 2, b);
+  nfa.AddTransition(a, 0, b);  // duplicate
+  nfa.AddTransition(b, 1, c);
+
+  FlatNfa flat = CompileFlat(nfa);
+  EXPECT_EQ(flat.NumStates(), 3);
+  EXPECT_EQ(flat.num_symbols(), 3);
+  EXPECT_EQ(flat.NumEdges(), 4);  // duplicate collapsed
+  ASSERT_EQ(flat.Edges(a).size(), 3u);
+  EXPECT_TRUE(std::is_sorted(flat.Edges(a).begin(), flat.Edges(a).end()));
+  EXPECT_EQ(flat.Edges(c).size(), 0u);
+
+  // EdgesFor: exact per-symbol sub-spans via binary search.
+  ASSERT_EQ(flat.EdgesFor(a, 2).size(), 2u);
+  EXPECT_EQ(flat.EdgesFor(a, 2)[0].to, b);
+  EXPECT_EQ(flat.EdgesFor(a, 2)[1].to, c);
+  EXPECT_EQ(flat.EdgesFor(a, 1).size(), 0u);
+  EXPECT_EQ(flat.EdgesFor(b, 1).size(), 1u);
+
+  ASSERT_EQ(flat.InitialStates().size(), 1u);
+  EXPECT_EQ(flat.InitialStates()[0], a);
+  EXPECT_TRUE(flat.IsInitial(a));
+  EXPECT_FALSE(flat.IsInitial(b));
+  EXPECT_TRUE(flat.IsAccepting(c));
+  EXPECT_FALSE(flat.IsAccepting(a));
+}
+
+TEST(FlatNfaTest, CompilePreAppliesEpsilonClosure) {
+  Nfa nfa(2);
+  int a = nfa.AddState(), b = nfa.AddState(), c = nfa.AddState();
+  nfa.SetInitial(a);
+  nfa.SetAccepting(c);
+  nfa.AddTransition(a, kEpsilon, b);
+  nfa.AddTransition(b, 1, c);
+
+  FlatNfa flat = CompileFlat(nfa);
+  // No ε edges survive, and a's span reaches c through the folded closure.
+  for (int s = 0; s < flat.NumStates(); ++s) {
+    for (const FlatNfa::Edge& e : flat.Edges(s)) EXPECT_GE(e.symbol, 0);
+  }
+  bool a_reaches_c_on_1 = false;
+  for (const FlatNfa::Edge& e : flat.EdgesFor(0, 1)) {
+    if (flat.IsAccepting(e.to)) a_reaches_c_on_1 = true;
+  }
+  EXPECT_TRUE(a_reaches_c_on_1);
+}
+
+TEST(FlatNfaTest, EmptyAutomatonCompiles) {
+  Nfa nfa(2);
+  FlatNfa flat = CompileFlat(nfa);
+  EXPECT_EQ(flat.NumStates(), 0);
+  EXPECT_EQ(flat.NumEdges(), 0);
+  EXPECT_EQ(flat.InitialStates().size(), 0u);
+  EXPECT_FALSE(flat.HasAcceptingState());
+  EXPECT_TRUE(ValidateFlatNfa(flat).ok());
+}
+
+TEST(FlatNfaTest, CompiledPlansAlwaysValidate) {
+  std::mt19937_64 rng(401);
+  RandomAutomatonOptions options;
+  for (int round = 0; round < 50; ++round) {
+    options.num_states = 1 + static_cast<int>(rng() % 12);
+    options.num_symbols = 1 + static_cast<int>(rng() % 6);
+    options.transition_density = 0.2 + (rng() % 20) / 10.0;
+    Nfa nfa = RandomNfa(rng, options);
+    // Half the rounds get extra ε transitions so both CompileFlat branches
+    // (with and without RemoveEpsilon) are exercised.
+    if (round % 2 == 0 && nfa.NumStates() >= 2) {
+      for (int i = 0; i < 3; ++i) {
+        nfa.AddTransition(
+            static_cast<int>(rng() % nfa.NumStates()), kEpsilon,
+            static_cast<int>(rng() % nfa.NumStates()));
+      }
+    }
+    FlatNfa flat = CompileFlat(nfa);
+    EXPECT_TRUE(ValidateFlatNfa(flat).ok()) << "round " << round;
+    EXPECT_TRUE(ValidateFlatNfa(flat, flat.num_symbols()).ok());
+    EXPECT_FALSE(ValidateFlatNfa(flat, flat.num_symbols() + 1).ok());
+  }
+}
+
+// The differential fuzz the eval rewire rests on: flat-plan evaluation must
+// agree bit-for-bit with the direct-Nfa reference, on both adjacency paths
+// (row scan and the CSR label index).
+TEST(FlatEvalDifferentialTest, FlatMatchesNfaReferenceOnRandomInputs) {
+  std::mt19937_64 rng(977);
+  for (int round = 0; round < 40; ++round) {
+    RandomGraphOptions graph_options;
+    graph_options.num_nodes = 2 + static_cast<int>(rng() % 14);
+    graph_options.num_relations = 1 + static_cast<int>(rng() % 3);
+    graph_options.average_out_degree = 0.5 + (rng() % 30) / 10.0;
+    GraphDb db = RandomGraph(rng, graph_options);
+
+    RandomAutomatonOptions nfa_options;
+    nfa_options.num_states = 1 + static_cast<int>(rng() % 8);
+    // Signed alphabet: two symbols (forward/inverse) per relation.
+    nfa_options.num_symbols = 2 * graph_options.num_relations;
+    nfa_options.transition_density = 0.3 + (rng() % 15) / 10.0;
+    Nfa query = RandomNfa(rng, nfa_options);
+    if (round % 3 == 0 && query.NumStates() >= 2) {
+      query.AddTransition(0, kEpsilon, query.NumStates() - 1);
+    }
+
+    std::vector<std::pair<int, int>> expected = ReferenceAllPairs(db, query);
+    const FlatNfa plan = CompileFlat(query);
+
+    // Scan path.
+    StatusOr<std::vector<std::pair<int, int>>> scan =
+        EvalRpqiAllPairsWithBudget(db, plan, nullptr);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(*scan, expected) << "scan path, round " << round;
+
+    // CSR path over the same rows.
+    db.BuildLabelIndex(graph_options.num_relations);
+    ASSERT_TRUE(db.has_label_index());
+    StatusOr<std::vector<std::pair<int, int>>> csr =
+        EvalRpqiAllPairsWithBudget(db, plan, nullptr);
+    ASSERT_TRUE(csr.ok());
+    EXPECT_EQ(*csr, expected) << "csr path, round " << round;
+
+    // And the Nfa convenience overload (which compiles internally) agrees.
+    EXPECT_EQ(EvalRpqiAllPairs(db, query), expected);
+  }
+}
+
+// A decoded plan evaluates identically to the plan that was encoded: the
+// serialize → deserialize → eval loop (the persistent plan cache's warm
+// path) introduces no drift.
+TEST(FlatEvalDifferentialTest, DecodedPlanEvaluatesIdentically) {
+  std::mt19937_64 rng(31337);
+  for (int round = 0; round < 20; ++round) {
+    RandomGraphOptions graph_options;
+    graph_options.num_nodes = 2 + static_cast<int>(rng() % 10);
+    graph_options.num_relations = 1 + static_cast<int>(rng() % 2);
+    GraphDb db = RandomGraph(rng, graph_options);
+    RandomAutomatonOptions nfa_options;
+    nfa_options.num_states = 1 + static_cast<int>(rng() % 6);
+    nfa_options.num_symbols = 2 * graph_options.num_relations;
+    Nfa query = RandomNfa(rng, nfa_options);
+
+    FlatPlan plan;
+    plan.nfa = CompileFlat(query);
+    plan.tag = "round-" + std::to_string(round);
+    StatusOr<FlatPlan> decoded = DecodeFlatPlan(EncodeFlatPlan(plan), "test");
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->tag, plan.tag);
+
+    StatusOr<std::vector<std::pair<int, int>>> before =
+        EvalRpqiAllPairsWithBudget(db, plan.nfa, nullptr);
+    StatusOr<std::vector<std::pair<int, int>>> after =
+        EvalRpqiAllPairsWithBudget(db, decoded->nfa, nullptr);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << "round " << round;
+  }
+}
+
+// Pins the satellite bugfix: per-query setup (ε-closure + flat compile) runs
+// once per query, never once per source node. The counter is the tripwire —
+// if the all-pairs sweep ever regresses to compiling inside the per-source
+// loop, the delta scales with the node count and this fails.
+TEST(FlatEvalDifferentialTest, AllPairsCompilesOncePerQuery) {
+  std::mt19937_64 rng(55);
+  RandomAutomatonOptions nfa_options;
+  nfa_options.num_states = 5;
+  nfa_options.num_symbols = 2;
+  Nfa query = RandomNfa(rng, nfa_options);
+  for (int num_nodes : {4, 40}) {
+    RandomGraphOptions graph_options;
+    graph_options.num_nodes = num_nodes;
+    graph_options.num_relations = 1;
+    GraphDb db = RandomGraph(rng, graph_options);
+    obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+    StatusOr<std::vector<std::pair<int, int>>> result =
+        EvalRpqiAllPairsWithBudget(db, query, nullptr);
+    ASSERT_TRUE(result.ok());
+    obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+    EXPECT_EQ(delta.CounterValue("eval.plan_compiles"), 1)
+        << "plan compiles must not scale with the " << num_nodes
+        << "-node sweep";
+    EXPECT_EQ(delta.CounterValue("eval.bfs_runs"), num_nodes);
+  }
+}
+
+FlatPlan SamplePlan() {
+  Nfa nfa(4);
+  int a = nfa.AddState(), b = nfa.AddState(), c = nfa.AddState();
+  nfa.SetInitial(a);
+  nfa.SetAccepting(b);
+  nfa.SetAccepting(c);
+  nfa.AddTransition(a, 0, b);
+  nfa.AddTransition(a, 3, c);
+  nfa.AddTransition(b, 1, c);
+  nfa.AddTransition(c, 2, a);
+  FlatPlan plan;
+  plan.nfa = CompileFlat(nfa);
+  plan.tag = "eval|0123456789abcdef|(a b)*";
+  plan.has_answers = true;
+  plan.answers = {{0, 1}, {0, 2}, {2, 2}};
+  return plan;
+}
+
+TEST(FlatPlanFormatTest, RoundTripPreservesEveryPart) {
+  FlatPlan plan = SamplePlan();
+  std::string encoded = EncodeFlatPlan(plan);
+  EXPECT_TRUE(IsFlatPlan(encoded));
+  EXPECT_EQ(static_cast<int64_t>(encoded.size()), EncodedFlatPlanBytes(plan));
+
+  StatusOr<FlatPlan> decoded = DecodeFlatPlan(encoded, "roundtrip");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->tag, plan.tag);
+  EXPECT_TRUE(decoded->has_answers);
+  EXPECT_EQ(decoded->answers, plan.answers);
+  EXPECT_EQ(decoded->nfa.num_symbols(), plan.nfa.num_symbols());
+  EXPECT_EQ(decoded->nfa.offsets(), plan.nfa.offsets());
+  EXPECT_EQ(decoded->nfa.edges(), plan.nfa.edges());
+  EXPECT_EQ(decoded->nfa.initial_words(), plan.nfa.initial_words());
+  EXPECT_EQ(decoded->nfa.accepting_words(), plan.nfa.accepting_words());
+  EXPECT_EQ(decoded->nfa.initial_list(), plan.nfa.initial_list());
+
+  // Deterministic bytes: encoding the decoded plan reproduces the file.
+  EXPECT_EQ(EncodeFlatPlan(*decoded), encoded);
+}
+
+TEST(FlatPlanFormatTest, AnswerlessPlanRoundTrips) {
+  FlatPlan plan = SamplePlan();
+  plan.has_answers = false;
+  plan.answers.clear();
+  plan.tag.clear();
+  StatusOr<FlatPlan> decoded = DecodeFlatPlan(EncodeFlatPlan(plan), "bare");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_FALSE(decoded->has_answers);
+  EXPECT_TRUE(decoded->answers.empty());
+  EXPECT_TRUE(decoded->tag.empty());
+}
+
+// The exhaustive corruption sweep the persistent cache's torn/corrupt-file
+// guarantee rests on: flipping any single byte of a valid plan file — header,
+// payload, or padding — must be rejected (checksum flips surface as a
+// stored/computed mismatch; everything else as a checksum or structure
+// failure). No flip may decode successfully.
+TEST(FlatPlanFormatTest, EveryByteFlipIsRejected) {
+  std::string encoded = EncodeFlatPlan(SamplePlan());
+  for (size_t at = 0; at < encoded.size(); ++at) {
+    std::string corrupt = encoded;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+    StatusOr<FlatPlan> decoded = DecodeFlatPlan(corrupt, "flip");
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << at << " went undetected";
+  }
+}
+
+TEST(FlatPlanFormatTest, EveryTruncationIsRejected) {
+  std::string encoded = EncodeFlatPlan(SamplePlan());
+  for (size_t keep = 0; keep < encoded.size(); ++keep) {
+    StatusOr<FlatPlan> decoded =
+        DecodeFlatPlan(encoded.substr(0, keep), "truncated");
+    EXPECT_FALSE(decoded.ok()) << "truncation to " << keep
+                               << " bytes went undetected";
+  }
+}
+
+TEST(FlatPlanFormatTest, ForeignMagicAndVersionAreRejectedWithDiagnostics) {
+  std::string encoded = EncodeFlatPlan(SamplePlan());
+
+  std::string wrong_magic = encoded;
+  wrong_magic[0] = 'X';
+  StatusOr<FlatPlan> bad = DecodeFlatPlan(wrong_magic, "magic");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("magic"), std::string::npos);
+
+  // A future version bump must be refused by this build, with the version
+  // named, even though only the version field differs.
+  std::string future = encoded;
+  future[12] = 2;  // version field follows the 12-byte magic
+  bad = DecodeFlatPlan(future, "future");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("version"), std::string::npos);
+}
+
+TEST(ValidateFlatNfaTest, RejectsBrokenInvariants) {
+  FlatNfa good = SamplePlan().nfa;
+  auto rebuild = [&](auto mutate) {
+    std::vector<uint32_t> offsets = good.offsets();
+    std::vector<FlatNfa::Edge> edges = good.edges();
+    std::vector<uint64_t> initial_words = good.initial_words();
+    std::vector<uint64_t> accepting_words = good.accepting_words();
+    std::vector<int32_t> initial_list = good.initial_list();
+    int num_symbols = good.num_symbols();
+    mutate(&num_symbols, &offsets, &edges, &initial_words, &accepting_words,
+           &initial_list);
+    return FlatNfa::FromPartsUnchecked(
+        num_symbols, std::move(offsets), std::move(edges),
+        std::move(initial_words), std::move(accepting_words),
+        std::move(initial_list));
+  };
+  ASSERT_TRUE(ValidateFlatNfa(good).ok());
+
+  // Non-monotone offsets.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto* offsets, auto*, auto*,
+                                          auto*, auto*) {
+                 (*offsets)[1] = (*offsets)[2] + 1;
+               })).ok());
+  // offsets.back() disagrees with the edge count.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto* offsets, auto*, auto*,
+                                          auto*, auto*) {
+                 offsets->back() += 1;
+               })).ok());
+  // Out-of-alphabet symbol.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int* num_symbols, auto*, auto* edges,
+                                          auto*, auto*, auto*) {
+                 (*edges)[0].symbol = *num_symbols;
+               })).ok());
+  // ε is banned in the flat form.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto* edges, auto*,
+                                          auto*, auto*) {
+                 (*edges)[0].symbol = -1;
+               })).ok());
+  // Edge target outside the state space.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto* edges, auto*,
+                                          auto*, auto*) {
+                 edges->front().to = 99;
+               })).ok());
+  // Unsorted span (swap two edges of the same state).
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto* edges, auto*,
+                                          auto*, auto*) {
+                 std::swap((*edges)[0], (*edges)[1]);
+               })).ok());
+  // Stray bit beyond the last state in the accepting bitset.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto*, auto*,
+                                          auto* accepting, auto*) {
+                 accepting->back() |= uint64_t{1} << 63;
+               })).ok());
+  // Initial list disagrees with the initial bitset.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto*, auto*, auto*,
+                                          auto* initial_list) {
+                 initial_list->push_back(2);
+               })).ok());
+  // Wrong bitset word count.
+  EXPECT_FALSE(ValidateFlatNfa(rebuild([](int*, auto*, auto*,
+                                          auto* initial_words, auto*, auto*) {
+                 initial_words->push_back(0);
+               })).ok());
+}
+
+}  // namespace
+}  // namespace rpqi

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -16,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "automata/flat.h"
+#include "automata/nfa.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "service/admission.h"
@@ -1004,6 +1008,249 @@ TEST(ServerTest, ShutdownDrainsQueuedRequestsAndInFlightReload) {
   EXPECT_EQ(ids, (std::set<std::string>{"1", "2", "3", "4", "5"}));
   // The drained reload really landed before Serve returned.
   EXPECT_EQ(server.snapshot_store().version(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Exact plan byte accounting (CachedPlan::ApproxBytes) — what --plan-cache-mb
+// actually bounds.
+
+/// A plan shaped like what OpEval caches: compiled flat automaton + answers.
+std::shared_ptr<CachedPlan> FlatEvalPlan(int num_answers) {
+  Nfa nfa(2);
+  int a = nfa.AddState(), b = nfa.AddState(), c = nfa.AddState();
+  nfa.SetInitial(a);
+  nfa.SetAccepting(c);
+  nfa.AddTransition(a, 0, b);
+  nfa.AddTransition(b, 1, c);
+  nfa.AddTransition(c, 0, a);
+  auto plan = std::make_shared<CachedPlan>();
+  plan->flat_plan = CompileFlat(nfa);
+  plan->eval_answers.emplace();
+  for (int i = 0; i < num_answers; ++i) {
+    plan->eval_answers->push_back({i, i + 1});
+  }
+  plan->eval_answers->shrink_to_fit();
+  return plan;
+}
+
+TEST(PlanCacheTest, ApproxBytesCountsEveryHeapBlockExactly) {
+  std::shared_ptr<CachedPlan> plan = FlatEvalPlan(7);
+  // Recompute the footprint independently: fixed entry overhead, the flat
+  // plan's exact capacity-based heap bytes, and the answer vector's header +
+  // capacity. (The pre-flat estimate ignored per-state heap blocks entirely,
+  // so the cache budget under-bounded resident memory.)
+  int64_t expected =
+      128 + plan->flat_plan->ByteSize() +
+      static_cast<int64_t>(sizeof(std::vector<std::pair<int, int>>)) +
+      static_cast<int64_t>(plan->eval_answers->capacity()) *
+          static_cast<int64_t>(sizeof(std::pair<int, int>));
+  EXPECT_EQ(plan->ApproxBytes(), expected);
+
+  // The flat payload must dominate a plan with no answers: the accounting
+  // actually sees the automaton, not just the answer list.
+  std::shared_ptr<CachedPlan> answerless = FlatEvalPlan(0);
+  EXPECT_GE(answerless->ApproxBytes(), answerless->flat_plan->ByteSize());
+
+  // View names contribute per-name bytes.
+  plan->view_names = {"v1", "a-rather-long-view-name"};
+  expected += (32 + 2) + (32 + 23);
+  EXPECT_EQ(plan->ApproxBytes(), expected);
+}
+
+TEST(PlanCacheTest, BytesGaugeTracksKnownSizePlans) {
+  PlanCache cache(int64_t{1} << 20, 2);
+  int64_t expected = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::string key = "plan" + std::to_string(i);
+    std::shared_ptr<CachedPlan> plan = FlatEvalPlan(i * 3);
+    expected += plan->ApproxBytes() + static_cast<int64_t>(key.size());
+    cache.Put(key, std::move(plan));
+  }
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 6);
+  EXPECT_EQ(stats.bytes, expected);
+  EXPECT_LE(stats.bytes, cache.capacity_bytes());
+  // The published gauge agrees with the instance accounting (Put publishes
+  // after every insert, and nothing else ran a Put since).
+  EXPECT_EQ(obs::TakeMetricsSnapshot().GaugeValue("service.plan_cache.bytes"),
+            stats.bytes);
+}
+
+TEST(PlanCacheTest, ByteBudgetBoundsResidentFlatPlans) {
+  int64_t one_plan = FlatEvalPlan(4)->ApproxBytes() + 5;  // + key bytes
+  PlanCache cache(2 * one_plan, 1);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("plan" + std::to_string(i), FlatEvalPlan(4));
+    EXPECT_LE(cache.stats().bytes, cache.capacity_bytes());
+  }
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 8);
+}
+
+// ---------------------------------------------------------------------------
+// PlanDiskStore (--plan-cache-dir): persistence, rejection, fault site.
+
+std::string FreshPlanDir(const std::string& name) {
+  std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(PlanDiskStoreTest, EmptyDirDisablesTheStore) {
+  PlanDiskStore store("");
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(store.Load("k", 100), nullptr);
+  store.Save("k", *FlatEvalPlan(2));  // must not crash or write anywhere
+}
+
+TEST(PlanDiskStoreTest, SaveThenLoadRoundTripsPlanAndAnswers) {
+  PlanDiskStore store(FreshPlanDir("plan_store_rt"));
+  std::shared_ptr<CachedPlan> plan = FlatEvalPlan(3);
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  store.Save("eval|fp|q", *plan);
+  std::shared_ptr<const CachedPlan> loaded = store.Load("eval|fp|q", 100);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(loaded->eval_answers.has_value());
+  EXPECT_EQ(*loaded->eval_answers, *plan->eval_answers);
+  ASSERT_TRUE(loaded->flat_plan.has_value());
+  EXPECT_EQ(loaded->flat_plan->edges(), plan->flat_plan->edges());
+  EXPECT_EQ(loaded->flat_plan->offsets(), plan->flat_plan->offsets());
+  // A key that was never saved is a miss, not a reject.
+  EXPECT_EQ(store.Load("eval|fp|other", 100), nullptr);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_write"), 1);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_hit"), 1);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_miss"), 1);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_reject"), 0);
+}
+
+TEST(PlanDiskStoreTest, FilenameAliasCannotServeAnotherKeysPlan) {
+  PlanDiskStore store(FreshPlanDir("plan_store_alias"));
+  store.Save("key-a", *FlatEvalPlan(2));
+  // Simulate a filename-hash collision: key-b's slot holds key-a's payload.
+  ASSERT_EQ(std::rename(store.PathForKey("key-a").c_str(),
+                        store.PathForKey("key-b").c_str()),
+            0);
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  EXPECT_EQ(store.Load("key-b", 100), nullptr);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_reject"), 1);
+}
+
+TEST(PlanDiskStoreTest, CorruptedFileIsRejectedNotServed) {
+  PlanDiskStore store(FreshPlanDir("plan_store_corrupt"));
+  store.Save("key", *FlatEvalPlan(2));
+  std::string path = store.PathForKey("key");
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(100);
+    file.put(static_cast<char>(0xff));
+  }
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  EXPECT_EQ(store.Load("key", 100), nullptr);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_reject"), 1);
+}
+
+TEST(PlanDiskStoreTest, AnswerIdsBeyondSnapshotAreRejected) {
+  PlanDiskStore store(FreshPlanDir("plan_store_range"));
+  std::shared_ptr<CachedPlan> plan = FlatEvalPlan(5);  // answers up to (4, 5)
+  store.Save("key", *plan);
+  EXPECT_NE(store.Load("key", 100), nullptr);
+  // The same file against a smaller snapshot names out-of-range nodes.
+  EXPECT_EQ(store.Load("key", 3), nullptr);
+}
+
+TEST(PlanDiskStoreTest, DiskIoFaultFailsBothDirectionsCleanly) {
+  fault::DisarmAll();
+  PlanDiskStore store(FreshPlanDir("plan_store_fault"));
+  ASSERT_TRUE(fault::Configure("plan_cache.disk_io=every:1").ok());
+  obs::MetricsSnapshot before = obs::TakeMetricsSnapshot();
+  store.Save("key", *FlatEvalPlan(2));  // write fails, nothing persisted
+  EXPECT_EQ(store.Load("key", 100), nullptr);
+  obs::MetricsSnapshot delta = obs::TakeMetricsSnapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_write_failed"), 1);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_write"), 0);
+  EXPECT_EQ(delta.CounterValue("service.plan_cache.disk_reject"), 1);
+  fault::DisarmAll();
+  // With the fault gone the store works again (nothing was poisoned).
+  store.Save("key", *FlatEvalPlan(2));
+  EXPECT_NE(store.Load("key", 100), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Server + persistent plan cache: warm restarts and corrupt-file healing.
+
+TEST(ServerTest, RestartedServerServesRepeatedQueryFromDisk) {
+  std::string graph = WriteTempGraph("srv_disk.txt", "a r b\nb r c\nc s d\n");
+  ServerOptions options = OptionsWithDb(graph);
+  options.plan_cache_dir = FreshPlanDir("srv_disk_plans");
+  const std::string line = R"({"id":1,"op":"eval","query":"r* s"})";
+  std::string cold_answers;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.Init().ok());
+    Json cold = Handle(server, line);
+    EXPECT_EQ(FindField(cold, "status")->string_value(), "ok");
+    EXPECT_EQ(FindField(cold, "cache")->string_value(), "miss");
+    cold_answers = FindField(cold, "answers")->Dump();
+  }  // server gone; only the persisted plan survives
+  Server restarted(options);
+  ASSERT_TRUE(restarted.Init().ok());
+  Json warm = Handle(restarted, line);
+  EXPECT_EQ(FindField(warm, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(warm, "cache")->string_value(), "disk");
+  EXPECT_EQ(FindField(warm, "answers")->Dump(), cold_answers);
+  // The disk hit was promoted into the in-memory cache.
+  Json hot = Handle(restarted, line);
+  EXPECT_EQ(FindField(hot, "cache")->string_value(), "hit");
+  // No recompile on the warm path: the per-request counter deltas carry no
+  // eval.plan_compiles for the disk-served request.
+  EXPECT_EQ(FindField(warm, "counters")->Find("eval.plan_compiles"), nullptr);
+}
+
+TEST(ServerTest, CorruptPersistedPlanRecompilesAndServerStaysUp) {
+  std::string graph = WriteTempGraph("srv_heal.txt", "a r b\nb r c\n");
+  ServerOptions options = OptionsWithDb(graph);
+  options.plan_cache_dir = FreshPlanDir("srv_heal_plans");
+  const std::string line = R"({"id":1,"op":"eval","query":"r*"})";
+  std::string good_answers;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.Init().ok());
+    good_answers =
+        FindField(Handle(server, line), "answers")->Dump();
+  }
+  // Corrupt every persisted plan in place (a torn write / bad sector).
+  int corrupted = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.plan_cache_dir)) {
+    std::fstream file(entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(90);
+    file.put('\x5a');
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+
+  Server restarted(options);
+  ASSERT_TRUE(restarted.Init().ok());
+  Json healed = Handle(restarted, line);
+  // The corrupt plan is rejected by checksum, the query recompiles, the
+  // response is correct, and the serve path never errors.
+  EXPECT_EQ(FindField(healed, "status")->string_value(), "ok");
+  EXPECT_EQ(FindField(healed, "cache")->string_value(), "miss");
+  EXPECT_EQ(FindField(healed, "answers")->Dump(), good_answers);
+  EXPECT_EQ(
+      FindField(healed, "counters")->Find("service.plan_cache.disk_reject")
+          ->int_value(),
+      1);
+
+  // The recompile re-persisted a good plan: one more restart serves "disk".
+  Server again(options);
+  ASSERT_TRUE(again.Init().ok());
+  EXPECT_EQ(FindField(Handle(again, line), "cache")->string_value(), "disk");
 }
 
 }  // namespace

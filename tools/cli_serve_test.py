@@ -210,6 +210,43 @@ def main():
     check("old snapshot keeps serving after torn reload",
           ids[2][0]["status"] == "ok", proc.stdout)
 
+    # --- persistent plan cache across a restart ---------------------------
+    # First process: cold miss compiles, evals, and persists the plan to
+    # --plan-cache-dir. Second process (fresh in-memory cache, same dir):
+    # the same query is served from disk — cache=="disk", the disk_hit
+    # counter fires, and no compile work appears in the response delta.
+    plan_dir = os.path.join(tmp, "plans")
+    os.makedirs(plan_dir, exist_ok=True)
+    proc, records = serve(binary, [
+        '{"id":1,"op":"eval","query":"r* s"}',
+    ], "--db", db1, "--plan-cache-dir", plan_dir)
+    check("plan-dir run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("cold eval with a plan dir is a miss",
+          ids[1][0].get("cache") == "miss", proc.stdout)
+    check("cold eval persists a plan file",
+          any(name.endswith(".rpqiplan") for name in os.listdir(plan_dir))
+          and ids[1][0]["counters"].get("service.plan_cache.disk_write") == 1,
+          proc.stdout)
+    cold_answers = sorted(ids[1][0]["answers"])
+
+    proc, records = serve(binary, [
+        '{"id":1,"op":"eval","query":"r* s"}',
+        '{"id":2,"op":"eval","query":"r* s"}',
+    ], "--db", db1, "--plan-cache-dir", plan_dir)
+    check("restarted plan-dir run exits 0", proc.returncode == 0, proc.stderr)
+    ids = by_id(records)
+    check("restarted server serves the query from disk",
+          ids[1][0].get("cache") == "disk"
+          and ids[1][0]["counters"].get("service.plan_cache.disk_hit") == 1,
+          proc.stdout)
+    check("disk-served answers match the cold run",
+          sorted(ids[1][0]["answers"]) == cold_answers, proc.stdout)
+    check("disk hit skips compilation",
+          "eval.plan_compiles" not in ids[1][0]["counters"], proc.stdout)
+    check("second query after restart is an in-memory hit",
+          ids[2][0].get("cache") == "hit", proc.stdout)
+
     # --- shutdown stops the reader ---------------------------------------
     proc, records = serve(binary, [
         '{"id":1,"op":"eval","query":"r"}',

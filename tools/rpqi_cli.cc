@@ -86,6 +86,7 @@ int Usage() {
               src/analysis; prints one `ok` line per artifact, exit 2 with a
               diagnostic naming the offending id otherwise
   rpqi serve [--db FILE] [--queue-depth N] [--plan-cache-mb MB]
+             [--plan-cache-dir DIR]
              [--default-timeout-ms MS] [--max-timeout-ms MS]
              [--default-max-states N] [--max-states-cap N]
              [--breaker-failures K] [--breaker-cooldown-ms MS]
@@ -93,7 +94,10 @@ int Usage() {
               long-lived server: NDJSON requests on stdin, one response line
               per request on stdout (protocol reference in README); worker
               count comes from the global --threads flag; exits 0 after a
-              clean drain on EOF or {"op":"admin","action":"shutdown"}
+              clean drain on EOF or {"op":"admin","action":"shutdown"};
+              --plan-cache-dir persists compiled eval plans ("RPQIPLAN1")
+              to an existing DIR so a restarted server answers repeated
+              queries at warm-cache latency
 
 global flags (any subcommand):
   --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
@@ -657,6 +661,10 @@ StatusOr<int> CmdServe(const FlagMap& flags) {
   options.threads = GlobalThreadCount();
   if (flags.count("db")) {
     RPQI_ASSIGN_OR_RETURN(options.initial_db_path, SingleFlag(flags, "db"));
+  }
+  if (flags.count("plan-cache-dir")) {
+    RPQI_ASSIGN_OR_RETURN(options.plan_cache_dir,
+                          SingleFlag(flags, "plan-cache-dir"));
   }
   struct IntFlag {
     const char* name;
