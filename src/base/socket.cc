@@ -1,0 +1,162 @@
+#include "base/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rpqi {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::InvalidArgument(what + ": " + std::strerror(errno));
+}
+
+/// Resolves `host` to an IPv4 sockaddr. Only dotted quads and "localhost" are
+/// accepted — see the header's scope note.
+StatusOr<sockaddr_in> ResolveIpv4(const std::string& host, int port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string target = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host +
+                                   "' (use a dotted quad or 'localhost')");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Status SetTcpNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<UniqueFd> ListenTcp(const std::string& host, int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port " + std::to_string(port) +
+                                   " out of range [0, 65535]");
+  }
+  RPQI_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  RPQI_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+StatusOr<int> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port) {
+  RPQI_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  }
+  RPQI_RETURN_IF_ERROR(SetTcpNoDelay(fd.get()));
+  return fd;
+}
+
+StatusOr<int> PollSockets(std::vector<PollEvent>* events, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(events->size());
+  for (const PollEvent& event : *events) {
+    pollfd pfd;
+    pfd.fd = event.fd;
+    pfd.events = 0;
+    pfd.revents = 0;
+    if (event.want_read) pfd.events |= POLLIN;
+    if (event.want_write) pfd.events |= POLLOUT;
+    fds.push_back(pfd);
+  }
+  int ready;
+  do {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) return ErrnoStatus("poll");
+  for (size_t i = 0; i < fds.size(); ++i) {
+    PollEvent& event = (*events)[i];
+    event.readable = (fds[i].revents & POLLIN) != 0;
+    event.writable = (fds[i].revents & POLLOUT) != 0;
+    event.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return ready;
+}
+
+Status WakePipe::Open() {
+  int fds[2];
+  if (::pipe(fds) < 0) return ErrnoStatus("pipe");
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  RPQI_RETURN_IF_ERROR(SetNonBlocking(read_end_.get()));
+  RPQI_RETURN_IF_ERROR(SetNonBlocking(write_end_.get()));
+  return Status::Ok();
+}
+
+void WakePipe::Notify() const {
+  if (!write_end_.valid()) return;
+  char byte = 0;
+  // A full pipe (EAGAIN) already guarantees the reader will wake; any other
+  // failure has no caller-side remedy, so the result is deliberately dropped.
+  ssize_t rc;
+  do {
+    rc = ::write(write_end_.get(), &byte, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+void WakePipe::Drain() const {
+  if (!read_end_.valid()) return;
+  char buffer[64];
+  while (::read(read_end_.get(), buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+}  // namespace rpqi

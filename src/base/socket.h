@@ -1,0 +1,110 @@
+#ifndef RPQI_BASE_SOCKET_H_
+#define RPQI_BASE_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rpqi {
+
+/// Minimal POSIX socket RAII + readiness-poll wrappers for the TCP transport
+/// (src/net). Deliberately small: IPv4 only, no TLS, no getaddrinfo — the
+/// transport serves loopback and LAN traffic, and anything fancier belongs in
+/// a proxy in front of it. Everything returns Status instead of throwing, in
+/// line with the rest of the codebase.
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle coalescing; an NDJSON request/response protocol wants each
+/// flushed line on the wire immediately.
+Status SetTcpNoDelay(int fd);
+
+/// Creates a non-blocking IPv4 listener bound to `host:port` (SO_REUSEADDR
+/// set). `host` must be a dotted quad or "localhost"; port 0 asks the kernel
+/// for an ephemeral port — recover it with LocalPort.
+StatusOr<UniqueFd> ListenTcp(const std::string& host, int port, int backlog);
+
+/// The locally bound port of a socket (after bind).
+StatusOr<int> LocalPort(int fd);
+
+/// Blocking IPv4 connect for client-side code (loadgen, tests).
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port);
+
+/// One entry in a PollSockets call: the caller sets `fd` and the want_ flags,
+/// the poll fills in the readiness results.
+struct PollEvent {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  /// Results (valid after PollSockets returns > 0).
+  bool readable = false;
+  bool writable = false;
+  /// POLLERR/POLLHUP/POLLNVAL — the fd needs attention regardless of the
+  /// want_ flags.
+  bool error = false;
+};
+
+/// poll(2) over `events` with EINTR retry; returns the number of entries with
+/// any result flag set (0 on timeout). `timeout_ms` < 0 blocks indefinitely.
+StatusOr<int> PollSockets(std::vector<PollEvent>* events, int timeout_ms);
+
+/// Self-pipe wakeup: lets any thread (or a signal handler — write(2) is
+/// async-signal-safe) interrupt a PollSockets call blocked on read_fd().
+/// Both ends are non-blocking; Notify coalesces, Drain consumes everything.
+class WakePipe {
+ public:
+  WakePipe() = default;
+  Status Open();
+  /// Safe from any thread and from signal handlers; a full pipe is fine (the
+  /// reader is already guaranteed to wake).
+  void Notify() const;
+  /// Consumes every pending wakeup byte; call after poll reports read_fd()
+  /// readable.
+  void Drain() const;
+  int read_fd() const { return read_end_.get(); }
+
+ private:
+  UniqueFd read_end_;
+  UniqueFd write_end_;
+};
+
+}  // namespace rpqi
+
+#endif  // RPQI_BASE_SOCKET_H_

@@ -45,6 +45,7 @@
 //   shard_mu          service::PlanCache per-shard LRU state
 //   breaker_mu_       service::CircuitBreaker per-op state machine
 //   writer_mu_        service::Server NDJSON response writer
+//   conn_mu_          net::TcpTransport per-connection buffers/refcounts
 //   g_sink_mu         obs trace sink (file/stream + epoch)
 //   fault_mu          fault-injection site table
 //   registry_mu       obs metrics registry (innermost; everything counts)

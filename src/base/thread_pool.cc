@@ -23,6 +23,19 @@ const obs::Counter& SpawnFailures() {
   return counter;
 }
 
+/// Backlog of every WorkerPool in the process (they are not created
+/// concurrently in practice: one per Serve call / transport).
+const obs::Gauge& QueueDepthGauge() {
+  static const obs::Gauge gauge("worker_pool.queue_depth");
+  return gauge;
+}
+
+/// Time each task sat queued before a worker picked it up.
+const obs::Histogram& QueueWaitHistogram() {
+  static const obs::Histogram histogram("worker_pool.queue_wait_us");
+  return histogram;
+}
+
 }  // namespace
 
 int GlobalThreadCount() {
@@ -172,7 +185,8 @@ bool WorkerPool::TrySubmit(std::function<void()> task) {
       inline_run = true;  // degraded pool: every worker spawn failed
     } else {
       if (queue_.size() >= max_queued_) return false;
-      queue_.push_back(std::move(task));
+      queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
     }
   }
   if (inline_run) {
@@ -206,18 +220,23 @@ int64_t WorkerPool::QueuedNow() const {
 
 void WorkerPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask queued;
     {
       MutexLock lock(&queue_mu_);
       while (!draining_ && queue_.empty()) work_cv_.Wait(&queue_mu_);
       if (queue_.empty()) return;  // draining and nothing left to run
-      task = std::move(queue_.front());
+      queued = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
     }
+    QueueWaitHistogram().RecordUs(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - queued.enqueued_at)
+            .count());
     // Injected task-start stall: models a worker losing its timeslice (page
     // fault, noisy neighbor) between dequeue and execution.
     RPQI_FAULT_STALL("worker_pool.task_start");
-    task();
+    queued.task();
   }
 }
 

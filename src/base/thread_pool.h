@@ -2,6 +2,7 @@
 #define RPQI_BASE_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -110,6 +111,11 @@ class ThreadPool {
 /// failed, TrySubmit degrades to running accepted tasks inline on the
 /// submitting thread, so the serving loop stays live instead of wedging.
 ///
+/// Observability: the `worker_pool.queue_depth` gauge tracks the backlog on
+/// every enqueue/dequeue, and `worker_pool.queue_wait_us` records how long
+/// each task sat queued before a worker picked it up — under saturation these
+/// two show whether latency accumulates in the queue or in execution.
+///
 /// Every mutable field — including the worker thread handles, which Drain
 /// detaches under the lock before joining them outside it — is guarded by
 /// `queue_mu_`.
@@ -136,11 +142,18 @@ class WorkerPool {
   int64_t QueuedNow() const RPQI_EXCLUDES(queue_mu_);
 
  private:
+  /// A queued closure plus its enqueue timestamp, for the queue-wait
+  /// histogram.
+  struct QueuedTask {
+    std::function<void()> task;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void WorkerLoop() RPQI_EXCLUDES(queue_mu_);
 
   mutable Mutex queue_mu_;
   CondVar work_cv_;
-  std::deque<std::function<void()>> queue_ RPQI_GUARDED_BY(queue_mu_);
+  std::deque<QueuedTask> queue_ RPQI_GUARDED_BY(queue_mu_);
   /// Drain swaps this vector out under queue_mu_, then joins the detached
   /// handles lock-free; it used to clear() the member off-lock, racing
   /// num_threads()/TrySubmit readers (pinned by

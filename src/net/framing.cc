@@ -1,0 +1,53 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rpqi {
+namespace net {
+
+int LineFramer::Feed(const char* data, size_t size,
+                     std::vector<std::string>* lines) {
+  int oversized = 0;
+  size_t pos = 0;
+  while (pos < size) {
+    const char* newline = static_cast<const char*>(
+        std::memchr(data + pos, '\n', size - pos));
+    size_t chunk_end = newline == nullptr
+                           ? size
+                           : static_cast<size_t>(newline - data);
+    if (discarding_) {
+      // Swallow the rest of the oversized line; resume framing after '\n'.
+      if (newline != nullptr) discarding_ = false;
+      pos = chunk_end + 1;
+      continue;
+    }
+    size_t chunk = chunk_end - pos;
+    if (partial_.size() + chunk > max_line_bytes_) {
+      partial_.clear();
+      ++oversized;
+      if (newline == nullptr) {
+        discarding_ = true;
+        return oversized;
+      }
+      pos = chunk_end + 1;
+      continue;
+    }
+    partial_.append(data + pos, chunk);
+    if (newline == nullptr) return oversized;
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    lines->push_back(std::move(partial_));
+    partial_.clear();
+    pos = chunk_end + 1;
+  }
+  return oversized;
+}
+
+std::string LineFramer::TakePartial() {
+  std::string tail = std::move(partial_);
+  partial_.clear();
+  return tail;
+}
+
+}  // namespace net
+}  // namespace rpqi

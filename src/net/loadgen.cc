@@ -1,0 +1,393 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <cerrno>
+#include <sys/socket.h>
+
+#include "base/socket.h"
+#include "graphdb/io.h"
+#include "net/framing.h"
+#include "regex/printer.h"
+#include "service/json.h"
+#include "workload/scenario.h"
+
+namespace rpqi {
+namespace net {
+
+namespace {
+
+using service::Json;
+using service::JsonObject;
+
+/// One request body in the replayed mix (the id is stamped per send).
+struct RequestTemplate {
+  std::string op;
+  std::string query;
+  /// For rewrite: view name -> expression.
+  std::vector<std::pair<std::string, std::string>> views;
+};
+
+std::string RenderRequest(const RequestTemplate& tmpl, const std::string& id) {
+  JsonObject body;
+  body.emplace_back("id", Json::Str(id));
+  body.emplace_back("op", Json::Str(tmpl.op));
+  body.emplace_back("query", Json::Str(tmpl.query));
+  if (!tmpl.views.empty()) {
+    JsonObject views;
+    for (const auto& [name, expr] : tmpl.views) {
+      views.emplace_back(name, Json::Str(expr));
+    }
+    body.emplace_back("views", Json::Obj(std::move(views)));
+  }
+  return Json::Obj(std::move(body)).Dump();
+}
+
+/// The scenario's request mix, cycled by every connection. `db_text` receives
+/// the graph eval requests run against (empty for the rewrite-only "hard"
+/// mix).
+Status BuildMix(const LoadGenOptions& options,
+                std::vector<RequestTemplate>* mix, std::string* db_text) {
+  if (options.scenario == "modules") {
+    std::mt19937_64 rng(options.seed);
+    SoftwareModulesScenario scenario =
+        MakeSoftwareModulesScenario(rng, /*num_modules=*/8,
+                                    /*num_variables=*/12);
+    *db_text = SaveGraphText(scenario.db, scenario.alphabet);
+    std::vector<std::pair<std::string, std::string>> views;
+    for (size_t i = 0; i < scenario.view_names.size(); ++i) {
+      views.emplace_back(scenario.view_names[i],
+                         RegexToString(scenario.view_definitions[i]));
+    }
+    std::string visibility = RegexToString(scenario.visibility_query);
+    // 2:1:1 eval-heavy mix: the visibility query (plan-cache hit after the
+    // first), each view as a standalone eval, and the paper's Example 3
+    // rewriting.
+    mix->push_back({"eval", visibility, {}});
+    for (const auto& view : views) {
+      mix->push_back({"eval", view.second, {}});
+    }
+    mix->push_back({"eval", visibility, {}});
+    mix->push_back({"rewrite", visibility, views});
+    return Status::Ok();
+  }
+  if (options.scenario == "hard") {
+    HardRewritingInstance instance = MakeHardRewritingInstance(/*k=*/3);
+    std::vector<std::pair<std::string, std::string>> views;
+    for (size_t i = 0; i < instance.view_names.size(); ++i) {
+      views.emplace_back(instance.view_names[i],
+                         RegexToString(instance.view_definitions[i]));
+    }
+    // Rewrite-only: exercises the planner and the plan cache without needing
+    // any snapshot on the server.
+    mix->push_back({"rewrite", RegexToString(instance.query), views});
+    db_text->clear();
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown scenario '" + options.scenario +
+                                 "' (modules|hard)");
+}
+
+/// Per-connection tallies merged into the report at the end.
+struct ConnResult {
+  Status status = Status::Ok();
+  int64_t sent = 0;
+  int64_t received = 0;
+  int64_t ok = 0;
+  int64_t dropped = 0;
+  int64_t unanswered = 0;
+  std::map<std::string, int64_t> errors;
+  std::vector<int64_t> latencies_us;
+};
+
+int64_t NowUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void RunConnection(const LoadGenOptions& options,
+                   const std::vector<RequestTemplate>& mix, int conn_index,
+                   std::chrono::steady_clock::time_point start,
+                   ConnResult* result) {
+  StatusOr<UniqueFd> connected = ConnectTcp(options.host, options.port);
+  if (!connected.ok()) {
+    result->status = connected.status();
+    return;
+  }
+  UniqueFd fd = std::move(connected).value();
+  Status nonblocking = SetNonBlocking(fd.get());
+  if (!nonblocking.ok()) {
+    result->status = nonblocking;
+    return;
+  }
+
+  LineFramer framer(size_t{1} << 20);
+  // The out buffer keeps absolute offsets for the whole run (never
+  // compacted): a few MB at most, and it keeps per-request send boundaries
+  // trivially stable.
+  std::string out;
+  size_t out_pos = 0;
+  /// (id, end offset in `out`) per enqueued request, oldest first.
+  std::deque<std::pair<std::string, size_t>> boundaries;
+  std::unordered_map<std::string, int64_t> sent_at_us;
+
+  const double per_conn_qps =
+      options.qps / std::max(1, options.connections);
+  const int64_t interval_us =
+      per_conn_qps > 0 ? static_cast<int64_t>(1e6 / per_conn_qps) : 1000000;
+  const int64_t deadline_us = options.duration_ms * 1000;
+  const int64_t grace_end_us = deadline_us + 2 * 1000 * 1000;
+
+  int64_t seq = 0;
+  int64_t next_due_us = 0;
+  std::vector<PollEvent> events(1);
+
+  auto enqueue = [&](int64_t now_us) {
+    std::string id =
+        "c" + std::to_string(conn_index) + "-" + std::to_string(seq);
+    const RequestTemplate& tmpl = mix[static_cast<size_t>(seq) % mix.size()];
+    ++seq;
+    out += RenderRequest(tmpl, id);
+    out += '\n';
+    boundaries.emplace_back(id, out.size());
+    // Open loop stamps the *scheduled* time, not the actual write: a client
+    // that falls behind still charges the server-visible schedule, the
+    // standard coordinated-omission correction. Closed loop stamps now.
+    sent_at_us[id] = options.open_loop ? next_due_us : now_us;
+    ++result->sent;
+  };
+
+  while (true) {
+    int64_t now_us = NowUs(start);
+    bool sending_window = now_us < deadline_us;
+    if (sending_window) {
+      if (options.open_loop) {
+        // Absolute schedule: every slot that has come due is enqueued, even
+        // if several became due at once (catch-up bursts are the open-loop
+        // contract).
+        while (next_due_us <= now_us && NowUs(start) < deadline_us) {
+          enqueue(now_us);
+          next_due_us += interval_us;
+        }
+      } else {
+        if (sent_at_us.empty() && now_us >= next_due_us) {
+          enqueue(now_us);
+          // Pace from now, not from the nominal slot: closed loop never
+          // bursts to catch up.
+          next_due_us = now_us + interval_us;
+        }
+      }
+    } else {
+      if (sent_at_us.empty() && out_pos >= out.size()) break;
+      if (now_us >= grace_end_us) break;
+    }
+
+    events[0] = PollEvent{};
+    events[0].fd = fd.get();
+    events[0].want_read = true;
+    events[0].want_write = out_pos < out.size();
+    int64_t wait_us = sending_window
+                          ? std::max<int64_t>(0, next_due_us - now_us)
+                          : 50 * 1000;
+    StatusOr<int> ready =
+        PollSockets(&events, static_cast<int>(
+                                 std::min<int64_t>(50, wait_us / 1000) + 1));
+    if (!ready.ok()) {
+      result->status = ready.status();
+      break;
+    }
+    if (events[0].error) break;
+    if (events[0].writable && out_pos < out.size()) {
+      ssize_t wrote = ::send(fd.get(), out.data() + out_pos,
+                             out.size() - out_pos, MSG_NOSIGNAL);
+      if (wrote > 0) {
+        out_pos += static_cast<size_t>(wrote);
+      } else if (wrote < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        break;
+      }
+    }
+    if (events[0].readable) {
+      char buf[64 * 1024];
+      ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      if (n == 0) break;  // server closed (drain after shutdown)
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      std::vector<std::string> lines;
+      framer.Feed(buf, static_cast<size_t>(n), &lines);
+      int64_t recv_us = NowUs(start);
+      for (const std::string& line : lines) {
+        StatusOr<Json> parsed = service::ParseJson(line);
+        if (!parsed.ok() || !parsed->is_object()) continue;
+        const Json* id = parsed->Find("id");
+        if (id != nullptr && id->is_string()) {
+          auto it = sent_at_us.find(id->string_value());
+          if (it != sent_at_us.end()) {
+            result->latencies_us.push_back(recv_us - it->second);
+            sent_at_us.erase(it);
+          }
+        }
+        ++result->received;
+        const Json* status = parsed->Find("status");
+        if (status != nullptr && status->is_string() &&
+            status->string_value() == "ok") {
+          ++result->ok;
+        } else {
+          const Json* error = parsed->Find("error");
+          const Json* code =
+              error != nullptr && error->is_object() ? error->Find("code")
+                                                     : nullptr;
+          std::string code_name = code != nullptr && code->is_string()
+                                      ? code->string_value()
+                                      : "unknown";
+          ++result->errors[code_name];
+        }
+      }
+    }
+  }
+
+  // Requests whose bytes never fully left the client are drops, not
+  // unanswered server requests.
+  for (const auto& [id, end] : boundaries) {
+    if (end > out_pos && sent_at_us.erase(id) > 0) {
+      ++result->dropped;
+      --result->sent;
+    }
+  }
+  result->unanswered = static_cast<int64_t>(sent_at_us.size());
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(std::llround(rank))];
+}
+
+}  // namespace
+
+StatusOr<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port <= 0) {
+    return Status::InvalidArgument("loadgen needs a --port");
+  }
+  if (options.connections < 1 || options.connections > 1024) {
+    return Status::InvalidArgument("--connections must be in [1, 1024]");
+  }
+  if (!(options.qps > 0) || options.qps > 1e6) {
+    return Status::InvalidArgument("--qps must be in (0, 1e6]");
+  }
+  std::vector<RequestTemplate> mix;
+  std::string db_text;
+  RPQI_RETURN_IF_ERROR(BuildMix(options, &mix, &db_text));
+  if (!options.emit_db_path.empty()) {
+    RPQI_RETURN_IF_ERROR(
+        EmitScenarioDb(options.scenario, options.seed, options.emit_db_path));
+  }
+
+  std::vector<ConnResult> results(options.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < options.connections; ++i) {
+    threads.emplace_back([&options, &mix, &results, start, i] {
+      RunConnection(options, mix, i, start, &results[i]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadGenReport report;
+  report.mode = options.open_loop ? "open" : "closed";
+  report.scenario = options.scenario;
+  report.target_qps = options.qps;
+  report.duration_ms = options.duration_ms;
+  report.connections = options.connections;
+  std::vector<int64_t> latencies;
+  for (ConnResult& result : results) {
+    if (!result.status.ok()) return result.status;
+    report.sent += result.sent;
+    report.received += result.received;
+    report.ok += result.ok;
+    report.dropped += result.dropped;
+    report.unanswered += result.unanswered;
+    for (const auto& [code, count] : result.errors) {
+      report.errors[code] += count;
+    }
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = Percentile(latencies, 50);
+  report.p95_us = Percentile(latencies, 95);
+  report.p99_us = Percentile(latencies, 99);
+  report.max_us = latencies.empty() ? 0 : latencies.back();
+  report.achieved_qps =
+      options.duration_ms > 0
+          ? static_cast<double>(report.received) /
+                (static_cast<double>(options.duration_ms) / 1000.0)
+          : 0.0;
+  return report;
+}
+
+Status EmitScenarioDb(const std::string& scenario, uint64_t seed,
+                      const std::string& path) {
+  LoadGenOptions mix_options;
+  mix_options.scenario = scenario;
+  mix_options.seed = seed;
+  std::vector<RequestTemplate> mix;
+  std::string db_text;
+  RPQI_RETURN_IF_ERROR(BuildMix(mix_options, &mix, &db_text));
+  std::ofstream db_file(path, std::ios::binary | std::ios::trunc);
+  db_file << db_text;
+  db_file.close();
+  if (!db_file) {
+    return Status::InvalidArgument("cannot write graph to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+std::string LoadGenReportJson(const LoadGenReport& report) {
+  JsonObject errors;
+  for (const auto& [code, count] : report.errors) {
+    errors.emplace_back(code, Json::Int(count));
+  }
+  JsonObject latency;
+  latency.emplace_back("p50_us", Json::Int(report.p50_us));
+  latency.emplace_back("p95_us", Json::Int(report.p95_us));
+  latency.emplace_back("p99_us", Json::Int(report.p99_us));
+  latency.emplace_back("max_us", Json::Int(report.max_us));
+  JsonObject body;
+  body.emplace_back("mode", Json::Str(report.mode));
+  body.emplace_back("scenario", Json::Str(report.scenario));
+  body.emplace_back("target_qps", Json::Int(static_cast<int64_t>(
+                                      std::llround(report.target_qps))));
+  body.emplace_back(
+      "achieved_qps",
+      Json::Int(static_cast<int64_t>(std::llround(report.achieved_qps))));
+  body.emplace_back("duration_ms", Json::Int(report.duration_ms));
+  body.emplace_back("connections", Json::Int(report.connections));
+  body.emplace_back("sent", Json::Int(report.sent));
+  body.emplace_back("received", Json::Int(report.received));
+  body.emplace_back("ok", Json::Int(report.ok));
+  body.emplace_back("dropped", Json::Int(report.dropped));
+  body.emplace_back("unanswered", Json::Int(report.unanswered));
+  body.emplace_back("errors", Json::Obj(std::move(errors)));
+  body.emplace_back("latency", Json::Obj(std::move(latency)));
+  return Json::Obj(std::move(body)).Dump();
+}
+
+}  // namespace net
+}  // namespace rpqi

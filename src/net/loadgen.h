@@ -1,0 +1,83 @@
+#ifndef RPQI_NET_LOADGEN_H_
+#define RPQI_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/status.h"
+
+namespace rpqi {
+namespace net {
+
+/// Configuration for one `rpqi loadgen` run: replay a src/workload scenario's
+/// request mix against a TCP server at a target rate and measure what comes
+/// back.
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Aggregate target across all connections.
+  double qps = 200.0;
+  /// How long new requests are issued; outstanding ones get a grace period
+  /// (2s) to finish after the deadline.
+  int64_t duration_ms = 5000;
+  int connections = 1;
+  /// Closed loop (default): each connection keeps at most one request in
+  /// flight and paces sends to its share of the rate — latency feedback slows
+  /// the client down, the classic coordinated-omission trap. Open loop: sends
+  /// fire on an absolute schedule regardless of outstanding responses, so a
+  /// slow server accumulates queueing delay in the measured latencies instead
+  /// of hiding it.
+  bool open_loop = false;
+  /// Request mix: "modules" (the paper's Example 1 software-modules scenario:
+  /// eval + rewrite over its views) or "hard" (the exponential-rewriting
+  /// family: rewrite-only, no snapshot needed).
+  std::string scenario = "modules";
+  uint64_t seed = 7;
+  /// When set, the scenario's graph is written here (text format) before the
+  /// run — start the server on this file so eval requests resolve.
+  std::string emit_db_path;
+};
+
+/// Results of a run. Latency is measured per request, send to response line.
+struct LoadGenReport {
+  std::string mode;  // "open" | "closed"
+  std::string scenario;
+  double target_qps = 0;
+  double achieved_qps = 0;
+  int64_t duration_ms = 0;  // actual wall time of the sending window
+  int connections = 0;
+  int64_t sent = 0;
+  int64_t received = 0;
+  int64_t ok = 0;
+  /// Error responses by structured code (invalid_request, overloaded, ...).
+  std::map<std::string, int64_t> errors;
+  /// Open loop: scheduled sends that never went out (client fell behind or
+  /// the deadline hit first). Always 0 in closed loop.
+  int64_t dropped = 0;
+  /// Requests sent but unanswered when the grace period expired.
+  int64_t unanswered = 0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+};
+
+/// Runs the load; connects `connections` sockets, each driven by its own
+/// thread. Returns an error only for setup failures (bad scenario, connect
+/// refused); server-side errors are counted in the report.
+StatusOr<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+/// One-line JSON rendering of the report (the CI saturation-smoke artifact).
+std::string LoadGenReportJson(const LoadGenReport& report);
+
+/// Writes the scenario's graph to `path` without generating any load — CI
+/// uses this to create the server's db file before starting the server the
+/// loadgen will then target.
+Status EmitScenarioDb(const std::string& scenario, uint64_t seed,
+                      const std::string& path);
+
+}  // namespace net
+}  // namespace rpqi
+
+#endif  // RPQI_NET_LOADGEN_H_

@@ -1,0 +1,368 @@
+#include "net/tcp_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "fault/fault.h"
+#include "net/framing.h"
+#include "obs/metrics.h"
+#include "service/json.h"
+
+namespace rpqi {
+namespace net {
+
+namespace {
+
+const obs::Counter& AcceptedCounter() {
+  static const obs::Counter counter("net.accepted");
+  return counter;
+}
+
+const obs::Counter& ShedCounter() {
+  static const obs::Counter counter("net.conns.shed");
+  return counter;
+}
+
+const obs::Counter& OversizedCounter() {
+  static const obs::Counter counter("net.oversized_lines");
+  return counter;
+}
+
+const obs::Counter& BytesReadCounter() {
+  static const obs::Counter counter("net.bytes_read");
+  return counter;
+}
+
+const obs::Counter& BytesWrittenCounter() {
+  static const obs::Counter counter("net.bytes_written");
+  return counter;
+}
+
+/// Batches the WorkerPool refused (queue full); their requests were all
+/// answered `overloaded` inline on the loop thread.
+const obs::Counter& BatchesRejectedCounter() {
+  static const obs::Counter counter("net.batches_rejected");
+  return counter;
+}
+
+const obs::Gauge& OpenConnectionsGauge() {
+  static const obs::Gauge gauge("net.open_connections");
+  return gauge;
+}
+
+bool IsBlankLine(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+bool WouldBlock(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
+}
+
+}  // namespace
+
+/// One accepted connection. The loop thread owns the socket and the framing
+/// state; `conn_mu_` guards only what workers share with the loop — the write
+/// buffer and the count of batches submitted but not yet answered. Workers
+/// never see the fd, so the loop can close it whenever the shared state says
+/// the connection is finished.
+struct TcpTransport::Conn {
+  Conn(UniqueFd socket, size_t max_line_bytes)
+      : fd(std::move(socket)), framer(max_line_bytes) {}
+
+  UniqueFd fd;           // loop thread only
+  LineFramer framer;     // loop thread only
+  bool read_closed = false;  // loop thread only: EOF seen or drain started
+  bool dead = false;         // loop thread only: socket error, drop now
+
+  Mutex conn_mu_;
+  /// Response bytes not yet on the wire; [out_pos, size) is unsent.
+  std::string out_buf RPQI_GUARDED_BY(conn_mu_);
+  size_t out_pos RPQI_GUARDED_BY(conn_mu_) = 0;
+  /// Batches handed to the pool whose responses have not been appended yet;
+  /// the connection cannot close while this is nonzero.
+  int pending_batches RPQI_GUARDED_BY(conn_mu_) = 0;
+
+  void AppendLines(const std::vector<std::string>& lines, bool finish_batch)
+      RPQI_EXCLUDES(conn_mu_) {
+    MutexLock lock(&conn_mu_);
+    for (const std::string& line : lines) {
+      out_buf += line;
+      out_buf += '\n';
+    }
+    if (finish_batch) --pending_batches;
+  }
+
+  bool HasUnsentBytes() RPQI_EXCLUDES(conn_mu_) {
+    MutexLock lock(&conn_mu_);
+    return out_pos < out_buf.size();
+  }
+
+  /// True when nothing remains: no batches in flight, nothing buffered.
+  bool Finished() RPQI_EXCLUDES(conn_mu_) {
+    MutexLock lock(&conn_mu_);
+    return pending_batches == 0 && out_pos >= out_buf.size();
+  }
+};
+
+TcpTransport::TcpTransport(service::Server* server,
+                           const TcpTransportOptions& options)
+    : server_(server), options_(options) {}
+
+TcpTransport::~TcpTransport() = default;
+
+Status TcpTransport::Listen() {
+  RPQI_ASSIGN_OR_RETURN(
+      listener_,
+      ListenTcp(options_.bind_address, options_.port, options_.backlog));
+  RPQI_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  return Status::Ok();
+}
+
+void TcpTransport::RequestShutdown() {
+  // order: loop-exit hint; the loop re-checks state under its own poll cycle
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  wake_.Notify();
+}
+
+void TcpTransport::BeginDrain() {
+  draining_ = true;
+  // Refuse new connections first: the drain promise is "everything already
+  // accepted finishes", not "we keep taking work while finishing".
+  listener_.reset();
+  for (auto& [fd, conn] : conns_) conn->read_closed = true;
+}
+
+void TcpTransport::AcceptReady() {
+  while (true) {
+    int raw = ::accept(listener_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (WouldBlock(errno)) return;
+      // Transient accept failures (ECONNABORTED, EMFILE burst) just end this
+      // round; the listener stays polled.
+      return;
+    }
+    UniqueFd accepted(raw);
+    // Injected accept failure: the socket is dropped before any handshake,
+    // so the peer sees a connect followed by an immediate close.
+    if (RPQI_FAULT_FIRED("net.accept")) continue;
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      ShedCounter().Increment();
+      // Best-effort structured rejection: one overloaded line, then close.
+      // The socket is fresh and its send buffer empty, so a single short
+      // write is overwhelmingly likely to carry the whole line.
+      std::string line = service::ErrorResponseLine(
+          service::Json::Null(), "overloaded",
+          "connection limit " + std::to_string(options_.max_connections) +
+              " reached");
+      line += '\n';
+      (void)::send(accepted.get(), line.data(), line.size(), MSG_NOSIGNAL);
+      continue;
+    }
+    if (!SetNonBlocking(accepted.get()).ok() ||
+        !SetTcpNoDelay(accepted.get()).ok()) {
+      continue;
+    }
+    AcceptedCounter().Increment();
+    int fd = accepted.get();
+    conns_.emplace(fd, std::make_shared<Conn>(std::move(accepted),
+                                              options_.max_line_bytes));
+    OpenConnectionsGauge().Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void TcpTransport::ReadReady(const std::shared_ptr<Conn>& conn) {
+  // Injected read delay: this round is skipped; level-triggered poll reports
+  // the data again next round, so delivery is delayed, never lost.
+  if (RPQI_FAULT_FIRED("net.read")) return;
+  char buf[64 * 1024];
+  ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (!WouldBlock(errno)) conn->dead = true;
+    return;
+  }
+  std::vector<std::string> lines;
+  if (n == 0) {
+    conn->read_closed = true;
+    // EOF mid-line: match the stdio server, where getline delivers an
+    // unterminated final line as a request.
+    if (conn->framer.has_partial()) lines.push_back(conn->framer.TakePartial());
+  } else {
+    BytesReadCounter().Add(n);
+    int oversized = conn->framer.Feed(buf, static_cast<size_t>(n), &lines);
+    if (oversized > 0) {
+      OversizedCounter().Add(oversized);
+      std::vector<std::string> errors;
+      errors.reserve(oversized);
+      for (int i = 0; i < oversized; ++i) {
+        errors.push_back(service::ErrorResponseLine(
+            service::Json::Null(), "invalid_request",
+            "request line exceeds " + std::to_string(options_.max_line_bytes) +
+                " bytes"));
+      }
+      conn->AppendLines(errors, /*finish_batch=*/false);
+    }
+  }
+  lines.erase(std::remove_if(lines.begin(), lines.end(), IsBlankLine),
+              lines.end());
+  SubmitLines(conn, std::move(lines));
+}
+
+void TcpTransport::SubmitLines(const std::shared_ptr<Conn>& conn,
+                               std::vector<std::string> lines) {
+  for (size_t start = 0; start < lines.size();
+       start += static_cast<size_t>(options_.max_batch)) {
+    size_t end = std::min(lines.size(),
+                          start + static_cast<size_t>(options_.max_batch));
+    std::vector<std::string> chunk(
+        std::make_move_iterator(lines.begin() + start),
+        std::make_move_iterator(lines.begin() + end));
+    std::shared_ptr<service::Server::ParsedBatch> batch =
+        server_->ParseBatch(chunk);
+    if (service::Server::RequestsShutdown(*batch)) {
+      // The batch (and its shutdown response) still executes; the drain
+      // itself starts at the top of the next loop iteration.
+      // order: loop-exit hint, same contract as RequestShutdown
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+    }
+    {
+      MutexLock lock(&conn->conn_mu_);
+      ++conn->pending_batches;
+    }
+    bool submitted = pool_->TrySubmit([this, conn, batch] {
+      conn->AppendLines(server_->ExecuteBatch(batch.get()),
+                        /*finish_batch=*/true);
+      wake_.Notify();
+    });
+    if (!submitted) {
+      BatchesRejectedCounter().Increment();
+      conn->AppendLines(
+          server_->RejectBatch(
+              batch.get(), "overloaded",
+              "request queue full (depth " +
+                  std::to_string(
+                      server_->options().admission.queue_depth) +
+                  ")"),
+          /*finish_batch=*/true);
+    }
+  }
+}
+
+void TcpTransport::WriteReady(const std::shared_ptr<Conn>& conn) {
+  MutexLock lock(&conn->conn_mu_);
+  while (conn->out_pos < conn->out_buf.size()) {
+    size_t len = conn->out_buf.size() - conn->out_pos;
+    // Injected short write: one byte goes out, exercising the resume path a
+    // slow client's full send buffer would hit.
+    if (RPQI_FAULT_FIRED("net.write")) len = 1;
+    ssize_t wrote = ::send(conn->fd.get(), conn->out_buf.data() + conn->out_pos,
+                           len, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (!WouldBlock(errno)) conn->dead = true;
+      return;
+    }
+    BytesWrittenCounter().Add(wrote);
+    conn->out_pos += static_cast<size_t>(wrote);
+  }
+  conn->out_buf.clear();
+  conn->out_pos = 0;
+}
+
+Status TcpTransport::Serve() {
+  if (!listener_.valid()) RPQI_RETURN_IF_ERROR(Listen());
+  RPQI_RETURN_IF_ERROR(wake_.Open());
+  // order: fresh serve cycle; flag-only reset before any reader exists
+  shutdown_requested_.store(false, std::memory_order_relaxed);
+  draining_ = false;
+  {
+    WorkerPool pool(server_->options().threads,
+                    server_->options().admission.queue_depth);
+    pool_ = &pool;
+    std::vector<PollEvent> events;
+    std::vector<std::shared_ptr<Conn>> polled;
+    while (true) {
+      // order: flag-only hint set by workers / other threads; everything the
+      // drain acts on is re-read from the connection table below
+      if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_) {
+        BeginDrain();
+      }
+      // Sweep connections that are finished (or dead). A finished connection
+      // whose peer already hit EOF — or whose server is draining — has
+      // answered and flushed everything it ever admitted.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn& conn = *it->second;
+        if (conn.dead || (conn.read_closed && conn.Finished())) {
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      OpenConnectionsGauge().Set(static_cast<int64_t>(conns_.size()));
+      if (draining_ && conns_.empty()) break;
+
+      events.clear();
+      polled.clear();
+      PollEvent wake_event;
+      wake_event.fd = wake_.read_fd();
+      wake_event.want_read = true;
+      events.push_back(wake_event);
+      polled.push_back(nullptr);
+      if (listener_.valid()) {
+        PollEvent accept_event;
+        accept_event.fd = listener_.get();
+        accept_event.want_read = true;
+        events.push_back(accept_event);
+        polled.push_back(nullptr);
+      }
+      for (auto& [fd, conn] : conns_) {
+        PollEvent event;
+        event.fd = fd;
+        event.want_read = !conn->read_closed;
+        event.want_write = conn->HasUnsentBytes();
+        if (!event.want_read && !event.want_write) continue;
+        events.push_back(event);
+        polled.push_back(conn);
+      }
+      // The wake pipe interrupts the poll whenever a worker finishes a
+      // batch; the finite timeout is a belt-and-suspenders liveness floor.
+      StatusOr<int> ready = PollSockets(&events, 500);
+      if (!ready.ok()) {
+        pool.Drain();
+        pool_ = nullptr;
+        return ready.status();
+      }
+      for (size_t i = 0; i < events.size(); ++i) {
+        const PollEvent& event = events[i];
+        if (polled[i] == nullptr) {
+          if (event.fd == wake_.read_fd()) {
+            if (event.readable) wake_.Drain();
+          } else if (event.readable && listener_.valid()) {
+            AcceptReady();
+          }
+          continue;
+        }
+        if (event.error) {
+          polled[i]->dead = true;
+          continue;
+        }
+        if (event.writable) WriteReady(polled[i]);
+        if (event.readable && !polled[i]->dead) ReadReady(polled[i]);
+      }
+    }
+    pool.Drain();
+    pool_ = nullptr;
+  }
+  conns_.clear();
+  listener_.reset();
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace rpqi

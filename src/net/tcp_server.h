@@ -1,0 +1,133 @@
+#ifndef RPQI_NET_TCP_SERVER_H_
+#define RPQI_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/socket.h"
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "service/server.h"
+
+namespace rpqi {
+namespace net {
+
+/// Configuration for one TcpTransport. The worker-thread count and queue
+/// depth come from the Server's own options — the transport is a frontend,
+/// not a second scheduler.
+struct TcpTransportOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read it back with port().
+  int port = 0;
+  /// Accepted connections held open at once. One more is shed at accept time:
+  /// it receives a single `overloaded` error line and is closed, so clients
+  /// see a structured rejection instead of a silent RST or an unbounded
+  /// backlog.
+  int max_connections = 64;
+  int backlog = 128;
+  /// Longest request line accepted; beyond it the line is discarded and
+  /// answered with `invalid_request` (the connection survives). Matches the
+  /// stdio server's 8 MiB guard.
+  size_t max_line_bytes = size_t{8} << 20;
+  /// Most lines admitted as one batch. Adjacent lines arriving in one read
+  /// share a snapshot pin and plan-cache lookups (service.batch.* counters);
+  /// the cap bounds how long one batch monopolizes a worker.
+  int max_batch = 64;
+};
+
+/// TCP frontend for service::Server — `rpqi serve --transport tcp`. Speaks
+/// exactly the stdio NDJSON protocol: one JSON request per line in, one JSON
+/// response line out, responses within a connection may be reordered across
+/// batches but echo ids.
+///
+/// Architecture: a single poll(2) readiness loop owns the listener, the
+/// connection table, and every socket read/write; Server work runs on the
+/// Server's bounded WorkerPool. Each read round's complete lines form one
+/// ParsedBatch (admission happens on the loop thread, at arrival), the batch
+/// is submitted to the pool, and the worker appends its response lines to the
+/// connection's write buffer under that connection's `conn_mu_` and rings the
+/// transport's wake pipe so the loop re-polls for writability. Only the loop
+/// thread ever touches file descriptors; workers touch nothing but the
+/// buffer, so a peer that disconnects mid-batch costs an orphaned buffer
+/// append and nothing else.
+///
+/// Overload shows up in three distinct, structured ways:
+///   - accept-time shedding (`overloaded` line + close) past max_connections;
+///   - WorkerPool queue full: the whole batch is rejected with `overloaded`
+///     responses written inline (the Serve loop equivalent);
+///   - namespace quotas: per-request `overloaded` inside ParseBatch.
+///
+/// Shutdown: an `admin shutdown` on ANY connection (or RequestShutdown())
+/// closes the listener and stops reading on every connection, but every batch
+/// already admitted — on every connection — still executes, and every write
+/// buffer drains before its socket closes. A client that asks the server to
+/// stop never truncates another client's in-flight responses.
+///
+/// Fault sites: `net.accept` (accepted socket dropped immediately —
+/// connect-reset seen by the peer), `net.read` (a read round skipped —
+/// delivery delay), `net.write` (write capped to one byte — pathological
+/// short write exercising the partial-write resume path).
+class TcpTransport {
+ public:
+  TcpTransport(service::Server* server, const TcpTransportOptions& options);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds and listens. After Ok, port() reports the bound port (useful with
+  /// port 0).
+  Status Listen();
+
+  int port() const { return port_; }
+
+  /// Blocking serve loop; returns after a clean drain (shutdown requested and
+  /// every admitted batch answered + flushed).
+  Status Serve();
+
+  /// Asks Serve() to drain and return. Safe from any thread and from signal
+  /// handlers (the wake pipe's write(2) is async-signal-safe).
+  void RequestShutdown();
+
+ private:
+  struct Conn;
+
+  /// Accepts until EAGAIN, shedding past max_connections.
+  void AcceptReady();
+  /// One read round on `conn`: recv, frame, batch, submit.
+  void ReadReady(const std::shared_ptr<Conn>& conn);
+  /// Flushes as much of the connection's write buffer as the socket takes.
+  void WriteReady(const std::shared_ptr<Conn>& conn);
+  /// Groups `lines` into batches of <= max_batch and hands them to the pool
+  /// (or rejects them inline when the pool is full).
+  void SubmitLines(const std::shared_ptr<Conn>& conn,
+                   std::vector<std::string> lines);
+  /// Enters drain mode: close the listener, stop reading everywhere.
+  void BeginDrain();
+
+  service::Server* const server_;
+  const TcpTransportOptions options_;
+  UniqueFd listener_;
+  int port_ = 0;
+  WakePipe wake_;
+  /// Set by RequestShutdown (any thread) or an admin shutdown batch; the loop
+  /// polls it each round.
+  std::atomic<bool> shutdown_requested_{false};
+  /// Loop-thread state: the connection table and drain flag are only touched
+  /// from Serve()'s thread.
+  std::map<int, std::shared_ptr<Conn>> conns_;
+  bool draining_ = false;
+  /// The pool batches execute on; non-null only while Serve() runs (it is a
+  /// Serve-local owned via this pointer so SubmitLines can reach it).
+  WorkerPool* pool_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace rpqi
+
+#endif  // RPQI_NET_TCP_SERVER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -190,15 +191,128 @@ std::string FingerprintHex(uint64_t fingerprint) {
   return buffer;
 }
 
+/// Parses a `name=expression` views file (one view per line; '#' comments and
+/// blank lines ignored) into a canonically ordered view set, mirroring the
+/// validation ParseNamedViews applies to request-supplied views.
+Status LoadViewsFile(const std::string& path, std::vector<std::string>* names,
+                     std::vector<RegexPtr>* exprs) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open views file '" + path + "'");
+  }
+  std::vector<std::pair<std::string, std::string>> raw;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    size_t eq = line.find('=', start);
+    if (eq == std::string::npos || eq == start) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": expected NAME=EXPRESSION");
+    }
+    std::string name = line.substr(start, eq - start);
+    name.erase(name.find_last_not_of(" \t") + 1);
+    raw.emplace_back(std::move(name), line.substr(eq + 1));
+  }
+  if (raw.empty()) {
+    return Status::InvalidArgument("views file '" + path +
+                                   "' defines no views");
+  }
+  std::sort(raw.begin(), raw.end());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && raw[i].first == raw[i - 1].first) {
+      return Status::InvalidArgument("views file '" + path +
+                                     "': duplicate view name '" +
+                                     raw[i].first + "'");
+    }
+    RPQI_ASSIGN_OR_RETURN(RegexPtr expr, ParseExpr(raw[i].second));
+    names->push_back(raw[i].first);
+    exprs->push_back(std::move(expr));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+std::string ErrorResponseLine(const Json& id, const std::string& code,
+                              const std::string& message) {
+  return ErrorResponse(id, code, message);
+}
+
+/// One tenant namespace: its own snapshot store, the pre-parsed view set, and
+/// a counting admission quota. Immutable after Init() except `store` (admin
+/// reload swaps snapshots) and `inflight`; both are internally synchronized.
+struct Server::Namespace {
+  std::string name;
+  NamespaceOptions options;
+  SnapshotStore store;
+  /// Views from options.views_path, sorted by name (parsed once at Init).
+  std::vector<std::string> view_names;
+  std::vector<RegexPtr> view_exprs;
+  /// Requests admitted (queued or executing) right now.
+  std::atomic<int64_t> inflight{0};
+};
 
 /// One admitted request: the parsed envelope plus its execution grant.
 struct Server::Request {
+  /// Holds one unit of a namespace's max_inflight quota from admission until
+  /// the request object dies (its response has been rendered).
+  struct NsTicket {
+    Namespace* held = nullptr;
+    NsTicket() = default;
+    NsTicket(NsTicket&& other) noexcept : held(other.held) {
+      other.held = nullptr;
+    }
+    NsTicket& operator=(NsTicket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        held = other.held;
+        other.held = nullptr;
+      }
+      return *this;
+    }
+    NsTicket(const NsTicket&) = delete;
+    NsTicket& operator=(const NsTicket&) = delete;
+    ~NsTicket() { Release(); }
+    void Release() {
+      if (held != nullptr) {
+        // order: counting ticket only; no data is published through it
+        held->inflight.fetch_sub(1, std::memory_order_relaxed);
+        held = nullptr;
+      }
+    }
+  };
+
   Json id;
   std::string op;
   Json body;
   Admission admission;
   bool is_shutdown = false;
+  /// Resolved tenant (nullptr = the server's default snapshot).
+  Namespace* ns = nullptr;
+  NsTicket ticket;
+};
+
+/// Amortization state shared by the requests of one batch: each snapshot
+/// store is pinned at most once and each plan-cache key resolves at most
+/// once, however many requests in the batch touch them.
+struct Server::BatchContext {
+  std::map<const SnapshotStore*, std::shared_ptr<const GraphSnapshot>>
+      snapshots;
+  std::map<std::string, std::shared_ptr<const CachedPlan>> plans;
+};
+
+struct Server::ParsedBatch {
+  struct Entry {
+    Request request;
+    /// Ready-made response when parsing or admission failed (`ready` false).
+    std::string error_response;
+    bool ready = false;
+  };
+  std::vector<Entry> entries;
+  bool wants_shutdown = false;
 };
 
 namespace {
@@ -219,20 +333,60 @@ Server::Server(const ServerOptions& options)
       plan_disk_(options.plan_cache_dir),
       breaker_(BreakerOptions(options)) {}
 
+Server::~Server() = default;
+
 Status Server::Init() {
-  if (options_.initial_db_path.empty()) return Status::Ok();
-  return snapshot_store_.Reload(options_.initial_db_path,
-                                options_.reload_retry)
-      .status();
+  if (!options_.initial_db_path.empty()) {
+    RPQI_RETURN_IF_ERROR(
+        snapshot_store_.Reload(options_.initial_db_path, options_.reload_retry)
+            .status());
+  }
+  for (const NamespaceOptions& ns_options : options_.namespaces) {
+    if (ns_options.name.empty()) {
+      return Status::InvalidArgument("namespace name must be non-empty");
+    }
+    if (namespaces_.count(ns_options.name) != 0) {
+      return Status::InvalidArgument("duplicate namespace '" +
+                                     ns_options.name + "'");
+    }
+    auto ns = std::make_unique<Namespace>();
+    ns->name = ns_options.name;
+    ns->options = ns_options;
+    if (ns_options.db_path.empty()) {
+      return Status::InvalidArgument("namespace '" + ns_options.name +
+                                     "' needs a graph path");
+    }
+    Status loaded =
+        ns->store.Reload(ns_options.db_path, options_.reload_retry).status();
+    if (!loaded.ok()) {
+      return Status::InvalidArgument("namespace '" + ns_options.name +
+                                     "': " + loaded.message());
+    }
+    if (!ns_options.views_path.empty()) {
+      Status views = LoadViewsFile(ns_options.views_path, &ns->view_names,
+                                   &ns->view_exprs);
+      if (!views.ok()) {
+        return Status::InvalidArgument("namespace '" + ns_options.name +
+                                       "': " + views.message());
+      }
+    }
+    namespaces_.emplace(ns->name, std::move(ns));
+  }
+  return Status::Ok();
 }
 
-bool Server::ParseRequest(const std::string& line, Request* request,
-                          std::string* error_response) {
+SnapshotStore& Server::StoreFor(const Request& request) {
+  return request.ns != nullptr ? request.ns->store : snapshot_store_;
+}
+
+Server::ParseOutcome Server::ParseRequest(const std::string& line,
+                                          Request* request,
+                                          std::string* error_response) {
   if (line.size() > kMaxLineBytes) {
     *error_response = ErrorResponse(
         Json::Null(), "invalid_request",
         "request line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
-    return false;
+    return ParseOutcome::kInvalid;
   }
   std::string_view payload = line;
   // Models a request cut mid-line by the transport: the parser must fail it
@@ -244,12 +398,12 @@ bool Server::ParseRequest(const std::string& line, Request* request,
   if (!parsed.ok()) {
     *error_response = ErrorResponse(Json::Null(), "invalid_request",
                                     parsed.status().message());
-    return false;
+    return ParseOutcome::kInvalid;
   }
   if (!parsed->is_object()) {
     *error_response = ErrorResponse(Json::Null(), "invalid_request",
                                     "request must be a JSON object");
-    return false;
+    return ParseOutcome::kInvalid;
   }
   request->body = std::move(parsed).value();
   const Json* id = request->body.Find("id");
@@ -258,7 +412,7 @@ bool Server::ParseRequest(const std::string& line, Request* request,
   if (op == nullptr || !op->is_string()) {
     *error_response = ErrorResponse(request->id, "invalid_request",
                                     "request needs a string 'op' field");
-    return false;
+    return ParseOutcome::kInvalid;
   }
   request->op = op->string_value();
 
@@ -269,7 +423,7 @@ bool Server::ParseRequest(const std::string& line, Request* request,
         timeout_ms.ok() ? max_states.status() : timeout_ms.status();
     *error_response =
         ErrorResponse(request->id, "invalid_request", bad.message());
-    return false;
+    return ParseOutcome::kInvalid;
   }
   request->admission =
       AdmitRequest(options_.admission, *timeout_ms, *max_states);
@@ -279,10 +433,46 @@ bool Server::ParseRequest(const std::string& line, Request* request,
     request->is_shutdown = action != nullptr && action->is_string() &&
                            action->string_value() == "shutdown";
   }
-  return true;
+
+  const Json* ns_field = request->body.Find("ns");
+  if (ns_field != nullptr) {
+    if (!ns_field->is_string()) {
+      *error_response = ErrorResponse(request->id, "invalid_request",
+                                      "'ns' must be a string namespace name");
+      return ParseOutcome::kInvalid;
+    }
+    auto it = namespaces_.find(ns_field->string_value());
+    if (it == namespaces_.end()) {
+      *error_response = ErrorResponse(
+          request->id, "invalid_request",
+          "unknown namespace '" + ns_field->string_value() + "'");
+      return ParseOutcome::kInvalid;
+    }
+    request->ns = it->second.get();
+  }
+  // Namespace admission quota, taken at arrival so a flooding tenant is shed
+  // here instead of occupying the shared queue. The ticket rides on the
+  // request object and frees the slot when the response has been rendered.
+  if (request->ns != nullptr && request->ns->options.max_inflight > 0) {
+    static const obs::Counter ns_rejected("service.rejected.ns_quota");
+    // order: counting ticket only; no data is published through it
+    int64_t before =
+        request->ns->inflight.fetch_add(1, std::memory_order_relaxed);
+    request->ticket.held = request->ns;
+    if (before >= request->ns->options.max_inflight) {
+      ns_rejected.Increment();
+      *error_response = ErrorResponse(
+          request->id, "overloaded",
+          "namespace '" + request->ns->name + "' is at max_inflight " +
+              std::to_string(request->ns->options.max_inflight));
+      return ParseOutcome::kRejected;
+    }
+  }
+  return ParseOutcome::kOk;
 }
 
-std::string Server::ExecuteToResponse(const Request& request) {
+std::string Server::ExecuteToResponse(const Request& request,
+                                      BatchContext* ctx) {
   static const obs::Counter requests("service.requests");
   static const obs::Counter expired("service.rejected.expired_in_queue");
   static const obs::Histogram request_us("service.request_us");
@@ -312,10 +502,10 @@ std::string Server::ExecuteToResponse(const Request& request) {
       Budget budget = request.admission.MakeBudget();
       if (request.op == "eval") {
         cacheable_op = true;
-        fields = OpEval(request, &budget, &cache_source);
+        fields = OpEval(request, &budget, &cache_source, ctx);
       } else if (request.op == "rewrite") {
         cacheable_op = true;
-        fields = OpRewrite(request, &budget, &cache_source);
+        fields = OpRewrite(request, &budget, &cache_source, ctx);
       } else if (request.op == "answer") {
         fields = OpAnswer(request, &budget);
       } else if (request.op == "admin") {
@@ -375,8 +565,28 @@ std::string Server::ExecuteToResponse(const Request& request) {
 }
 
 StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
-                                    const char** cache_source) {
-  std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
+                                    const char** cache_source,
+                                    BatchContext* ctx) {
+  static const obs::Counter pins_saved("service.batch.snapshot_pins_saved");
+  static const obs::Counter lookups_saved("service.batch.plan_lookups_saved");
+  SnapshotStore& store = StoreFor(request);
+  // Within a batch the snapshot is pinned once per store; every further
+  // request reuses the pin (and is thereby guaranteed to see the same graph
+  // version as its batch peers, even across a concurrent reload).
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  if (ctx != nullptr) {
+    auto pinned = ctx->snapshots.find(&store);
+    if (pinned != ctx->snapshots.end()) {
+      snapshot = pinned->second;
+      pins_saved.Increment();
+    }
+  }
+  if (snapshot == nullptr) {
+    snapshot = store.Current();
+    if (snapshot != nullptr && ctx != nullptr) {
+      ctx->snapshots.emplace(&store, snapshot);
+    }
+  }
   if (snapshot == nullptr) {
     return Unavailable(
         "no graph snapshot loaded; start with --db or send "
@@ -391,29 +601,44 @@ StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
   std::string key = "eval|" + FingerprintHex(snapshot->fingerprint) + "|" +
                     RegexToString(expr);
 
-  std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
-  if (plan != nullptr && plan->eval_answers.has_value()) {
-    *cache_source = "hit";
-  } else if ((plan = plan_disk_.Load(key, snapshot->db.NumNodes())) !=
-             nullptr) {
-    // Persistent store hit (typically the first repeated query after a
-    // restart): promote into the in-memory cache so the next request is a
-    // plain "hit".
-    *cache_source = "disk";
-    plan_cache_.Put(key, plan);
-  } else {
-    SignedAlphabet alphabet = snapshot->alphabet;
-    RegisterRelations({expr}, &alphabet);
-    RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
-    FlatNfa compiled = CompileEvalPlan(query);
-    RPQI_ASSIGN_OR_RETURN(
-        auto pairs, EvalRpqiAllPairsWithBudget(snapshot->db, compiled, budget));
-    auto fresh = std::make_shared<CachedPlan>();
-    fresh->flat_plan = std::move(compiled);
-    fresh->eval_answers = std::move(pairs);
-    plan_cache_.Put(key, fresh);
-    plan_disk_.Save(key, *fresh);
-    plan = std::move(fresh);
+  std::shared_ptr<const CachedPlan> plan;
+  if (ctx != nullptr) {
+    auto resolved = ctx->plans.find(key);
+    if (resolved != ctx->plans.end() &&
+        resolved->second->eval_answers.has_value()) {
+      // Batch-context hit: an earlier request in this batch already resolved
+      // the key, so the sharded cache lookup is skipped entirely.
+      plan = resolved->second;
+      *cache_source = "hit";
+      lookups_saved.Increment();
+    }
+  }
+  if (plan == nullptr) {
+    plan = plan_cache_.Get(key);
+    if (plan != nullptr && plan->eval_answers.has_value()) {
+      *cache_source = "hit";
+    } else if ((plan = plan_disk_.Load(key, snapshot->db.NumNodes())) !=
+               nullptr) {
+      // Persistent store hit (typically the first repeated query after a
+      // restart): promote into the in-memory cache so the next request is a
+      // plain "hit".
+      *cache_source = "disk";
+      plan_cache_.Put(key, plan);
+    } else {
+      SignedAlphabet alphabet = snapshot->alphabet;
+      RegisterRelations({expr}, &alphabet);
+      RPQI_ASSIGN_OR_RETURN(Nfa query, CompileRegex(expr, alphabet));
+      FlatNfa compiled = CompileEvalPlan(query);
+      RPQI_ASSIGN_OR_RETURN(auto pairs, EvalRpqiAllPairsWithBudget(
+                                            snapshot->db, compiled, budget));
+      auto fresh = std::make_shared<CachedPlan>();
+      fresh->flat_plan = std::move(compiled);
+      fresh->eval_answers = std::move(pairs);
+      plan_cache_.Put(key, fresh);
+      plan_disk_.Save(key, *fresh);
+      plan = std::move(fresh);
+    }
+    if (ctx != nullptr) ctx->plans[key] = plan;
   }
 
   JsonArray answers;
@@ -430,21 +655,50 @@ StatusOr<JsonObject> Server::OpEval(const Request& request, Budget* budget,
 }
 
 StatusOr<JsonObject> Server::OpRewrite(const Request& request, Budget* budget,
-                                       const char** cache_source) {
+                                       const char** cache_source,
+                                       BatchContext* ctx) {
+  static const obs::Counter lookups_saved("service.batch.plan_lookups_saved");
   RPQI_ASSIGN_OR_RETURN(std::string query_text,
                         RequireString(request.body, "query"));
   RPQI_ASSIGN_OR_RETURN(RegexPtr query_expr, ParseExpr(query_text));
-  RPQI_ASSIGN_OR_RETURN(NamedViews views, ParseNamedViews(request.body));
+  NamedViews views;
+  if (request.body.Find("views") == nullptr && request.ns != nullptr &&
+      !request.ns->view_names.empty()) {
+    // Namespaced request without explicit views: the tenant's configured view
+    // set applies (already sorted and validated at Init).
+    views.names = request.ns->view_names;
+    views.exprs = request.ns->view_exprs;
+  } else {
+    RPQI_ASSIGN_OR_RETURN(views, ParseNamedViews(request.body));
+  }
 
   std::string key = "rewrite|" + RegexToString(query_expr);
   for (size_t i = 0; i < views.names.size(); ++i) {
     key += "|" + views.names[i] + "=" + RegexToString(views.exprs[i]);
   }
 
-  std::shared_ptr<const CachedPlan> plan = plan_cache_.Get(key);
-  if (plan != nullptr && plan->rewriting.has_value()) {
-    *cache_source = "hit";
-  } else {
+  std::shared_ptr<const CachedPlan> plan;
+  if (ctx != nullptr) {
+    auto resolved = ctx->plans.find(key);
+    if (resolved != ctx->plans.end() &&
+        resolved->second->rewriting.has_value()) {
+      // Batch-context hit: an earlier request in this batch already resolved
+      // the key, so the sharded cache lookup is skipped entirely.
+      plan = resolved->second;
+      *cache_source = "hit";
+      lookups_saved.Increment();
+    }
+  }
+  if (plan == nullptr) {
+    plan = plan_cache_.Get(key);
+    if (plan != nullptr && plan->rewriting.has_value()) {
+      *cache_source = "hit";
+      if (ctx != nullptr) ctx->plans[key] = plan;
+    } else {
+      plan = nullptr;
+    }
+  }
+  if (plan == nullptr) {
     SignedAlphabet alphabet;
     RegisterRelations({query_expr}, &alphabet);
     RegisterRelations(views.exprs, &alphabet);
@@ -471,8 +725,12 @@ StatusOr<JsonObject> Server::OpRewrite(const Request& request, Budget* budget,
     fresh->rewriting = std::move(rewriting);
     // Only exhaustive results are cached: a degraded partial rewriting
     // reflects this request's budget, not the query, and must not be served
-    // to better-funded callers.
-    if (exhaustive) plan_cache_.Put(key, fresh);
+    // to better-funded callers (the same rule applies to the batch context —
+    // batch peers may carry different budgets).
+    if (exhaustive) {
+      plan_cache_.Put(key, fresh);
+      if (ctx != nullptr) ctx->plans[key] = fresh;
+    }
     plan = std::move(fresh);
   }
 
@@ -639,14 +897,27 @@ StatusOr<JsonObject> Server::OpAnswer(const Request& request, Budget* budget) {
 StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
   RPQI_ASSIGN_OR_RETURN(std::string action,
                         RequireString(request.body, "action"));
+  // Admin requests route like query requests: a namespaced request reloads /
+  // reports its own namespace's store, so one tenant's `admin reload` can
+  // never swap another tenant's snapshot.
+  SnapshotStore& store = StoreFor(request);
   JsonObject fields;
   fields.emplace_back("action", Json::Str(action));
+  if (request.ns != nullptr) {
+    fields.emplace_back("ns", Json::Str(request.ns->name));
+  }
   if (action == "reload") {
-    RPQI_ASSIGN_OR_RETURN(std::string db_path,
-                          RequireString(request.body, "db"));
+    std::string db_path;
+    if (request.ns != nullptr && request.body.Find("db") == nullptr) {
+      // Namespaced reload defaults to the configured path: re-reads the file
+      // the namespace was started from (picks up external updates in place).
+      db_path = request.ns->options.db_path;
+    } else {
+      RPQI_ASSIGN_OR_RETURN(db_path, RequireString(request.body, "db"));
+    }
     bool transient = false;
     StatusOr<int64_t> reloaded =
-        snapshot_store_.Reload(db_path, options_.reload_retry, &transient);
+        store.Reload(db_path, options_.reload_retry, &transient);
     if (!reloaded.ok()) {
       // A transient failure (open/read error, injected abort) is the
       // environment's fault, not the request's: report `unavailable` so the
@@ -656,7 +927,7 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
       return reloaded.status();
     }
     int64_t version = reloaded.value();
-    std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
+    std::shared_ptr<const GraphSnapshot> snapshot = store.Current();
     fields.emplace_back("snapshot_version", Json::Int(version));
     fields.emplace_back("nodes", Json::Int(snapshot->db.NumNodes()));
     fields.emplace_back("edges", Json::Int(snapshot->db.NumEdges()));
@@ -668,9 +939,8 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
     fields.emplace_back("plan_cache",
                         Json::Obj(PlanCacheStatsJson(plan_cache_)));
     JsonObject snapshot_stats;
-    std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Current();
-    snapshot_stats.emplace_back("version",
-                                Json::Int(snapshot_store_.version()));
+    std::shared_ptr<const GraphSnapshot> snapshot = store.Current();
+    snapshot_stats.emplace_back("version", Json::Int(store.version()));
     if (snapshot != nullptr) {
       snapshot_stats.emplace_back("path", Json::Str(snapshot->source_path));
       snapshot_stats.emplace_back("nodes", Json::Int(snapshot->db.NumNodes()));
@@ -679,6 +949,36 @@ StatusOr<JsonObject> Server::OpAdmin(const Request& request) {
           "fingerprint", Json::Str(FingerprintHex(snapshot->fingerprint)));
     }
     fields.emplace_back("snapshot", Json::Obj(std::move(snapshot_stats)));
+    if (request.ns != nullptr) {
+      // Scoped stats: this namespace's quota state and view set.
+      JsonObject ns_stats;
+      // order: stats snapshot; an instantaneous count needs no ordering
+      int64_t inflight =
+          request.ns->inflight.load(std::memory_order_relaxed);
+      ns_stats.emplace_back("max_inflight",
+                            Json::Int(request.ns->options.max_inflight));
+      ns_stats.emplace_back("inflight", Json::Int(inflight));
+      ns_stats.emplace_back(
+          "views", Json::Int(static_cast<int64_t>(
+                       request.ns->view_names.size())));
+      fields.emplace_back("namespace", Json::Obj(std::move(ns_stats)));
+    } else if (!namespaces_.empty()) {
+      // Global stats enumerate every namespace (names + quota occupancy) so
+      // an operator can see all tenants from one unscoped request.
+      JsonArray all;
+      for (const auto& [name, ns] : namespaces_) {
+        // order: stats snapshot; an instantaneous count needs no ordering
+        int64_t inflight = ns->inflight.load(std::memory_order_relaxed);
+        all.push_back(Json::Obj(
+            {{"name", Json::Str(name)},
+             {"snapshot_version", Json::Int(ns->store.version())},
+             {"max_inflight", Json::Int(ns->options.max_inflight)},
+             {"inflight", Json::Int(inflight)},
+             {"views",
+              Json::Int(static_cast<int64_t>(ns->view_names.size()))}}));
+      }
+      fields.emplace_back("namespaces", Json::Arr(std::move(all)));
+    }
     JsonObject admission;
     admission.emplace_back("threads", Json::Int(options_.threads));
     admission.emplace_back("queue_depth",
@@ -745,8 +1045,71 @@ void Server::WriteLine(std::ostream* out, const std::string& line) {
 std::string Server::HandleLine(const std::string& line) {
   Request request;
   std::string error_response;
-  if (!ParseRequest(line, &request, &error_response)) return error_response;
+  if (ParseRequest(line, &request, &error_response) != ParseOutcome::kOk) {
+    return error_response;
+  }
   return ExecuteToResponse(request);
+}
+
+std::shared_ptr<Server::ParsedBatch> Server::ParseBatch(
+    const std::vector<std::string>& lines) {
+  static const obs::Counter invalid("service.rejected.invalid");
+  auto batch = std::make_shared<ParsedBatch>();
+  batch->entries.reserve(lines.size());
+  for (const std::string& line : lines) {
+    ParsedBatch::Entry entry;
+    switch (ParseRequest(line, &entry.request, &entry.error_response)) {
+      case ParseOutcome::kOk:
+        entry.ready = true;
+        if (entry.request.is_shutdown) batch->wants_shutdown = true;
+        break;
+      case ParseOutcome::kInvalid:
+        invalid.Increment();
+        break;
+      case ParseOutcome::kRejected:
+        break;  // quota rejection; counted inside ParseRequest
+    }
+    batch->entries.push_back(std::move(entry));
+  }
+  return batch;
+}
+
+bool Server::RequestsShutdown(const ParsedBatch& batch) {
+  return batch.wants_shutdown;
+}
+
+std::vector<std::string> Server::ExecuteBatch(ParsedBatch* batch) {
+  static const obs::Counter batches("service.batches");
+  static const obs::Histogram batch_size("service.batch.size");
+  batches.Increment();
+  // RecordUs despite the name: the histogram buckets are unitless log2 bins,
+  // which is exactly the right shape for a batch-size distribution too.
+  batch_size.RecordUs(static_cast<int64_t>(batch->entries.size()));
+  BatchContext ctx;
+  std::vector<std::string> responses;
+  responses.reserve(batch->entries.size());
+  for (ParsedBatch::Entry& entry : batch->entries) {
+    responses.push_back(entry.ready ? ExecuteToResponse(entry.request, &ctx)
+                                    : entry.error_response);
+  }
+  // Destroying the entries releases every namespace-quota ticket: the batch
+  // stops counting against its tenants the moment its responses exist.
+  batch->entries.clear();
+  return responses;
+}
+
+std::vector<std::string> Server::RejectBatch(ParsedBatch* batch,
+                                             const std::string& code,
+                                             const std::string& message) {
+  std::vector<std::string> responses;
+  responses.reserve(batch->entries.size());
+  for (ParsedBatch::Entry& entry : batch->entries) {
+    responses.push_back(entry.ready
+                            ? ErrorResponse(entry.request.id, code, message)
+                            : entry.error_response);
+  }
+  batch->entries.clear();  // releases quota tickets, as in ExecuteBatch
+  return responses;
 }
 
 Status Server::Serve(std::istream& in, std::ostream& out) {
@@ -766,8 +1129,11 @@ Status Server::Serve(std::istream& in, std::ostream& out) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       auto request = std::make_shared<Request>();
       std::string error_response;
-      if (!ParseRequest(line, request.get(), &error_response)) {
-        invalid.Increment();
+      ParseOutcome outcome = ParseRequest(line, request.get(), &error_response);
+      if (outcome != ParseOutcome::kOk) {
+        // kRejected (namespace quota) has its own counter inside ParseRequest;
+        // only malformed envelopes count as invalid.
+        if (outcome == ParseOutcome::kInvalid) invalid.Increment();
         WriteLine(&out, error_response);
         continue;
       }

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "base/mutex.h"
 #include "base/status.h"
@@ -20,6 +22,22 @@
 
 namespace rpqi {
 namespace service {
+
+/// One tenant namespace: a named snapshot with its own view set and admission
+/// quota. Requests select a namespace with a `"ns"` field; requests without
+/// one run against the server's default snapshot.
+struct NamespaceOptions {
+  std::string name;
+  /// Graph loaded into the namespace's snapshot store at Init().
+  std::string db_path;
+  /// Optional view-definition file: one `name=expression` per line ('#'
+  /// comments and blank lines ignored). A namespaced `rewrite` request that
+  /// carries no `views` field uses these.
+  std::string views_path;
+  /// Requests from this namespace admitted (queued or executing) at once;
+  /// one more is rejected with the `overloaded` error code. 0 = unlimited.
+  int64_t max_inflight = 0;
+};
 
 /// Configuration for one Server instance. Zero-valued quota fields mean
 /// "unlimited"; see AdmissionPolicy for the per-request derivation.
@@ -39,6 +57,11 @@ struct ServerOptions {
   /// Graph database loaded at Init(); empty = start without a snapshot (eval
   /// requests fail with `unavailable` until an `admin reload`).
   std::string initial_db_path;
+  /// Tenant namespaces loaded at Init(); duplicate names are an Init error.
+  /// The plan cache is shared across namespaces — keys embed the snapshot
+  /// fingerprint, so tenants serving identical graph content share plans and
+  /// different content can never alias.
+  std::vector<NamespaceOptions> namespaces;
   /// Circuit breaker over the query ops (eval/rewrite/answer, keyed per op).
   /// 0 disables it. `admin` deliberately bypasses the breaker so an
   /// `admin reload` can repair the condition that tripped it.
@@ -50,6 +73,12 @@ struct ServerOptions {
   /// failures are retried, content errors are not.
   ReloadRetryPolicy reload_retry;
 };
+
+/// Renders a protocol error response line (no trailing newline) outside the
+/// request pipeline — for transports that must reject input they cannot even
+/// hand to the Server (oversized frames, connection shedding).
+std::string ErrorResponseLine(const Json& id, const std::string& code,
+                              const std::string& message);
 
 /// The long-lived query-serving engine behind `rpqi serve`: reads NDJSON
 /// requests (one JSON object per line) from an input stream, executes them on
@@ -63,6 +92,7 @@ struct ServerOptions {
 ///    "views":[{"name":"v","expr":"a","assumption":"exact",
 ///              "extension":[[0,1]]}],"pairs":[[0,1]]}
 ///   {"id":4,"op":"admin","action":"reload","db":"graph.txt"}
+///   {"id":5,"op":"eval","query":"a","ns":"tenant1"}
 /// Responses carry "status":"ok" plus op fields, or "status":"error" with a
 /// structured code (invalid_request, unavailable, overloaded,
 /// resource_exhausted, deadline_exceeded, cancelled) — request failures are
@@ -71,16 +101,20 @@ struct ServerOptions {
 /// Lifecycle: Serve() returns after the input hits EOF (or an
 /// `admin shutdown` request) *and* every accepted request has been answered
 /// (graceful drain). A Server may Serve() repeatedly; the plan cache and
-/// snapshot store persist across calls — that is the whole point.
+/// snapshot store persist across calls — that is the whole point. The TCP
+/// transport (src/net/tcp_server.h) bypasses Serve() and drives the server
+/// through ParseBatch/ExecuteBatch instead.
 class Server {
  public:
   explicit Server(const ServerOptions& options);
+  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Loads the initial snapshot when the options name one. Split from the
-  /// constructor so the CLI can map a bad --db to a clean exit code.
+  /// Loads the initial snapshot (when the options name one) and every
+  /// configured namespace. Split from the constructor so the CLI can map a
+  /// bad --db to a clean exit code.
   Status Init();
 
   /// Blocking serve loop; returns Ok after a clean drain. The streams are
@@ -93,28 +127,77 @@ class Server {
   /// (queueing) is bypassed, quotas still apply.
   std::string HandleLine(const std::string& line);
 
+  /// A group of adjacent request lines read together from one transport
+  /// buffer, parsed and admitted as a unit. Opaque to transports; the
+  /// lifetime of namespace-quota tickets is tied to it.
+  struct ParsedBatch;
+
+  /// Parses `lines` into a batch. Call on the transport's read thread:
+  /// admission (deadline anchoring, namespace-quota tickets) happens here, at
+  /// arrival time, so time queued behind other batches counts against each
+  /// request's own deadline. Lines that fail parsing or admission carry a
+  /// ready-made error response inside the batch.
+  std::shared_ptr<ParsedBatch> ParseBatch(const std::vector<std::string>& lines);
+
+  /// True when the batch contains an `admin shutdown` request — the transport
+  /// should stop reading new input but still execute this batch.
+  static bool RequestsShutdown(const ParsedBatch& batch);
+
+  /// Executes every request in the batch on the calling thread and returns
+  /// one response line per input line, in input order. Requests in one batch
+  /// share a BatchContext: the snapshot is pinned once per store and
+  /// plan-cache lookups resolve once per distinct key
+  /// (`service.batch.snapshot_pins_saved` / `service.batch.plan_lookups_saved`
+  /// count the amortization; `service.batch.size` is the batch-size
+  /// histogram). Namespace-quota tickets are released on return.
+  std::vector<std::string> ExecuteBatch(ParsedBatch* batch);
+
+  /// Rejection responses for a batch the transport could not enqueue (pool
+  /// full): one line per batch entry, echoing each request's id. Releases the
+  /// batch's quota tickets.
+  std::vector<std::string> RejectBatch(ParsedBatch* batch,
+                                       const std::string& code,
+                                       const std::string& message);
+
   const PlanCache& plan_cache() const { return plan_cache_; }
   SnapshotStore& snapshot_store() { return snapshot_store_; }
+  const ServerOptions& options() const { return options_; }
 
  private:
   struct Request;
+  struct Namespace;
+  /// Per-batch amortization state: pinned snapshots + resolved plans.
+  struct BatchContext;
 
-  /// Parses the envelope (id/op/quota fields). Errors become a ready-made
-  /// error response in `*error_response` and return false.
-  bool ParseRequest(const std::string& line, Request* request,
-                    std::string* error_response);
-  /// Executes a parsed request and renders the full response line.
-  std::string ExecuteToResponse(const Request& request);
+  enum class ParseOutcome {
+    kOk,
+    /// Malformed envelope; `*error_response` is the invalid_request line.
+    kInvalid,
+    /// Admission rejected it (namespace quota); `*error_response` is the
+    /// overloaded line.
+    kRejected,
+  };
+
+  /// Parses the envelope (id/op/quota/ns fields) and admits the request.
+  ParseOutcome ParseRequest(const std::string& line, Request* request,
+                            std::string* error_response);
+  /// Executes a parsed request and renders the full response line. `ctx` is
+  /// non-null when the request runs as part of a batch.
+  std::string ExecuteToResponse(const Request& request,
+                                BatchContext* ctx = nullptr);
 
   /// `*cache_source` reports where the plan came from: "miss" (compiled
-  /// fresh), "hit" (in-memory cache), or "disk" (persistent store; eval
-  /// only). Echoed as the response's `cache` field.
+  /// fresh), "hit" (in-memory cache or batch context), or "disk" (persistent
+  /// store; eval only). Echoed as the response's `cache` field.
   StatusOr<JsonObject> OpEval(const Request& request, Budget* budget,
-                              const char** cache_source);
+                              const char** cache_source, BatchContext* ctx);
   StatusOr<JsonObject> OpRewrite(const Request& request, Budget* budget,
-                                 const char** cache_source);
+                                 const char** cache_source, BatchContext* ctx);
   StatusOr<JsonObject> OpAnswer(const Request& request, Budget* budget);
   StatusOr<JsonObject> OpAdmin(const Request& request);
+
+  /// The snapshot store a request routes to: its namespace's, or the default.
+  SnapshotStore& StoreFor(const Request& request);
 
   /// Emits one response line + flush atomically, so concurrent workers can
   /// never interleave partial lines on the shared output stream.
@@ -125,6 +208,9 @@ class Server {
   PlanCache plan_cache_;
   PlanDiskStore plan_disk_;
   SnapshotStore snapshot_store_;
+  /// Tenant namespaces by name; populated at Init(), immutable afterwards
+  /// (the Namespace objects themselves are internally synchronized).
+  std::map<std::string, std::unique_ptr<Namespace>> namespaces_;
   CircuitBreaker breaker_;
   /// Serializes whole-line writes to the output stream borrowed by Serve().
   /// A member (not a Serve-local) so the capability has a name the analysis

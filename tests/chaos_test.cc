@@ -15,18 +15,26 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/socket.h"
 #include "fault/fault.h"
 #include "graphdb/columnar.h"
 #include "graphdb/io.h"
+#include "net/framing.h"
+#include "net/tcp_server.h"
 #include "obs/metrics.h"
 #include "service/breaker.h"
 #include "service/json.h"
@@ -336,6 +344,166 @@ TEST(ChaosTest, EveryRequestStallsStillDrainCleanly) {
   while (std::getline(responses, line)) ++count;
   EXPECT_EQ(count, 50);
   EXPECT_EQ(fault::FireCount("worker_pool.task_start"), 50);
+}
+
+/// Sends `bytes` fully over a blocking socket.
+void SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Reads whole lines from `fd` until `want` lines arrive or `timeout_ms`
+/// passes; appends to `*lines`.
+void ReadLines(int fd, size_t want, std::vector<std::string>* lines,
+               int timeout_ms) {
+  net::LineFramer framer(size_t{1} << 20);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (lines->size() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::vector<PollEvent> events(1);
+    events[0].fd = fd;
+    events[0].want_read = true;
+    StatusOr<int> ready = PollSockets(&events, 100);
+    if (!ready.ok() || !events[0].readable) continue;
+    char buf[8192];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return;
+    }
+    framer.Feed(buf, static_cast<size_t>(n), lines);
+  }
+}
+
+// The transport-layer soak: real loopback sockets with the net.* fault sites
+// armed. net.read fired skips a read round (level-triggered poll re-reports
+// the data), net.write fired truncates a flush to one byte (forced short
+// write) — both are delays, never corruption, so the invariant is exact:
+// every request line sent gets exactly one well-formed response line.
+TEST(ChaosTest, TcpSoakUnderReadWriteFaults) {
+  FaultGuard guard;
+  int64_t seed = EnvInt("RPQI_CHAOS_SEED", 1);
+  std::string db = WriteTempGraph("chaos_tcp.txt", "a r b\nb r c\nc s a\n");
+  ServerOptions options;
+  options.threads = 2;
+  options.initial_db_path = db;
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+  net::TcpTransport transport(&server, {});
+  ASSERT_TRUE(transport.Listen().ok());
+  std::thread serve_thread([&transport] {
+    Status served = transport.Serve();
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  std::string spec = "net.read=prob:0.3:" + std::to_string(seed) +
+                     ",net.write=prob:0.5:" + std::to_string(seed);
+  ASSERT_TRUE(fault::Configure(spec).ok());
+
+  constexpr int kClients = 2;
+  constexpr int kRequestsPerClient = 150;
+  std::vector<std::thread> clients;
+  std::atomic<int> well_formed{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      StatusOr<UniqueFd> fd = ConnectTcp("127.0.0.1", transport.port());
+      ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+      uint64_t rng = static_cast<uint64_t>(seed + c) * 0x9e3779b97f4a7c15ULL;
+      for (int id = 0; id < kRequestsPerClient; ++id) {
+        std::string line;
+        uint64_t draw = NextRandom(&rng) % 10;
+        std::string idstr = std::to_string(c * kRequestsPerClient + id);
+        if (draw < 7) {
+          line = "{\"id\":" + idstr + ",\"op\":\"eval\",\"query\":\"a b\"}";
+        } else if (draw < 9) {
+          line = "{\"id\":" + idstr + ",\"op\":\"admin\","
+                 "\"action\":\"stats\"}";
+        } else {
+          line = "{\"id\":" + idstr + ",\"op\":\"eval\",";  // malformed
+        }
+        SendAll(fd->get(), line + "\n");
+      }
+      std::vector<std::string> lines;
+      ReadLines(fd->get(), kRequestsPerClient, &lines, 30000);
+      EXPECT_EQ(lines.size(), size_t{kRequestsPerClient})
+          << "client " << c << " lost responses under net faults";
+      for (const std::string& line : lines) {
+        StatusOr<Json> parsed = ParseJson(line);
+        ASSERT_TRUE(parsed.ok()) << "torn response: " << line;
+        const Json* status = parsed->Find("status");
+        ASSERT_NE(status, nullptr) << line;
+        well_formed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(well_formed.load(std::memory_order_relaxed),
+            kClients * kRequestsPerClient);
+  // The armed sites actually saw traffic and fired.
+  EXPECT_GT(fault::HitCount("net.read"), 0);
+  EXPECT_GT(fault::HitCount("net.write"), 0);
+  EXPECT_GT(fault::FireCount("net.read") + fault::FireCount("net.write"), 0);
+
+  // Recovery: disarmed, a fresh connection round-trips immediately.
+  fault::DisarmAll();
+  StatusOr<UniqueFd> fd = ConnectTcp("127.0.0.1", transport.port());
+  ASSERT_TRUE(fd.ok());
+  SendAll(fd->get(), "{\"id\":\"x\",\"op\":\"eval\",\"query\":\"a\"}\n");
+  std::vector<std::string> lines;
+  ReadLines(fd->get(), 1, &lines, 5000);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos) << lines[0];
+
+  transport.RequestShutdown();
+  serve_thread.join();
+}
+
+// net.accept fired drops the freshly accepted socket: the client sees an
+// immediate EOF, never a half-served connection, and the listener keeps
+// accepting afterwards.
+TEST(ChaosTest, TcpAcceptFaultDropsOneConnectionCleanly) {
+  FaultGuard guard;
+  std::string db = WriteTempGraph("chaos_tcp_accept.txt", "a r b\n");
+  ServerOptions options;
+  options.initial_db_path = db;
+  Server server(options);
+  ASSERT_TRUE(server.Init().ok());
+  net::TcpTransport transport(&server, {});
+  ASSERT_TRUE(transport.Listen().ok());
+  std::thread serve_thread([&transport] {
+    Status served = transport.Serve();
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  ASSERT_TRUE(fault::Configure("net.accept=once").ok());
+  {
+    StatusOr<UniqueFd> dropped = ConnectTcp("127.0.0.1", transport.port());
+    ASSERT_TRUE(dropped.ok());
+    SendAll(dropped->get(), "{\"id\":1,\"op\":\"eval\",\"query\":\"a\"}\n");
+    std::vector<std::string> lines;
+    ReadLines(dropped->get(), 1, &lines, 3000);
+    EXPECT_TRUE(lines.empty()) << "dropped connection still answered";
+  }
+  EXPECT_EQ(fault::FireCount("net.accept"), 1);
+
+  // The one-shot is spent: the next connection is served normally.
+  StatusOr<UniqueFd> fd = ConnectTcp("127.0.0.1", transport.port());
+  ASSERT_TRUE(fd.ok());
+  SendAll(fd->get(), "{\"id\":2,\"op\":\"eval\",\"query\":\"a\"}\n");
+  std::vector<std::string> lines;
+  ReadLines(fd->get(), 1, &lines, 5000);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos) << lines[0];
+
+  transport.RequestShutdown();
+  serve_thread.join();
 }
 
 TEST(ChaosTest, BreakerSnapshotRacesRecordersWithoutTearing) {

@@ -28,6 +28,9 @@ const char* const kKnownSites[] = {
     "automata.materialize_state",
     "graphdb.compact_write",
     "graphdb.parse_io",
+    "net.accept",
+    "net.read",
+    "net.write",
     "plan_cache.disk_io",
     "plan_cache.insert",
     "service.queue_full",

@@ -22,14 +22,26 @@ Drives the built `rpqi` binary end to end:
     first reload fail with a structured `unavailable` response, the retry
     succeeds and serving recovers; `--reload-retries` absorbs the same fault
     inside one request; RPQI_FAULT in the environment behaves like the flag;
-    a malformed spec exits 2 before serving starts.
+    a malformed spec exits 2 before serving starts;
+  * the TCP transport (`--transport tcp --port 0 --port-file`): concurrent
+    clients each answered in order, a stdio-vs-TCP differential (identical
+    responses modulo timing/counters), slow-writer partial-line framing, a
+    batched stream proving snapshot-pin amortization via
+    service.batch.snapshot_pins_saved, `--max-conns` shedding with one
+    structured `overloaded` line, `--max-line-bytes` oversized-line
+    rejection with the connection surviving, and the cross-connection
+    shutdown drain (admin shutdown on one connection never truncates
+    another connection's in-flight request).
 """
 
 import json
 import os
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 
 FAILURES = []
 
@@ -64,6 +76,75 @@ def by_id(records):
     for record in records:
         ids.setdefault(record.get("id"), []).append(record)
     return ids
+
+
+class TcpServer:
+    """`rpqi serve --transport tcp --port 0` as a context manager: waits for
+    the ephemeral port via --port-file, kills the process on exit if the
+    scenario didn't shut it down via the protocol."""
+
+    def __init__(self, binary, tmp, *flags):
+        self.port_file = tempfile.mktemp(prefix="port_", dir=tmp)
+        self.proc = subprocess.Popen(
+            [binary, "serve", "--transport", "tcp", "--port", "0",
+             "--port-file", self.port_file] + list(flags),
+            stdin=subprocess.DEVNULL, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        self.port = None
+
+    def __enter__(self):
+        deadline = time.time() + 20
+        while time.time() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError("server exited early: "
+                                   + self.proc.stderr.read())
+            try:
+                with open(self.port_file) as handle:
+                    text = handle.read().strip()
+                if text:
+                    self.port = int(text)
+                    return self
+            except FileNotFoundError:
+                pass
+            time.sleep(0.02)
+        raise RuntimeError("server never wrote its port file")
+
+    def __exit__(self, *exc):
+        try:
+            self.proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+    def connect(self):
+        return socket.create_connection(("127.0.0.1", self.port), timeout=10)
+
+
+def read_tcp_lines(sock, count, timeout=20):
+    """Reads until `count` JSON lines arrive, EOF, or timeout."""
+    sock.settimeout(0.2)
+    buf = b""
+    lines = []
+    deadline = time.time() + timeout
+    while len(lines) < count and time.time() < deadline:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            continue
+        if not data:
+            break
+        buf += data
+        while b"\n" in buf:
+            raw, buf = buf.split(b"\n", 1)
+            if raw.strip():
+                lines.append(json.loads(raw))
+    return lines
+
+
+def strip_varying(record):
+    """Drops timing and counter fields, which legitimately differ between
+    transports (the TCP batch path reports its own amortization counters)."""
+    return {k: v for k, v in record.items() if k not in ("us", "counters")}
 
 
 def main():
@@ -345,6 +426,181 @@ def main():
           "flag --db requires a value" in proc.stderr, proc.stderr)
     check("trailing flag is not 'unexpected argument'",
           "unexpected argument" not in proc.stderr, proc.stderr)
+
+    # --- TCP: concurrent clients ------------------------------------------
+    with TcpServer(binary, tmp, "--db", db1, "--threads", "2") as server:
+        results = {}
+
+        def client(idx):
+            sock = server.connect()
+            try:
+                for i in range(10):
+                    sock.sendall(
+                        b'{"id":%d,"op":"eval","query":"r* s"}\n'
+                        % (idx * 100 + i))
+                results[idx] = read_tcp_lines(sock, 10)
+            finally:
+                sock.close()
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        check("tcp concurrent clients all fully answered",
+              all(len(results.get(i, [])) == 10 for i in range(4)),
+              str({i: len(v) for i, v in results.items()}))
+        check("tcp responses stay on their own connection in order",
+              all([r["id"] for r in results[i]]
+                  == [i * 100 + j for j in range(10)] for i in range(4)))
+        check("tcp responses are ok with answers",
+              all(r["status"] == "ok" and "answers" in r
+                  for v in results.values() for r in v))
+
+        # Batched stream on one connection: adjacent lines in one send are
+        # admitted as a batch sharing one snapshot pin; the amortization is
+        # observable in the per-response counter deltas.
+        sock = server.connect()
+        sock.sendall(b"".join(
+            b'{"id":%d,"op":"eval","query":"r* s"}\n' % i
+            for i in range(200, 206)))
+        batched = read_tcp_lines(sock, 6)
+        sock.close()
+        check("tcp batched stream fully answered", len(batched) == 6)
+        pins_saved = sum(
+            r.get("counters", {}).get("service.batch.snapshot_pins_saved", 0)
+            for r in batched)
+        check("tcp batch amortizes snapshot pins "
+              "(service.batch.snapshot_pins_saved > 0)",
+              pins_saved > 0, json.dumps(batched))
+
+        # Protocol shutdown so __exit__ sees a clean exit.
+        sock = server.connect()
+        sock.sendall(b'{"id":"q","op":"admin","action":"shutdown"}\n')
+        read_tcp_lines(sock, 1)
+        sock.close()
+    check("tcp server exits 0 after protocol shutdown",
+          server.proc.returncode == 0, server.proc.stderr.read())
+
+    # --- TCP: stdio differential ------------------------------------------
+    # The same request stream through both transports must produce identical
+    # responses modulo timing/counters — one protocol, two framings.
+    diff_batch = [
+        '{"id":1,"op":"eval","query":"r* s"}',
+        '{"id":2,"op":"eval","query":"r* s"}',
+        '{"id":3,"op":"rewrite","query":"r r","views":{"v1":"r"}}',
+        '{"id":4,"op":"nope"}',
+        'not json at all',
+        '{"id":5,"op":"eval","query":"r*","max_states":1}',
+    ]
+    _, stdio_records = serve(binary, diff_batch, "--db", db1)
+    with TcpServer(binary, tmp, "--db", db1) as server:
+        sock = server.connect()
+        tcp_records = []
+        # One request at a time, awaiting each response: the differential
+        # isolates framing, keeping batch-context effects out of the
+        # comparison (batch parity is asserted separately above).
+        for line in diff_batch:
+            sock.sendall(line.encode() + b"\n")
+            tcp_records += read_tcp_lines(sock, 1)
+        sock.sendall(b'{"op":"admin","action":"shutdown"}\n')
+        read_tcp_lines(sock, 1)
+        sock.close()
+    check("tcp differential: same number of responses",
+          len(tcp_records) == len(stdio_records))
+    # Compare order-independently: the protocol promises one response per
+    # request, not a global ordering (stdio answers invalid lines inline
+    # while queued work completes on workers).
+    tcp_canon = sorted(json.dumps(strip_varying(r), sort_keys=True)
+                       for r in tcp_records)
+    stdio_canon = sorted(json.dumps(strip_varying(r), sort_keys=True)
+                         for r in stdio_records)
+    check("tcp differential: responses identical modulo timing/counters",
+          tcp_canon == stdio_canon,
+          json.dumps(tcp_canon) + " vs " + json.dumps(stdio_canon))
+
+    # --- TCP: slow-writer partial-line framing ----------------------------
+    with TcpServer(binary, tmp, "--db", db1) as server:
+        sock = server.connect()
+        request = b'{"id":77,"op":"eval","query":"r* s"}\n'
+        for i in range(0, len(request), 5):
+            sock.sendall(request[i:i + 5])
+            time.sleep(0.02)
+        framed = read_tcp_lines(sock, 1)
+        check("tcp slow writer: fragmented request framed and answered",
+              len(framed) == 1 and framed[0]["id"] == 77
+              and framed[0]["status"] == "ok", json.dumps(framed))
+        # Two requests coalesced into one segment both answered.
+        sock.sendall(b'{"id":78,"op":"eval","query":"r"}\n'
+                     b'{"id":79,"op":"eval","query":"r"}\n')
+        pair = read_tcp_lines(sock, 2)
+        check("tcp coalesced segment: both requests answered",
+              sorted(r["id"] for r in pair) == [78, 79], json.dumps(pair))
+        sock.sendall(b'{"op":"admin","action":"shutdown"}\n')
+        read_tcp_lines(sock, 1)
+        sock.close()
+
+    # --- TCP: connection-limit shedding -----------------------------------
+    with TcpServer(binary, tmp, "--db", db1, "--max-conns", "1") as server:
+        first = server.connect()
+        first.sendall(b'{"id":1,"op":"eval","query":"r"}\n')
+        check("tcp shed: first connection serves",
+              read_tcp_lines(first, 1)[0]["status"] == "ok")
+        second = server.connect()
+        shed = read_tcp_lines(second, 1)
+        check("tcp shed: excess connection gets one `overloaded` line",
+              len(shed) == 1 and shed[0].get("code") == "overloaded",
+              json.dumps(shed))
+        check("tcp shed: excess connection is then closed",
+              second.recv(1024) == b"" if not shed else True)
+        second.close()
+        first.sendall(b'{"id":2,"op":"eval","query":"r"}\n')
+        check("tcp shed: surviving connection unaffected",
+              read_tcp_lines(first, 1)[0]["status"] == "ok")
+        first.sendall(b'{"op":"admin","action":"shutdown"}\n')
+        read_tcp_lines(first, 1)
+        first.close()
+
+    # --- TCP: oversized-line rejection ------------------------------------
+    with TcpServer(binary, tmp, "--db", db1,
+                   "--max-line-bytes", "128") as server:
+        sock = server.connect()
+        sock.sendall(b"x" * 400 + b"\n")
+        oversized = read_tcp_lines(sock, 1)
+        check("tcp oversized line is a structured invalid_request",
+              len(oversized) == 1
+              and oversized[0].get("code") == "invalid_request",
+              json.dumps(oversized))
+        sock.sendall(b'{"id":1,"op":"eval","query":"r"}\n')
+        check("tcp connection survives an oversized line",
+              read_tcp_lines(sock, 1)[0]["status"] == "ok")
+        sock.sendall(b'{"op":"admin","action":"shutdown"}\n')
+        read_tcp_lines(sock, 1)
+        sock.close()
+
+    # --- TCP: cross-connection shutdown drain (regression) ----------------
+    # `admin shutdown` on connection B while connection A has an in-flight
+    # request: A's response must still be delivered before the server exits.
+    with TcpServer(binary, tmp, "--db", db1, "--threads", "2") as server:
+        slow = server.connect()
+        slow.sendall(b'{"id":"slow","op":"admin","action":"sleep",'
+                     b'"ms":800}\n')
+        time.sleep(0.2)  # the sleep is on a worker before shutdown arrives
+        admin = server.connect()
+        admin.sendall(b'{"id":"bye","op":"admin","action":"shutdown"}\n')
+        bye = read_tcp_lines(admin, 1)
+        check("tcp drain: shutdown acknowledged on its own connection",
+              len(bye) == 1 and bye[0]["status"] == "ok", json.dumps(bye))
+        drained = read_tcp_lines(slow, 1)
+        check("tcp drain: in-flight request on another connection "
+              "is answered, not truncated",
+              len(drained) == 1 and drained[0]["status"] == "ok"
+              and drained[0].get("slept_ms") == 800, json.dumps(drained))
+        slow.close()
+        admin.close()
+    check("tcp drain: server exits 0 after the drain",
+          server.proc.returncode == 0, server.proc.stderr.read())
 
     print(f"\n{len(FAILURES)} failure(s)")
     sys.exit(1 if FAILURES else 0)

@@ -8,7 +8,10 @@
 //   answer      certain answers from view extensions (CDA or ODA)
 //   validate    structural validation of queries / views / databases
 //   compact     convert a graph text <-> binary columnar snapshot
-//   serve       long-lived NDJSON query server (src/service/server.h)
+//   serve       long-lived NDJSON query server (src/service/server.h),
+//               over stdio or TCP (src/net/tcp_server.h)
+//   loadgen     TCP saturation client replaying src/workload scenarios
+//               against a serve --transport tcp instance
 //
 // Graph databases use the text format of graphdb/io.h (one `from rel to` per
 // line). View definitions are `name=expression` arguments; extensions are
@@ -48,6 +51,8 @@
 #include "obs/trace.h"
 #include "graphdb/io.h"
 #include "graphdb/views.h"
+#include "net/loadgen.h"
+#include "net/tcp_server.h"
 #include "regex/parser.h"
 #include "regex/printer.h"
 #include "rewrite/eval.h"
@@ -91,13 +96,37 @@ int Usage() {
              [--default-max-states N] [--max-states-cap N]
              [--breaker-failures K] [--breaker-cooldown-ms MS]
              [--reload-retries N] [--reload-backoff-ms MS]
-              long-lived server: NDJSON requests on stdin, one response line
-              per request on stdout (protocol reference in README); worker
-              count comes from the global --threads flag; exits 0 after a
-              clean drain on EOF or {"op":"admin","action":"shutdown"};
+             [--transport stdio|tcp] [--host ADDR] [--port N]
+             [--port-file FILE] [--max-conns N] [--max-batch N]
+             [--max-line-bytes N]
+             [--namespace NAME=DB[:VIEWS[:MAX_INFLIGHT]] ...]
+              long-lived server: NDJSON requests in, one response line per
+              request out (protocol reference in README); worker count comes
+              from the global --threads flag; exits 0 after a clean drain on
+              EOF or {"op":"admin","action":"shutdown"};
               --plan-cache-dir persists compiled eval plans ("RPQIPLAN1")
               to an existing DIR so a restarted server answers repeated
-              queries at warm-cache latency
+              queries at warm-cache latency.
+              --transport tcp serves the same protocol over a socket
+              (--port 0 = ephemeral; the bound port goes to --port-file and
+              stderr); adjacent lines in one read execute as a batch sharing
+              snapshot pins and plan lookups; past --max-conns connections new
+              ones are shed with one `overloaded` line. --namespace mounts a
+              named snapshot with an optional view file ('NAME=EXPR' lines)
+              and admission quota; requests select it with "ns":"NAME"
+  rpqi loadgen --port N [--host ADDR] [--qps N] [--duration-ms MS]
+               [--connections N] [--mode closed|open]
+               [--scenario modules|hard] [--seed N]
+               [--emit-db FILE] [--out FILE]
+              replay a src/workload scenario over TCP against `rpqi serve
+              --transport tcp` and report client-side latency percentiles
+              (p50/p95/p99), achieved QPS, and per-code error counts as one
+              JSON object on stdout (also to --out FILE). closed mode keeps
+              one request in flight per connection; open mode sends on an
+              absolute schedule so server queueing shows up in the measured
+              latency. --emit-db writes the scenario's graph (start the
+              server on it); with --emit-db and no --port it only writes the
+              graph and exits
 
 global flags (any subcommand):
   --timeout-ms MS     wall-clock deadline; `rewrite` degrades to a certified
@@ -706,9 +735,172 @@ StatusOr<int> CmdServe(const FlagMap& flags) {
   options.breaker_failure_threshold = static_cast<int>(breaker_failures);
   options.reload_retry.attempts = static_cast<int>(reload_retries);
 
+  // --namespace NAME=DB[:VIEWS[:MAX_INFLIGHT]], repeatable.
+  if (auto it = flags.find("namespace"); it != flags.end()) {
+    for (const std::string& spec : it->second) {
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument(
+            "--namespace '" + spec +
+            "': expected NAME=DB[:VIEWS[:MAX_INFLIGHT]]");
+      }
+      service::NamespaceOptions ns;
+      ns.name = spec.substr(0, eq);
+      std::string rest = spec.substr(eq + 1);
+      size_t first_colon = rest.find(':');
+      ns.db_path = rest.substr(0, first_colon);
+      if (first_colon != std::string::npos) {
+        std::string tail = rest.substr(first_colon + 1);
+        size_t second_colon = tail.find(':');
+        ns.views_path = tail.substr(0, second_colon);
+        if (second_colon != std::string::npos) {
+          RPQI_ASSIGN_OR_RETURN(
+              ns.max_inflight,
+              ParseInt64(tail.substr(second_colon + 1),
+                         "--namespace '" + ns.name + "' max_inflight", 0,
+                         int64_t{1} << 20));
+        }
+      }
+      options.namespaces.push_back(std::move(ns));
+    }
+  }
+
+  std::string transport = "stdio";
+  if (flags.count("transport")) {
+    RPQI_ASSIGN_OR_RETURN(transport, SingleFlag(flags, "transport"));
+  }
+  if (transport != "stdio" && transport != "tcp") {
+    return Status::InvalidArgument("--transport must be stdio or tcp");
+  }
+
   service::Server server(options);
   RPQI_RETURN_IF_ERROR(server.Init());
-  RPQI_RETURN_IF_ERROR(server.Serve(std::cin, std::cout));
+  if (transport == "stdio") {
+    RPQI_RETURN_IF_ERROR(server.Serve(std::cin, std::cout));
+    return kExitOk;
+  }
+
+  net::TcpTransportOptions tcp;
+  if (flags.count("host")) {
+    RPQI_ASSIGN_OR_RETURN(tcp.bind_address, SingleFlag(flags, "host"));
+  }
+  int64_t port = 0;
+  int64_t max_conns = tcp.max_connections;
+  int64_t max_batch = tcp.max_batch;
+  int64_t max_line_bytes = static_cast<int64_t>(tcp.max_line_bytes);
+  const IntFlag tcp_flags[] = {
+      {"port", 0, 65535, &port},
+      {"max-conns", 1, int64_t{1} << 16, &max_conns},
+      {"max-batch", 1, int64_t{1} << 12, &max_batch},
+      {"max-line-bytes", 64, int64_t{1} << 30, &max_line_bytes},
+  };
+  for (const IntFlag& spec : tcp_flags) {
+    if (!flags.count(spec.name)) continue;
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, spec.name));
+    RPQI_ASSIGN_OR_RETURN(
+        *spec.target, ParseInt64(text, std::string("--") + spec.name, spec.min,
+                                 spec.max));
+  }
+  tcp.port = static_cast<int>(port);
+  tcp.max_connections = static_cast<int>(max_conns);
+  tcp.max_batch = static_cast<int>(max_batch);
+  tcp.max_line_bytes = static_cast<size_t>(max_line_bytes);
+
+  net::TcpTransport tcp_server(&server, tcp);
+  RPQI_RETURN_IF_ERROR(tcp_server.Listen());
+  if (flags.count("port-file")) {
+    RPQI_ASSIGN_OR_RETURN(std::string port_file,
+                          SingleFlag(flags, "port-file"));
+    std::ofstream out(port_file, std::ios::trunc);
+    out << tcp_server.port() << "\n";
+    out.close();
+    if (!out) {
+      return Status::InvalidArgument("cannot write port file '" + port_file +
+                                     "'");
+    }
+  }
+  // Stderr, not stdout: the port announcement must never mix into a piped
+  // NDJSON stream.
+  std::fprintf(stderr, "listening on %s:%d\n", tcp.bind_address.c_str(),
+               tcp_server.port());
+  RPQI_RETURN_IF_ERROR(tcp_server.Serve());
+  return kExitOk;
+}
+
+StatusOr<int> CmdLoadgen(const FlagMap& flags) {
+  net::LoadGenOptions options;
+  if (flags.count("host")) {
+    RPQI_ASSIGN_OR_RETURN(options.host, SingleFlag(flags, "host"));
+  }
+  if (flags.count("scenario")) {
+    RPQI_ASSIGN_OR_RETURN(options.scenario, SingleFlag(flags, "scenario"));
+  }
+  if (flags.count("emit-db")) {
+    RPQI_ASSIGN_OR_RETURN(options.emit_db_path, SingleFlag(flags, "emit-db"));
+  }
+  if (flags.count("mode")) {
+    RPQI_ASSIGN_OR_RETURN(std::string mode, SingleFlag(flags, "mode"));
+    if (mode != "open" && mode != "closed") {
+      return Status::InvalidArgument("--mode must be open or closed");
+    }
+    options.open_loop = mode == "open";
+  }
+  if (flags.count("qps")) {
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, "qps"));
+    char* end = nullptr;
+    options.qps = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(options.qps > 0)) {
+      return Status::InvalidArgument("--qps must be a positive number");
+    }
+  }
+  struct IntFlag {
+    const char* name;
+    int64_t min;
+    int64_t max;
+    int64_t* target;
+  };
+  int64_t port = 0;
+  int64_t connections = options.connections;
+  int64_t seed = static_cast<int64_t>(options.seed);
+  const IntFlag int_flags[] = {
+      {"port", 1, 65535, &port},
+      {"duration-ms", 1, int64_t{1} << 30, &options.duration_ms},
+      {"connections", 1, 1024, &connections},
+      {"seed", 0, int64_t{1} << 50, &seed},
+  };
+  for (const IntFlag& spec : int_flags) {
+    if (!flags.count(spec.name)) continue;
+    RPQI_ASSIGN_OR_RETURN(std::string text, SingleFlag(flags, spec.name));
+    RPQI_ASSIGN_OR_RETURN(
+        *spec.target, ParseInt64(text, std::string("--") + spec.name, spec.min,
+                                 spec.max));
+  }
+  options.port = static_cast<int>(port);
+  options.connections = static_cast<int>(connections);
+  options.seed = static_cast<uint64_t>(seed);
+
+  if (options.port == 0 && !options.emit_db_path.empty()) {
+    // Emit-only mode: write the scenario graph so a server can be started on
+    // it, then exit without generating load.
+    RPQI_RETURN_IF_ERROR(net::EmitScenarioDb(options.scenario, options.seed,
+                                             options.emit_db_path));
+    std::printf("{\"emitted_db\":\"%s\"}\n", options.emit_db_path.c_str());
+    return kExitOk;
+  }
+
+  RPQI_ASSIGN_OR_RETURN(net::LoadGenReport report, net::RunLoadGen(options));
+  std::string json = net::LoadGenReportJson(report);
+  if (flags.count("out")) {
+    RPQI_ASSIGN_OR_RETURN(std::string out_path, SingleFlag(flags, "out"));
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json << "\n";
+    out.close();
+    if (!out) {
+      return Status::InvalidArgument("cannot write report to '" + out_path +
+                                     "'");
+    }
+  }
+  std::printf("%s\n", json.c_str());
   return kExitOk;
 }
 
@@ -797,6 +989,8 @@ int Main(int argc, char** argv) {
     code = CmdCompact(*flags);
   } else if (command == "serve") {
     code = CmdServe(*flags);
+  } else if (command == "loadgen") {
+    code = CmdLoadgen(*flags);
   } else {
     return Usage();
   }

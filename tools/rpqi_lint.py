@@ -35,8 +35,9 @@ Checks that complement the compiler's own enforcement:
                  tests/fault_test.cc — and vice versa, so the catalog test
                  cannot rot as sites come and go.
 
-  service-io     Code under src/service/ must not write to stdout/stderr
-                 directly (printf/fprintf/puts/fputs/std::cout/std::cerr):
+  service-io     Code under src/service/ and src/net/ must not write to
+                 stdout/stderr directly (printf/fprintf/puts/fputs/
+                 std::cout/std::cerr):
                  the serving layer speaks NDJSON on stdout, and a stray
                  diagnostic line corrupts the protocol stream. All responses
                  go through the Server's serialized writer. Waiver:
@@ -532,7 +533,8 @@ def main(argv):
                 check_include_guard(rel, code_lines, findings)
             if rel.endswith(".cc"):
                 check_budget_loops(rel, raw_lines, code_lines, findings)
-            if rel.startswith(os.path.join("src", "service") + os.sep):
+            if (rel.startswith(os.path.join("src", "service") + os.sep)
+                    or rel.startswith(os.path.join("src", "net") + os.sep)):
                 check_service_io(rel, raw_lines, code_lines, findings)
 
     check_nodiscard_annotations(root, findings)

@@ -12,7 +12,7 @@ and stays quiet on the idiomatic form:
   include-guard  RPQI_<PATH>_H_ guards derived from the file path.
   budget-loop    growth calls inside loops need a Budget or a waiver.
   fault-site     grammar, uniqueness, same-line names, catalog sync.
-  service-io     no stdout/stderr writes under src/service/.
+  service-io     no stdout/stderr writes under src/service/ or src/net/.
   lock-order     hierarchy violations, double acquisition, REQUIRES-held
                  locks, allow-lock-order waivers, allow-no-tsa waivers,
                  and a missing hierarchy block.
@@ -219,6 +219,12 @@ def main():
             '#include <cstdio>\nvoid F() {\n  printf("hi\\n");\n}\n',
     })
     check("printf under src/service fires",
+          code == 1 and "service-io" in out, out)
+    code, out = run_lint(lint, {
+        "src/net/a.cc":
+            '#include <cstdio>\nvoid F() {\n  printf("hi\\n");\n}\n',
+    })
+    check("printf under src/net fires",
           code == 1 and "service-io" in out, out)
     code, out = run_lint(lint, {
         "src/base/a.cc":
